@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Ablation A3: the big.LITTLE heavy-load partition.
+ *
+ * The paper attributes the 4+-process blocking threshold on Orin
+ * Nano to the 3 heavy-load cores. Lifting the partition (letting
+ * inference threads use all 6 cores) moves the threshold and shrinks
+ * blocking - quantified here.
+ */
+
+#include "bench_util.hh"
+
+using namespace jetsim;
+
+int
+main()
+{
+    prof::printHeading(std::cout,
+                       "Ablation A3: big.LITTLE partition (orin-nano, "
+                       "resnet50 int8, b1)");
+    prof::Table t({"procs", "partition", "T/P (img/s)",
+                   "blocking (ms/EC)", "EC (ms)"});
+    for (int procs : {2, 4, 6, 8}) {
+        for (bool part : {true, false}) {
+            core::ExperimentSpec s;
+            s.device = "orin-nano";
+            s.model = "resnet50";
+            s.precision = soc::Precision::Int8;
+            s.processes = procs;
+            s.biglittle = part;
+            bench::applyBenchTiming(s);
+            bench::progress()(s.label());
+            const auto r = core::runExperiment(s);
+            t.addRow({std::to_string(procs),
+                      part ? "3 big cores" : "all 6 cores",
+                      prof::fmt(r.throughput_per_process, 1),
+                      prof::fmt(r.mean.blocking_ms_per_ec),
+                      prof::fmt(r.mean.ec_ms)});
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

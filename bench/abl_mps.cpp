@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation A5: hypothetical MPS (spatial GPU sharing).
+ *
+ * Jetson GPUs do not support MPS (paper S2), forcing time
+ * multiplexing with channel-switch overhead. This ablation runs the
+ * same concurrent workloads under an idealised spatial-sharing mode
+ * to quantify what the missing feature costs.
+ */
+
+#include "bench_util.hh"
+
+using namespace jetsim;
+
+int
+main()
+{
+    prof::printHeading(std::cout,
+                       "Ablation A5: time multiplexing vs idealised "
+                       "MPS (orin-nano, yolov8n int8, b1)");
+    prof::Table t({"procs", "sharing", "dvfs", "T/P (img/s)",
+                   "total (img/s)", "power max (W)", "final freq"});
+    for (int procs : {1, 2, 4, 8}) {
+        for (bool spatial : {false, true}) {
+            for (bool dvfs : {true, false}) {
+                core::ExperimentSpec s;
+                s.device = "orin-nano";
+                s.model = "yolov8n";
+                s.precision = soc::Precision::Int8;
+                s.processes = procs;
+                s.spatial_sharing = spatial;
+                s.dvfs = dvfs;
+                bench::applyBenchTiming(s);
+                bench::progress()(s.label());
+                const auto r = core::runExperiment(s);
+                t.addRow({std::to_string(procs),
+                          spatial ? "spatial (MPS)"
+                                  : "time-mux (Jetson)",
+                          dvfs ? "on" : "off",
+                          prof::fmt(r.throughput_per_process, 1),
+                          prof::fmt(r.total_throughput, 1),
+                          prof::fmt(r.max_power_w),
+                          prof::fmt(r.final_freq_frac)});
+            }
+        }
+    }
+    t.print(std::cout);
+    std::printf(
+        "\nat equal clocks (dvfs off) spatial sharing removes the\n"
+        "channel-switch overhead - the price of Jetson's missing "
+        "MPS.\nunder the 7 W budget, however, packing kernels "
+        "spatially raises\ninstantaneous power and DVFS claws the "
+        "gain back: a finding the\npaper's time-mux-only hardware "
+        "could not expose.\n");
+    return 0;
+}

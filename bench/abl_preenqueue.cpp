@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation A1: trtexec's pre-enqueue discipline.
+ *
+ * The paper notes that pre-enqueueing one batch removes GPU idling
+ * on host preprocessing and makes measured throughput "an upper
+ * bound for model throughput under ideal conditions". This ablation
+ * quantifies the gap against a synchronous (enqueue -> wait) loop.
+ */
+
+#include "bench_util.hh"
+
+#include "models/zoo.hh"
+
+using namespace jetsim;
+
+int
+main()
+{
+    prof::printHeading(std::cout,
+                       "Ablation A1: pre-enqueue depth vs throughput "
+                       "(orin-nano, int8, b1, 1 process)");
+    prof::Table t({"model", "pre-enqueue", "throughput (img/s)",
+                   "gpu util (%)"});
+    for (const auto &model : models::paperModelNames()) {
+        double base = 0;
+        for (int depth : {0, 1, 2}) {
+            core::ExperimentSpec s;
+            s.device = "orin-nano";
+            s.model = model;
+            s.precision = soc::Precision::Int8;
+            s.pre_enqueue = depth;
+            bench::applyBenchTiming(s);
+            bench::progress()(s.label());
+            const auto r = core::runExperiment(s);
+            if (depth == 1)
+                base = r.total_throughput;
+            t.addRow({model, std::to_string(depth),
+                      prof::fmt(r.total_throughput, 1),
+                      prof::fmt(r.gpu_util_pct, 1)});
+        }
+        (void)base;
+    }
+    t.print(std::cout);
+    std::printf("\npre-enqueue=0 is the synchronous loop; >=1 is the "
+                "trtexec upper-bound methodology.\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Ablation A7: spin-wait vs blocking synchronisation.
+ *
+ * trtexec's low-latency spin sync keeps CPU cores busy while the GPU
+ * works; the blocking alternative yields the core. The paper's
+ * blocking-time growth (S7) is a spin-mode phenomenon: with more
+ * spinners than heavy cores, the OS time-shares them and completion
+ * detection is deferred. Blocking sync trades that for wake-up
+ * latency and lower CPU burn.
+ */
+
+#include "bench_util.hh"
+
+#include "core/profiler.hh"
+#include "cpu/scheduler.hh"
+#include "sim/logging.hh"
+#include "gpu/engine.hh"
+#include "models/zoo.hh"
+#include "workload/inference_process.hh"
+
+using namespace jetsim;
+
+namespace {
+
+struct Row
+{
+    double tput_per_proc;
+    double blocking_ms;
+    double cpu_ms_per_ec;
+};
+
+Row
+run(int procs, bool spin)
+{
+    sim::EventQueue eq;
+    soc::Board board(soc::orinNano(), eq);
+    board.start();
+    cpu::OsScheduler sched(board);
+    gpu::GpuEngine gpu(board);
+    const auto net = models::resnet50();
+
+    std::vector<std::unique_ptr<workload::InferenceProcess>> ps;
+    for (int i = 0; i < procs; ++i) {
+        workload::ProcessConfig cfg;
+        cfg.name = "p" + std::to_string(i);
+        cfg.build.precision = soc::Precision::Int8;
+        cfg.spin_wait = spin;
+        cfg.start_offset = sim::msec(7) * i;
+        ps.push_back(std::make_unique<workload::InferenceProcess>(
+            board, sched, gpu, net, cfg));
+        if (!ps.back()->deploy())
+            sim::fatal("deploy failed");
+        ps.back()->start();
+    }
+    eq.runUntil(sim::msec(300));
+    for (auto &p : ps)
+        p->beginMeasurement();
+    eq.runUntil(eq.now() + sim::sec(2));
+    Row row{0, 0, 0};
+    for (auto &p : ps) {
+        p->endMeasurement();
+        p->stopEnqueue();
+        row.tput_per_proc += p->throughput() / procs;
+        row.blocking_ms += sim::toMsec(static_cast<sim::Tick>(
+                               p->blockedTime().count()
+                                   ? p->blockedTime().mean()
+                                   : 0.0)) /
+                           procs;
+        const double ecs =
+            p->ecsCompleted() ? double(p->ecsCompleted()) : 1.0;
+        row.cpu_ms_per_ec +=
+            sim::toMsec(p->thread().cpuTime()) / ecs / procs;
+    }
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    prof::printHeading(std::cout,
+                       "Ablation A7: sync mode (orin-nano, resnet50 "
+                       "int8, b1)");
+    prof::Table t({"procs", "sync", "T/P (img/s)", "blocking (ms/EC)",
+                   "cpu (ms/EC)"});
+    for (int procs : {1, 4, 8}) {
+        for (bool spin : {true, false}) {
+            std::fprintf(stderr, "  running p%d %s\n", procs,
+                         spin ? "spin" : "block");
+            const Row r = run(procs, spin);
+            t.addRow({std::to_string(procs),
+                      spin ? "spin-wait" : "blocking",
+                      prof::fmt(r.tput_per_proc, 1),
+                      prof::fmt(r.blocking_ms),
+                      prof::fmt(r.cpu_ms_per_ec)});
+        }
+    }
+    t.print(std::cout);
+    std::printf("\nspin-wait burns CPU for latency; blocking sync "
+                "frees the cores but pays wake-up costs.\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig 1: GPU memory usage and throughput vs batch size for the
+ * ResNet50 fp16 model on Jetson Orin Nano.
+ *
+ * Paper shape: throughput rises with batch size but levels off at
+ * higher values; memory grows steadily; GPU utilisation is ~98 %+
+ * while memory stays small.
+ */
+
+#include "bench_util.hh"
+
+using namespace jetsim;
+
+int
+main()
+{
+    core::ExperimentSpec base;
+    base.device = "orin-nano";
+    base.model = "resnet50";
+    base.precision = soc::Precision::Fp16;
+    bench::applyBenchTiming(base);
+
+    const auto results = core::sweepBatch(
+        base, {1, 2, 4, 8, 16, 32}, bench::progress());
+
+    prof::printHeading(std::cout,
+                       "Fig 1: ResNet50 fp16 on Orin Nano - memory & "
+                       "throughput vs batch size");
+    prof::Table t({"batch", "throughput (img/s)", "gpu mem (%)",
+                   "workload mem (MiB)", "gpu util (%)"});
+    for (const auto &r : results)
+        t.addRow({std::to_string(r.spec.batch),
+                  prof::fmt(r.total_throughput, 1),
+                  prof::fmt(r.mem_pct, 1),
+                  prof::fmt(r.workload_mem_mb, 0),
+                  prof::fmt(r.gpu_util_pct, 1)});
+    t.print(std::cout);
+
+    // The paper's shape claims, checked inline.
+    const double first = results.front().total_throughput;
+    const double last = results.back().total_throughput;
+    std::printf("\nthroughput gain 1->%d: %.2fx (diminishing returns "
+                "expected)\n",
+                results.back().spec.batch, last / first);
+    bench::printObservations(results);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig 3: GPU memory usage and throughput vs precision for the three
+ * vision workloads on both devices (batch 1, single process).
+ *
+ * Paper shape: on Orin Nano int8 wins everywhere (9.75x / 12x / ~3x
+ * over fp32) and memory grows with precision width; on Jetson Nano
+ * fp16 wins because int8/tf32 lack native kernels and fall back.
+ */
+
+#include "bench_util.hh"
+
+#include "models/zoo.hh"
+#include "trt/builder.hh"
+
+using namespace jetsim;
+
+int
+main()
+{
+    for (const char *device : {"orin-nano", "nano"}) {
+        prof::printHeading(std::cout,
+                           std::string("Fig 3 (") + device +
+                               "): memory & throughput vs precision");
+        prof::Table t({"model", "precision", "throughput (img/s)",
+                       "workload mem (MiB)", "fallback ops"});
+
+        std::vector<core::ExperimentResult> all;
+        for (const auto &model : models::paperModelNames()) {
+            core::ExperimentSpec base;
+            base.device = device;
+            base.model = model;
+            bench::applyBenchTiming(base);
+            auto rs = core::sweepPrecision(
+                base,
+                {soc::Precision::Int8, soc::Precision::Fp16,
+                 soc::Precision::Tf32, soc::Precision::Fp32},
+                bench::progress());
+            for (const auto &r : rs) {
+                // Report the builder's fallback count for the cell.
+                trt::Builder builder(soc::deviceByName(device));
+                trt::BuilderConfig cfg;
+                cfg.precision = r.spec.precision;
+                const auto engine =
+                    builder.build(models::modelByName(model), cfg);
+                t.addRow({model, soc::name(r.spec.precision),
+                          prof::fmt(r.total_throughput, 1),
+                          prof::fmt(r.workload_mem_mb, 0),
+                          std::to_string(engine.fallbackOps())});
+                all.push_back(r);
+            }
+        }
+        t.print(std::cout);
+
+        // Headline ratios.
+        for (std::size_t m = 0; m < 3; ++m) {
+            const auto &i8 = all[m * 4 + 0];
+            const auto &f32 = all[m * 4 + 3];
+            if (i8.total_throughput > 0 && f32.total_throughput > 0)
+                std::printf("%-14s int8/fp32 speed-up: %.2fx, "
+                            "fp32/int8 memory: %.2fx\n",
+                            i8.spec.model.c_str(),
+                            i8.total_throughput / f32.total_throughput,
+                            f32.workload_mem_mb / i8.workload_mem_mb);
+        }
+        bench::printObservations(all);
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig 5: SM-active, issue-slot and tensor-core utilisation CDFs vs
+ * precision on the Jetson Orin Nano (phase 2; the Jetson Nano lacks
+ * both Nsight counter support and tensor cores, as in the paper).
+ *
+ * Paper shape: SM active mostly 75-100 %; issue-slot never above
+ * ~80 % and concentrated near 25-40 %; int8 shows the lowest TC
+ * utilisation despite the highest throughput; FCN_ResNet50 reaches
+ * near-100 % TC utilisation at fp16/tf32 without winning on
+ * throughput.
+ */
+
+#include "bench_util.hh"
+
+#include "models/zoo.hh"
+
+using namespace jetsim;
+
+namespace {
+
+void
+printCdfRow(prof::Table &t, const std::string &model,
+            const char *prec, const char *counter,
+            const prof::Cdf &cdf)
+{
+    if (cdf.empty())
+        return;
+    t.addRow({model, prec, counter, prof::fmt(cdf.quantile(0.10), 1),
+              prof::fmt(cdf.median(), 1),
+              prof::fmt(cdf.quantile(0.90), 1),
+              prof::fmt(cdf.max(), 1)});
+}
+
+} // namespace
+
+int
+main()
+{
+    prof::printHeading(std::cout,
+                       "Fig 5 (orin-nano, phase 2): utilisation "
+                       "counter CDFs vs precision [percent]");
+    prof::Table t({"model", "precision", "counter", "p10", "p50",
+                   "p90", "max"});
+    std::vector<core::ExperimentResult> all;
+    for (const auto &model : models::paperModelNames()) {
+        core::ExperimentSpec base;
+        base.device = "orin-nano";
+        base.model = model;
+        base.phase = core::Phase::Deep;
+        bench::applyBenchTiming(base);
+        for (const auto &r : core::sweepPrecision(
+                 base,
+                 {soc::Precision::Int8, soc::Precision::Fp16,
+                  soc::Precision::Tf32, soc::Precision::Fp32},
+                 bench::progress())) {
+            const char *p = soc::name(r.spec.precision);
+            printCdfRow(t, model, p, "sm_active", r.sm_active);
+            printCdfRow(t, model, p, "issue_slot", r.issue_slot);
+            printCdfRow(t, model, p, "tc_util", r.tc_util);
+            all.push_back(r);
+        }
+    }
+    t.print(std::cout);
+
+    // CDF curves for plotting (CSV on stdout, one block per cell).
+    prof::printHeading(std::cout, "CDF series (x=percent, y=F(x))");
+    for (const auto &r : all) {
+        if (r.tc_util.empty())
+            continue;
+        std::printf("# %s tc_util\n", r.spec.label().c_str());
+        for (const auto &[x, y] : r.tc_util.curve(11))
+            std::printf("%.1f,%.3f\n", x, y);
+    }
+    bench::printObservations(all);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig 6: GPU memory usage (%) and throughput-per-process for int8
+ * ResNet50 / FCN_ResNet50 / YoloV8n on the Jetson Orin Nano, over
+ * the batch x concurrent-process grid (YoloV8n additionally at 16
+ * processes, as in the paper's memory discussion).
+ *
+ * Paper shape: T/P rises with batch (sub-linearly) and falls with
+ * process count; memory grows with both, sharply with processes
+ * (YoloV8n: <10 % at 1 proc / batch 8, >35 % towards 16 procs).
+ */
+
+#include "bench_util.hh"
+
+#include "models/zoo.hh"
+
+using namespace jetsim;
+
+int
+main()
+{
+    const std::vector<int> batches = {1, 2, 4, 8, 16};
+
+    for (const auto &model : models::paperModelNames()) {
+        const std::vector<int> procs =
+            model == "yolov8n" ? std::vector<int>{1, 2, 4, 8, 16}
+                               : std::vector<int>{1, 2, 4, 8};
+
+        core::ExperimentSpec base;
+        base.device = "orin-nano";
+        base.model = model;
+        base.precision = soc::Precision::Int8;
+        bench::applyBenchTiming(base);
+
+        const auto results =
+            core::sweepGrid(base, batches, procs, bench::progress());
+
+        prof::printHeading(std::cout, "Fig 6 (orin-nano, int8): " +
+                                          model +
+                                          " T/P [img/s per process]");
+        prof::Table tput({"procs\\batch", "b1", "b2", "b4", "b8",
+                          "b16"});
+        prof::Table mem({"procs\\batch", "b1", "b2", "b4", "b8",
+                         "b16"});
+        std::size_t i = 0;
+        for (int p : procs) {
+            std::vector<std::string> trow = {"p" + std::to_string(p)};
+            std::vector<std::string> mrow = trow;
+            for (std::size_t b = 0; b < batches.size(); ++b) {
+                const auto &r = results[i++];
+                trow.push_back(bench::tpCell(r));
+                mrow.push_back(
+                    r.all_deployed
+                        ? prof::fmt(100.0 * r.workload_mem_mb / 8192.0,
+                                    1)
+                        : "OOM");
+            }
+            tput.addRow(trow);
+            mem.addRow(mrow);
+        }
+        tput.print(std::cout);
+        std::cout << "\nGPU memory (workload % of 8 GB):\n";
+        mem.print(std::cout);
+        bench::printObservations(results);
+    }
+    return 0;
+}

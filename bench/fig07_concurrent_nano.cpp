@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig 7: GPU memory usage (%) and throughput-per-process for fp16
+ * models on the Jetson Nano, over the batch x process grid.
+ *
+ * Paper shape: same trends as Fig 6 at much lower absolute levels;
+ * FCN_ResNet50 cannot deploy 4 processes (memory exhaustion - the
+ * board reboots in the paper; we report the failed cell).
+ */
+
+#include "bench_util.hh"
+
+#include "models/zoo.hh"
+
+using namespace jetsim;
+
+int
+main()
+{
+    const std::vector<int> batches = {1, 2, 4, 8};
+    const std::vector<int> procs = {1, 2, 4};
+
+    for (const auto &model : models::paperModelNames()) {
+        core::ExperimentSpec base;
+        base.device = "nano";
+        base.model = model;
+        base.precision = soc::Precision::Fp16;
+        bench::applyBenchTiming(base);
+
+        const auto results =
+            core::sweepGrid(base, batches, procs, bench::progress());
+
+        prof::printHeading(std::cout, "Fig 7 (nano, fp16): " + model +
+                                          " T/P [img/s per process]");
+        prof::Table tput({"procs\\batch", "b1", "b2", "b4", "b8"});
+        prof::Table mem({"procs\\batch", "b1", "b2", "b4", "b8"});
+        std::size_t i = 0;
+        for (int p : procs) {
+            std::vector<std::string> trow = {"p" + std::to_string(p)};
+            std::vector<std::string> mrow = trow;
+            for (std::size_t b = 0; b < batches.size(); ++b) {
+                const auto &r = results[i++];
+                trow.push_back(bench::tpCell(r));
+                mrow.push_back(
+                    r.all_deployed
+                        ? prof::fmt(100.0 * r.workload_mem_mb / 4096.0,
+                                    1)
+                        : "OOM");
+            }
+            tput.addRow(trow);
+            mem.addRow(mrow);
+        }
+        tput.print(std::cout);
+        std::cout << "\nGPU memory (workload % of 4 GB):\n";
+        mem.print(std::cout);
+        bench::printObservations(results);
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig 8: power consumption for int8 models on the Jetson Orin Nano
+ * over the batch x process grid.
+ *
+ * Paper shape: power generally rises with batch size, but the
+ * process dimension is non-monotonic (DVFS keeps the rail under the
+ * 7 W budget, trading throughput for power); FCN_ResNet50 draws the
+ * most at every cell.
+ */
+
+#include "bench_util.hh"
+
+#include "models/zoo.hh"
+
+using namespace jetsim;
+
+int
+main()
+{
+    const std::vector<int> batches = {1, 2, 4, 8, 16};
+    const std::vector<int> procs = {1, 2, 4, 8};
+
+    for (const auto &model : models::paperModelNames()) {
+        core::ExperimentSpec base;
+        base.device = "orin-nano";
+        base.model = model;
+        base.precision = soc::Precision::Int8;
+        bench::applyBenchTiming(base);
+
+        const auto results =
+            core::sweepGrid(base, batches, procs, bench::progress());
+
+        prof::printHeading(std::cout, "Fig 8 (orin-nano, int8): " +
+                                          model + " power [W]");
+        prof::Table t({"procs\\batch", "b1", "b2", "b4", "b8", "b16"});
+        std::size_t i = 0;
+        double peak = 0;
+        int throttles = 0;
+        for (int p : procs) {
+            std::vector<std::string> row = {"p" + std::to_string(p)};
+            for (std::size_t b = 0; b < batches.size(); ++b) {
+                const auto &r = results[i++];
+                row.push_back(r.all_deployed
+                                  ? prof::fmt(r.avg_power_w)
+                                  : "OOM");
+                peak = std::max(peak, r.max_power_w);
+                throttles += r.dvfs_throttle_events;
+            }
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        std::printf("\npeak %.2f W (cap 7 W), DVFS throttle events "
+                    "across grid: %d\n",
+                    peak, throttles);
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig 9: power consumption for fp16 models on the Jetson Nano over
+ * the batch x process grid.
+ *
+ * Paper shape: intuitive, near-monotone growth with batch and
+ * process count, always under the 5 W budget (e.g. FCN_ResNet50 at
+ * 1 process: ~4.2-4.3 W across batch sizes).
+ */
+
+#include "bench_util.hh"
+
+#include "models/zoo.hh"
+
+using namespace jetsim;
+
+int
+main()
+{
+    const std::vector<int> batches = {1, 2, 4, 8};
+    const std::vector<int> procs = {1, 2, 4};
+
+    for (const auto &model : models::paperModelNames()) {
+        core::ExperimentSpec base;
+        base.device = "nano";
+        base.model = model;
+        base.precision = soc::Precision::Fp16;
+        bench::applyBenchTiming(base);
+
+        const auto results =
+            core::sweepGrid(base, batches, procs, bench::progress());
+
+        prof::printHeading(std::cout,
+                           "Fig 9 (nano, fp16): " + model +
+                               " power [W]");
+        prof::Table t({"procs\\batch", "b1", "b2", "b4", "b8"});
+        std::size_t i = 0;
+        double peak = 0;
+        for (int p : procs) {
+            std::vector<std::string> row = {"p" + std::to_string(p)};
+            for (std::size_t b = 0; b < batches.size(); ++b) {
+                const auto &r = results[i++];
+                row.push_back(r.all_deployed
+                                  ? prof::fmt(r.avg_power_w)
+                                  : "OOM");
+                peak = std::max(peak, r.max_power_w);
+            }
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        std::printf("\npeak %.2f W (cap 5 W)\n", peak);
+    }
+    return 0;
+}

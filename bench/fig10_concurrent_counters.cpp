@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig 10: SM-active, issue-slot and tensor-core utilisation CDFs vs
+ * concurrent process count (batch 1, int8, Jetson Orin Nano,
+ * phase 2).
+ *
+ * Paper shape: SM-active rises with process count (the GPU always
+ * holds someone's resident warps, and switch periods count as
+ * active); issue-slot stays flat near ~25 % on average and never
+ * exceeds ~80 %; TC utilisation sags from ~25-30 % towards 15-20 %
+ * at 4-8 processes.
+ */
+
+#include "bench_util.hh"
+
+#include "models/zoo.hh"
+
+using namespace jetsim;
+
+int
+main()
+{
+    prof::printHeading(std::cout,
+                       "Fig 10 (orin-nano, int8, b1, phase 2): "
+                       "counter CDFs vs process count [percent]");
+    prof::Table t({"model", "procs", "counter", "p10", "p50", "p90",
+                   "max"});
+    std::vector<core::ExperimentResult> all;
+
+    for (const auto &model : models::paperModelNames()) {
+        for (int procs : {1, 2, 4, 8}) {
+            core::ExperimentSpec s;
+            s.device = "orin-nano";
+            s.model = model;
+            s.precision = soc::Precision::Int8;
+            s.processes = procs;
+            s.phase = core::Phase::Deep;
+            bench::applyBenchTiming(s);
+            bench::progress()(s.label());
+            auto r = core::runExperiment(s);
+
+            auto row = [&](const char *counter, const prof::Cdf &c) {
+                if (c.empty())
+                    return;
+                t.addRow({model, std::to_string(procs), counter,
+                          prof::fmt(c.quantile(0.10), 1),
+                          prof::fmt(c.median(), 1),
+                          prof::fmt(c.quantile(0.90), 1),
+                          prof::fmt(c.max(), 1)});
+            };
+            row("sm_active", r.sm_active);
+            row("issue_slot", r.issue_slot);
+            row("tc_util", r.tc_util);
+            all.push_back(std::move(r));
+        }
+    }
+    t.print(std::cout);
+
+    // Trend summary: median TC utilisation by process count.
+    prof::printHeading(std::cout,
+                       "median tc_util by process count (ResNet50)");
+    for (const auto &r : all)
+        if (r.spec.model == "resnet50" && !r.tc_util.empty())
+            std::printf("  p%-2d  %.1f%%\n", r.spec.processes,
+                        r.tc_util.median());
+    bench::printObservations(all);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig 11: GPU and CPU event decomposition for ResNet50 int8 on the
+ * Jetson Orin Nano - EC duration, launch-API time, sync span,
+ * blocking, rescheduling and CPU work per EC, vs batch size (left)
+ * and vs process count (right).
+ *
+ * Paper shape: EC duration grows only mildly with batch relative to
+ * the batch factor (per-image EC time falls); with processes past
+ * the 3 heavy-load cores, blocking (B_l ~1-2 ms), launch and
+ * cache-penalty terms all climb and EC inflates beyond pure sharing.
+ */
+
+#include "bench_util.hh"
+
+using namespace jetsim;
+
+namespace {
+
+void
+printDecomposition(const std::vector<core::ExperimentResult> &results,
+                   const char *axis)
+{
+    prof::Table t({axis, "EC (ms)", "EC/img (ms)", "K launch (ms)",
+                   "sync (ms)", "B block (ms)", "T resched (ms)",
+                   "C cpu (ms)", "cache pen (ms)", "bottleneck"});
+    for (const auto &r : results) {
+        if (!r.all_deployed)
+            continue;
+        const auto b = core::analyzeBottleneck(r);
+        const int n = r.spec.batch;
+        const std::string key =
+            std::string(axis[0] == 'b' ? "b" : "p") +
+            std::to_string(axis[0] == 'b' ? r.spec.batch
+                                          : r.spec.processes);
+        t.addRow({key, prof::fmt(b.ec_ms), prof::fmt(b.ec_ms / n),
+                  prof::fmt(b.launch_ms), prof::fmt(b.sync_ms),
+                  prof::fmt(b.blocking_ms), prof::fmt(b.resched_ms),
+                  prof::fmt(b.cpu_ms), prof::fmt(b.cache_ms),
+                  core::bottleneckName(b.primary)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    core::ExperimentSpec base;
+    base.device = "orin-nano";
+    base.model = "resnet50";
+    base.precision = soc::Precision::Int8;
+    base.phase = core::Phase::Deep;
+    bench::applyBenchTiming(base);
+
+    prof::printHeading(std::cout,
+                       "Fig 11 left (orin-nano, resnet50 int8): "
+                       "events vs batch size (1 process)");
+    const auto by_batch = core::sweepBatch(base, {1, 2, 4, 8, 16},
+                                           bench::progress());
+    printDecomposition(by_batch, "batch");
+
+    prof::printHeading(std::cout,
+                       "Fig 11 right (orin-nano, resnet50 int8): "
+                       "events vs process count (batch 1)");
+    std::vector<core::ExperimentResult> by_procs;
+    for (int p : {1, 2, 4, 8}) {
+        auto s = base;
+        s.processes = p;
+        bench::progress()(s.label());
+        by_procs.push_back(core::runExperiment(s));
+    }
+    printDecomposition(by_procs, "procs");
+
+    bench::printObservations(by_procs);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig 12: the Fig 11 decomposition for ResNet50 fp16 on the Jetson
+ * Nano.
+ *
+ * Paper shape: EC duration largely invariant per image across batch
+ * sizes while per-EC launch cost amortises; once the process count
+ * exceeds half the 4 cores (i.e. the 2 heavy-load cores), EC
+ * duration roughly doubles beyond pure sharing.
+ */
+
+#include "bench_util.hh"
+
+using namespace jetsim;
+
+namespace {
+
+void
+printDecomposition(const std::vector<core::ExperimentResult> &results,
+                   bool batch_axis)
+{
+    prof::Table t({batch_axis ? "batch" : "procs", "EC (ms)",
+                   "EC/img (ms)", "K launch (ms)", "K/img (ms)",
+                   "sync (ms)", "B block (ms)", "C cpu (ms)",
+                   "bottleneck"});
+    for (const auto &r : results) {
+        if (!r.all_deployed)
+            continue;
+        const auto b = core::analyzeBottleneck(r);
+        const int n = r.spec.batch;
+        const std::string key =
+            (batch_axis ? "b" : "p") +
+            std::to_string(batch_axis ? r.spec.batch
+                                      : r.spec.processes);
+        t.addRow({key, prof::fmt(b.ec_ms), prof::fmt(b.ec_ms / n),
+                  prof::fmt(b.launch_ms), prof::fmt(b.launch_ms / n),
+                  prof::fmt(b.sync_ms), prof::fmt(b.blocking_ms),
+                  prof::fmt(b.cpu_ms),
+                  core::bottleneckName(b.primary)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    core::ExperimentSpec base;
+    base.device = "nano";
+    base.model = "resnet50";
+    base.precision = soc::Precision::Fp16;
+    base.phase = core::Phase::Deep;
+    bench::applyBenchTiming(base);
+
+    prof::printHeading(std::cout,
+                       "Fig 12 left (nano, resnet50 fp16): events vs "
+                       "batch size (1 process)");
+    const auto by_batch =
+        core::sweepBatch(base, {1, 2, 4, 8}, bench::progress());
+    printDecomposition(by_batch, true);
+
+    prof::printHeading(std::cout,
+                       "Fig 12 right (nano, resnet50 fp16): events "
+                       "vs process count (batch 1)");
+    std::vector<core::ExperimentResult> by_procs;
+    for (int p : {1, 2, 4}) {
+        auto s = base;
+        s.processes = p;
+        bench::progress()(s.label());
+        by_procs.push_back(core::runExperiment(s));
+    }
+    printDecomposition(by_procs, false);
+
+    // The S7 threshold statement, checked inline.
+    if (by_procs.size() == 3 && by_procs[1].all_deployed &&
+        by_procs[2].all_deployed) {
+        std::printf("\nEC inflation p2 -> p4: %.2fx (paper: ~2x past "
+                    "half the cores)\n",
+                    by_procs[2].mean.ec_ms / by_procs[1].mean.ec_ms);
+    }
+    bench::printObservations(by_procs);
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ablation A6: google-benchmark microbenchmarks of the simulator
+ * itself - event-queue throughput, scheduler dispatch, kernel cost
+ * evaluation, engine building, and a full experiment cell. These
+ * guard the framework's own performance (a profiling tool must be
+ * cheap enough to sweep grids).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/profiler.hh"
+#include "cpu/scheduler.hh"
+#include "gpu/cost_model.hh"
+#include "models/zoo.hh"
+#include "sim/event_queue.hh"
+#include "soc/board.hh"
+#include "trt/builder.hh"
+
+using namespace jetsim;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(i, [] {});
+        benchmark::DoNotOptimize(eq.runAll());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_SchedulerContention(benchmark::State &state)
+{
+    const int threads = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        soc::Board board(soc::orinNano(), eq);
+        cpu::OsScheduler sched(board);
+        for (int i = 0; i < threads; ++i)
+            sched.createThread("t" + std::to_string(i))
+                ->exec(sim::msec(5), nullptr);
+        eq.runAll();
+        benchmark::DoNotOptimize(eq.executed());
+    }
+}
+BENCHMARK(BM_SchedulerContention)->Arg(2)->Arg(8)->Arg(16);
+
+static void
+BM_KernelCostModel(benchmark::State &state)
+{
+    gpu::KernelCostModel model(soc::orinNano());
+    gpu::KernelDesc k;
+    k.flops = 1e9;
+    k.bytes = 5e6;
+    k.prec = soc::Precision::Fp16;
+    k.tc = true;
+    k.blocks = 512;
+    sim::Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.timing(k, 0.9, &rng));
+}
+BENCHMARK(BM_KernelCostModel);
+
+static void
+BM_BuildResnet50Engine(benchmark::State &state)
+{
+    const auto net = models::resnet50();
+    trt::Builder builder(soc::orinNano());
+    trt::BuilderConfig cfg;
+    cfg.precision = soc::Precision::Int8;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(builder.build(net, cfg));
+}
+BENCHMARK(BM_BuildResnet50Engine);
+
+static void
+BM_BuildYolov8nGraph(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(models::yolov8n());
+}
+BENCHMARK(BM_BuildYolov8nGraph);
+
+static void
+BM_FullExperimentCell(benchmark::State &state)
+{
+    core::ExperimentSpec s;
+    s.model = "resnet50";
+    s.precision = soc::Precision::Int8;
+    s.processes = static_cast<int>(state.range(0));
+    s.warmup = sim::msec(100);
+    s.duration = sim::msec(400);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::runExperiment(s));
+}
+BENCHMARK(BM_FullExperimentCell)->Arg(1)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

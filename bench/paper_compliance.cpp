@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Paper-vs-measured compliance sheet: every quantitative claim the
+ * paper's text makes, next to what this reproduction measures. The
+ * EXPERIMENTS.md table is generated from this binary's output.
+ */
+
+#include "bench_util.hh"
+
+#include <functional>
+
+using namespace jetsim;
+
+namespace {
+
+struct Anchor
+{
+    const char *id;
+    const char *claim;       ///< the paper's statement
+    const char *paper_value; ///< quoted value
+    std::function<double()> measure;
+    double lo, hi;           ///< acceptance band
+};
+
+core::ExperimentResult
+cell(const char *dev, const char *model, soc::Precision prec,
+     int batch = 1, int procs = 1,
+     core::Phase phase = core::Phase::Light)
+{
+    core::ExperimentSpec s;
+    s.device = dev;
+    s.model = model;
+    s.precision = prec;
+    s.batch = batch;
+    s.processes = procs;
+    s.phase = phase;
+    bench::applyBenchTiming(s);
+    bench::progress()(s.label());
+    return core::runExperiment(s);
+}
+
+using soc::Precision;
+
+} // namespace
+
+int
+main()
+{
+    std::vector<Anchor> anchors = {
+        {"S6.1.1-resnet-int8",
+         "ResNet50 int8 speed-up over fp32 (Orin Nano)", "9.75x",
+         [] {
+             return cell("orin-nano", "resnet50", Precision::Int8)
+                        .total_throughput /
+                    cell("orin-nano", "resnet50", Precision::Fp32)
+                        .total_throughput;
+         },
+         6.5, 13.0},
+        {"S6.1.1-fcn-int8",
+         "FCN_ResNet50 int8 speed-up over fp32 (Orin Nano)", "12x",
+         [] {
+             return cell("orin-nano", "fcn_resnet50", Precision::Int8)
+                        .total_throughput /
+                    cell("orin-nano", "fcn_resnet50", Precision::Fp32)
+                        .total_throughput;
+         },
+         8.0, 18.0},
+        {"S6.1.1-yolo-int8",
+         "YoloV8n int8 speed-up over fp32 (Orin Nano)", "~3x",
+         [] {
+             return cell("orin-nano", "yolov8n", Precision::Int8)
+                        .total_throughput /
+                    cell("orin-nano", "yolov8n", Precision::Fp32)
+                        .total_throughput;
+         },
+         2.0, 11.0},
+        {"S6.1.2-fcn-tf32",
+         "FCN_ResNet50 tf32 throughput (Orin Nano)", "12 img/s",
+         [] {
+             return cell("orin-nano", "fcn_resnet50", Precision::Tf32)
+                 .total_throughput;
+         },
+         7.0, 18.0},
+        {"S6.1.2-fcn-fp32",
+         "FCN_ResNet50 fp32 throughput (Orin Nano)", "5 img/s",
+         [] {
+             return cell("orin-nano", "fcn_resnet50", Precision::Fp32)
+                 .total_throughput;
+         },
+         2.5, 7.5},
+        {"S6.1.2-nano-fp16-energy",
+         "ResNet50 fp16 energy per image (Jetson Nano)",
+         "0.125 W/img",
+         [] {
+             const auto r =
+                 cell("nano", "resnet50", Precision::Fp16);
+             return r.avg_power_w / r.total_throughput;
+         },
+         0.07, 0.19},
+        {"S6.2.1-yolo-b1",
+         "YoloV8n int8 T/P at batch 1 (Orin Nano)", "~210 img/s",
+         [] {
+             return cell("orin-nano", "yolov8n", Precision::Int8, 1)
+                 .throughput_per_process;
+         },
+         120.0, 345.0},
+        {"S6.2.1-yolo-b16",
+         "YoloV8n int8 T/P at batch 16 (Orin Nano)", "~320 img/s",
+         [] {
+             return cell("orin-nano", "yolov8n", Precision::Int8, 16)
+                 .throughput_per_process;
+         },
+         220.0, 455.0},
+        {"S6.2.2-orin-cap",
+         "Peak power stays under the Orin Nano budget", "< 7 W",
+         [] {
+             return cell("orin-nano", "fcn_resnet50",
+                         Precision::Int8, 8, 2)
+                 .max_power_w;
+         },
+         0.0, 7.3},
+        {"S6.2.2-nano-cap",
+         "Peak power stays under the Jetson Nano budget", "< 5 W",
+         [] {
+             return cell("nano", "resnet50", Precision::Fp16, 4, 2)
+                 .max_power_w;
+         },
+         0.0, 5.3},
+        {"S6.1.3-issue-slot",
+         "Issue-slot utilisation median (never above ~80 %)",
+         "25-40 %",
+         [] {
+             return cell("orin-nano", "resnet50", Precision::Int8, 1,
+                         1, core::Phase::Deep)
+                 .issue_slot.median();
+         },
+         15.0, 45.0},
+        {"S6.1.4-tc-util",
+         "ResNet50 int8 TC utilisation median (Orin Nano)",
+         "~25 % (below 50)",
+         [] {
+             return cell("orin-nano", "resnet50", Precision::Int8, 1,
+                         1, core::Phase::Deep)
+                 .tc_util.median();
+         },
+         10.0, 45.0},
+        {"S7-blocking",
+         "Per-EC blocking at 8 processes (Orin Nano)", "1-2 ms b_l",
+         [] {
+             return cell("orin-nano", "resnet50", Precision::Int8, 1,
+                         8)
+                 .mean.blocking_ms_per_ec;
+         },
+         0.4, 3.0},
+        {"S7-nano-ec",
+         "Nano EC inflation from 2 to 4 processes", "~2x",
+         [] {
+             const auto p2 =
+                 cell("nano", "resnet50", Precision::Fp16, 1, 2);
+             const auto p4 =
+                 cell("nano", "resnet50", Precision::Fp16, 1, 4);
+             return p4.mean.ec_ms / p2.mean.ec_ms;
+         },
+         1.8, 3.2},
+        {"S4-intrusion",
+         "Nsight (phase 2) throughput reduction", "~50 %",
+         [] {
+             const auto l =
+                 cell("orin-nano", "resnet50", Precision::Int8);
+             const auto d =
+                 cell("orin-nano", "resnet50", Precision::Int8, 1, 1,
+                      core::Phase::Deep);
+             return 100.0 *
+                    (1.0 - d.total_throughput / l.total_throughput);
+         },
+         15.0, 70.0},
+    };
+
+    prof::printHeading(std::cout,
+                       "Paper-vs-measured compliance sheet");
+    prof::Table t({"anchor", "claim", "paper", "measured", "band",
+                   "ok"});
+    int failures = 0;
+    for (const auto &a : anchors) {
+        const double v = a.measure();
+        const bool ok = v >= a.lo && v <= a.hi;
+        failures += !ok;
+        t.addRow({a.id, a.claim, a.paper_value, prof::fmt(v),
+                  "[" + prof::fmt(a.lo, 1) + ", " +
+                      prof::fmt(a.hi, 1) + "]",
+                  ok ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+    std::printf("\n%zu anchors, %d outside their acceptance band\n",
+                anchors.size(), failures);
+    return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table 1: NVIDIA Jetson GPU specifications, printed from the device
+ * models (plus the A40-class cloud reference used by the intro).
+ */
+
+#include <iostream>
+
+#include "prof/report.hh"
+#include "soc/device_spec.hh"
+
+using namespace jetsim;
+
+int
+main()
+{
+    prof::printHeading(std::cout, "Table 1: Edge GPU Specification");
+
+    prof::Table t({"Metric", "Jetson Orin Nano", "Jetson Nano",
+                   "(A40 cloud ref)"});
+
+    const auto orin = soc::orinNano();
+    const auto nano = soc::jetsonNano();
+    const auto a40 = soc::cloudA40();
+
+    auto cpu_row = [](const soc::DeviceSpec &d) {
+        return std::to_string(d.totalCores()) + "-core " +
+               d.clusters.front().name;
+    };
+    auto gpu_row = [](const soc::DeviceSpec &d) {
+        return std::to_string(d.gpu.totalCudaCores()) + "-core " +
+               d.gpu.arch;
+    };
+    auto tc_row = [](const soc::DeviceSpec &d) {
+        return d.gpu.hasTensorCores()
+                   ? std::to_string(d.gpu.totalTensorCores())
+                   : std::string("-");
+    };
+    auto mem_row = [](const soc::DeviceSpec &d) {
+        return prof::fmt(sim::toMiB(d.memory.total) / 1024.0, 0) +
+               "GB";
+    };
+    auto pow_row = [](const soc::DeviceSpec &d) {
+        return prof::fmt(d.power.cap_w, 0) + "W mode";
+    };
+
+    t.addRow({"CPU", cpu_row(orin), cpu_row(nano), cpu_row(a40)});
+    t.addRow({"GPU", gpu_row(orin), gpu_row(nano), gpu_row(a40)});
+    t.addRow({"Tensor Cores", tc_row(orin), tc_row(nano), tc_row(a40)});
+    t.addRow({"Unified Memory", mem_row(orin), mem_row(nano),
+              mem_row(a40)});
+    t.addRow({"Power", pow_row(orin), pow_row(nano), pow_row(a40)});
+    t.addRow({"Heavy-load cores", std::to_string(orin.bigCores()),
+              std::to_string(nano.bigCores()),
+              std::to_string(a40.bigCores())});
+    t.print(std::cout);
+    return 0;
+}

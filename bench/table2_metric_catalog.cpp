@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Table 2: the metric taxonomy, printed from the catalogue.
+ */
+
+#include <iostream>
+
+#include "prof/metrics.hh"
+#include "prof/report.hh"
+
+using namespace jetsim;
+
+int
+main()
+{
+    for (auto level : {prof::MetricLevel::Soc, prof::MetricLevel::Gpu,
+                       prof::MetricLevel::Kernel}) {
+        prof::printHeading(std::cout, prof::levelName(level));
+        prof::Table t({"Metric", "Description", "Unit", "Tool"});
+        for (const auto &m : prof::metricCatalog())
+            if (m.level == level)
+                t.addRow({m.name, m.description, m.unit,
+                          prof::sourceName(m.source)});
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Capacity planner: the paper's motivating use case.
+ *
+ * "Instead of manual trial and error with QoS requirements (optimal
+ * number of concurrent processes, optimal batch sizes, ...) we can
+ * make decisions based on this type of analysis." (paper S8)
+ *
+ * Given a device, a model, a per-stream latency bound and a
+ * per-stream throughput floor, the planner sweeps (precision, batch,
+ * processes) offline and reports every feasible deployment plus the
+ * one serving the most concurrent streams.
+ *
+ * Usage: capacity_planner [device] [model] [max_latency_ms]
+ *                         [min_stream_fps]
+ *   e.g. capacity_planner orin-nano yolov8n 100 15
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+
+#include "core/profiler.hh"
+#include "prof/report.hh"
+
+using namespace jetsim;
+
+namespace {
+
+struct Plan
+{
+    core::ExperimentResult result;
+    double stream_fps;  ///< frames/s each process sustains
+    double latency_ms;  ///< per-batch completion time
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string device = argc > 1 ? argv[1] : "orin-nano";
+    const std::string model = argc > 2 ? argv[2] : "yolov8n";
+    const double max_latency_ms = argc > 3 ? std::atof(argv[3]) : 100;
+    const double min_fps = argc > 4 ? std::atof(argv[4]) : 15;
+
+    std::printf("capacity planning: %s on %s, latency <= %.0f ms, "
+                ">= %.0f fps per stream\n",
+                model.c_str(), device.c_str(), max_latency_ms,
+                min_fps);
+
+    prof::Table t({"precision", "batch", "procs", "fps/stream",
+                   "latency (ms)", "power (W)", "mem (MiB)",
+                   "feasible"});
+    std::optional<Plan> best;
+
+    for (auto prec : soc::kAllPrecisions) {
+        for (int batch : {1, 2, 4, 8}) {
+            for (int procs : {1, 2, 4, 8}) {
+                core::ExperimentSpec s;
+                s.device = device;
+                s.model = model;
+                s.precision = prec;
+                s.batch = batch;
+                s.processes = procs;
+                s.warmup = sim::msec(250);
+                s.duration = sim::msec(1500);
+                std::fprintf(stderr, "  evaluating %s\n",
+                             s.label().c_str());
+                auto r = core::runExperiment(s);
+
+                if (!r.all_deployed) {
+                    t.addRow({soc::name(prec), std::to_string(batch),
+                              std::to_string(procs), "-", "-", "-",
+                              "-", "OOM"});
+                    continue;
+                }
+                Plan p{std::move(r), 0, 0};
+                p.stream_fps = p.result.throughput_per_process;
+                p.latency_ms = p.result.mean.pipeline_ms;
+                const bool ok = p.latency_ms <= max_latency_ms &&
+                                p.stream_fps >= min_fps;
+                t.addRow({soc::name(prec), std::to_string(batch),
+                          std::to_string(procs),
+                          prof::fmt(p.stream_fps, 1),
+                          prof::fmt(p.latency_ms, 1),
+                          prof::fmt(p.result.avg_power_w),
+                          prof::fmt(p.result.workload_mem_mb, 0),
+                          ok ? "yes" : "no"});
+                if (ok &&
+                    (!best ||
+                     p.result.spec.processes >
+                         best->result.spec.processes ||
+                     (p.result.spec.processes ==
+                          best->result.spec.processes &&
+                      p.stream_fps > best->stream_fps)))
+                    best = std::move(p);
+            }
+        }
+    }
+
+    prof::printHeading(std::cout, "Sweep");
+    t.print(std::cout);
+
+    if (best) {
+        const auto &s = best->result.spec;
+        std::printf("\nrecommended deployment: %d x %s/%s batch %d "
+                    "-> %d streams at %.1f fps each, %.1f ms latency, "
+                    "%.2f W\n",
+                    s.processes, model.c_str(), soc::name(s.precision),
+                    s.batch, s.processes, best->stream_fps,
+                    best->latency_ms, best->result.avg_power_w);
+    } else {
+        std::printf("\nno deployment on %s meets the QoS; offload to "
+                    "the cloud or add accelerators (see "
+                    "edge_cloud_offload).\n",
+                    device.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Runtime-bottleneck analysis (the paper's Section 7 as a library).
+ *
+ * Decomposes the measured execution-context duration into the
+ * paper's EC_i = sum_l (K_l + T_l + C_l + B_l) terms and classifies
+ * the dominant constraint, turning raw profiles into the actionable
+ * statements the paper boxes at the end of each subsection.
+ */
+
+#ifndef JETSIM_CORE_BOTTLENECK_HH
+#define JETSIM_CORE_BOTTLENECK_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace jetsim::core {
+
+/** Dominant constraint on a run's performance. */
+enum class Bottleneck {
+    GpuCompute,     ///< the GPU does useful work most of the time
+    CpuBlocking,    ///< scheduler wait (B_l/T_l) dominates EC growth
+    KernelLaunch,   ///< launch overhead is a large EC share
+    MemoryCapacity, ///< deployment failed: unified RAM exhausted
+    PowerThrottle,  ///< DVFS repeatedly down-clocked the GPU
+};
+
+const char *bottleneckName(Bottleneck b);
+
+/** Per-EC decomposition in milliseconds. */
+struct EcBreakdown
+{
+    double ec_ms = 0;       ///< measured EC_i span
+    double launch_ms = 0;   ///< K: launch-API wall time per EC
+    double resched_ms = 0;  ///< T: post-preemption dispatch wait
+    double cpu_ms = 0;      ///< C: CPU work (incl. cache penalty)
+    double cache_ms = 0;    ///< cache-penalty share of C
+    double blocking_ms = 0; ///< B: wake-to-run wait
+    double sync_ms = 0;     ///< CS span (blocking + sync API)
+
+    Bottleneck primary = Bottleneck::GpuCompute;
+    std::string explanation;
+};
+
+/** Decompose and classify one experiment result. */
+EcBreakdown analyzeBottleneck(const ExperimentResult &res);
+
+/** A paper-style takeaway derived from measured data. */
+struct Observation
+{
+    std::string id;   ///< stable key, e.g. "best-precision"
+    std::string text; ///< human-readable statement
+};
+
+/**
+ * Derive cross-run observations from a set of results (typically one
+ * sweep): best precision per device, concurrency thresholds, power
+ * envelope compliance, SM-vs-issue-slot gaps, and more. Mirrors the
+ * boxed conclusions of the paper's Sections 6-7.
+ */
+std::vector<Observation>
+makeObservations(const std::vector<ExperimentResult> &results);
+
+} // namespace jetsim::core
+
+#endif // JETSIM_CORE_BOTTLENECK_HH

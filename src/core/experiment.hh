@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Experiment specification and result types — the public face of the
+ * profiling library.
+ *
+ * One ExperimentSpec describes a cell of the paper's measurement
+ * grid: device x model x precision x batch x concurrent processes,
+ * plus the profiling phase (1 = lightweight jetson-stats/trtexec,
+ * 2 = deep Nsight tracing with intrusion) and ablation switches.
+ */
+
+#ifndef JETSIM_CORE_EXPERIMENT_HH
+#define JETSIM_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prof/cdf.hh"
+#include "sim/types.hh"
+#include "soc/precision.hh"
+
+namespace jetsim::core {
+
+/** Which methodology phase to run (paper Section 4). */
+enum class Phase {
+    Light, ///< phase 1: trtexec + jetson-stats, no intrusion
+    Deep,  ///< phase 2: + Nsight tracing, ~50 % throughput intrusion
+};
+
+/** Full description of one profiling run. */
+struct ExperimentSpec
+{
+    std::string device = "orin-nano"; ///< orin-nano | nano | a40
+    std::string model = "resnet50";
+    soc::Precision precision = soc::Precision::Fp16;
+    int batch = 1;
+    int processes = 1;
+    Phase phase = Phase::Light;
+
+    sim::Tick warmup = sim::msec(400);
+    sim::Tick duration = sim::sec(4);
+
+    /** trtexec pre-enqueue depth (0 disables; ablation A1). */
+    int pre_enqueue = 1;
+    /** DVFS governor enabled (ablation A2). */
+    bool dvfs = true;
+    /** big.LITTLE partitioning enabled (ablation A3). */
+    bool biglittle = true;
+    /** Hypothetical spatial GPU sharing, i.e. MPS (ablation A5). */
+    bool spatial_sharing = false;
+
+    std::uint64_t seed = 1;
+
+    /** Compact one-line identity for logs and reports. */
+    std::string label() const;
+};
+
+/** Per-process measurements (Section 7 decomposition inputs). */
+struct ProcessMetrics
+{
+    std::string name;
+    bool deployed = false;
+    double throughput = 0;        ///< img/s
+    double ec_ms = 0;             ///< mean EC duration (completion period)
+    double pipeline_ms = 0;       ///< enqueue-begin to GPU-done span
+    double enqueue_ms = 0;        ///< mean CPU enqueue span
+    double launch_ms_per_ec = 0;  ///< K: launch-API wall per EC
+    double sync_ms = 0;           ///< CS span (wake + sync API)
+    double blocking_ms_per_ec = 0;///< B: wake-wait per EC
+    double resched_ms_per_ec = 0; ///< T: post-preemption wait per EC
+    double cpu_ms_per_ec = 0;     ///< C: CPU work per EC
+    double cache_ms_per_ec = 0;   ///< cache-penalty share of C
+    std::uint64_t migrations = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t ecs = 0;
+};
+
+/**
+ * One group of identical processes inside a mixed (multi-tenant)
+ * experiment — e.g. 2x ResNet50 int8 b1 alongside 1x YoloV8n fp16 b4
+ * on the same board, the AI-multi-tenancy scenario the paper's
+ * related work motivates.
+ */
+struct WorkloadSpec
+{
+    std::string model = "resnet50";
+    soc::Precision precision = soc::Precision::Fp16;
+    int batch = 1;
+    int processes = 1;
+};
+
+/** A heterogeneous concurrent experiment. */
+struct MixedExperimentSpec
+{
+    std::string device = "orin-nano";
+    std::vector<WorkloadSpec> workloads;
+    Phase phase = Phase::Light;
+
+    sim::Tick warmup = sim::msec(400);
+    sim::Tick duration = sim::sec(4);
+    int pre_enqueue = 1;
+    bool dvfs = true;
+    bool biglittle = true;
+    bool spatial_sharing = false;
+    std::uint64_t seed = 1;
+
+    int totalProcesses() const;
+    std::string label() const;
+};
+
+/** Everything one run produces. */
+struct ExperimentResult
+{
+    ExperimentSpec spec;
+
+    /** Deployment outcome. */
+    bool all_deployed = false;
+    int deployed_count = 0;
+
+    /** SoC level. */
+    double total_throughput = 0;     ///< img/s across processes
+    double throughput_per_process = 0;
+    double avg_power_w = 0;
+    double max_power_w = 0;
+
+    /** GPU level. */
+    double gpu_util_pct = 0;
+    double mem_pct = 0;          ///< of total RAM, incl. OS share
+    double workload_mem_mb = 0;  ///< the deployment's own footprint
+    int dvfs_throttle_events = 0;
+    double final_freq_frac = 1.0;
+
+    /** Phase-2 counter CDFs (percent units; empty in phase 1). */
+    prof::Cdf sm_active;
+    prof::Cdf issue_slot;
+    prof::Cdf tc_util;
+
+    /** Phase-2 kernel spans. */
+    double kernel_us_mean = 0;
+    std::uint64_t kernels = 0;
+
+    std::vector<ProcessMetrics> procs;
+
+    /** Mean across deployed processes of the ProcessMetrics fields. */
+    ProcessMetrics mean;
+};
+
+/** Result of a heterogeneous run. */
+struct MixedExperimentResult
+{
+    MixedExperimentSpec spec;
+    bool all_deployed = false;
+    int deployed_count = 0;
+
+    double total_throughput = 0;
+    double avg_power_w = 0;
+    double max_power_w = 0;
+    double gpu_util_pct = 0;
+    double mem_pct = 0;
+    double workload_mem_mb = 0;
+
+    /** Aggregate throughput per workload group (spec order). */
+    std::vector<double> throughput_by_workload;
+
+    /** Per-process metrics, named "<model>/<precision>.N". */
+    std::vector<ProcessMetrics> procs;
+
+    /** Phase-2 counter CDFs (empty in phase 1). */
+    prof::Cdf sm_active;
+    prof::Cdf issue_slot;
+    prof::Cdf tc_util;
+
+    /** Phase-2 kernel spans. */
+    double kernel_us_mean = 0;
+    std::uint64_t kernels = 0;
+
+    int dvfs_throttle_events = 0;
+    double final_freq_frac = 1.0;
+};
+
+} // namespace jetsim::core
+
+#endif // JETSIM_CORE_EXPERIMENT_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * TwoPhaseProfiler: the paper's methodology as a library call.
+ *
+ * runExperiment() stands up a fresh simulation (board, OS scheduler,
+ * GPU engine, N inference processes), applies the phase's profiling
+ * tools (phase 1: jetson-stats sampler; phase 2: + Nsight tracer with
+ * its intrusion), runs warm-up followed by a measured window, and
+ * returns an ExperimentResult. Deterministic for a given spec.
+ */
+
+#ifndef JETSIM_CORE_PROFILER_HH
+#define JETSIM_CORE_PROFILER_HH
+
+#include "core/experiment.hh"
+
+namespace jetsim::core {
+
+/** Execute one experiment from scratch. */
+ExperimentResult runExperiment(const ExperimentSpec &spec);
+
+/**
+ * Execute a heterogeneous (multi-tenant) experiment: several groups
+ * of processes running *different* models/precisions/batch sizes on
+ * one board. Deterministic for a given spec.
+ */
+MixedExperimentResult
+runMixedExperiment(const MixedExperimentSpec &spec);
+
+/**
+ * Convenience: run the same spec in both phases and return the pair
+ * {light, deep} — the full two-phase methodology for one grid cell.
+ */
+std::pair<ExperimentResult, ExperimentResult>
+runTwoPhase(ExperimentSpec spec);
+
+} // namespace jetsim::core
+
+#endif // JETSIM_CORE_PROFILER_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Markdown report rendering: one document per profiled
+ * configuration, covering both methodology phases, the Section-7
+ * decomposition, and the derived observations — the deliverable an
+ * engineer would attach to a deployment decision.
+ */
+
+#ifndef JETSIM_CORE_REPORT_HH
+#define JETSIM_CORE_REPORT_HH
+
+#include <string>
+
+#include "core/experiment.hh"
+
+namespace jetsim::core {
+
+/**
+ * Render a two-phase profiling report as markdown.
+ * @param light the phase-1 (non-intrusive) result
+ * @param deep  the phase-2 (traced) result for the same spec
+ */
+std::string renderReport(const ExperimentResult &light,
+                         const ExperimentResult &deep);
+
+/**
+ * Run the two-phase methodology for @p spec and write the report to
+ * @p path.
+ * @return false when the file cannot be written.
+ */
+bool writeReport(const ExperimentSpec &spec, const std::string &path);
+
+} // namespace jetsim::core
+
+#endif // JETSIM_CORE_REPORT_HH

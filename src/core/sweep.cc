@@ -1,0 +1,62 @@
+#include "core/sweep.hh"
+
+#include "core/profiler.hh"
+
+namespace jetsim::core {
+
+namespace {
+
+ExperimentResult
+runCell(const ExperimentSpec &spec, const ProgressFn &progress)
+{
+    if (progress)
+        progress(spec.label());
+    return runExperiment(spec);
+}
+
+} // namespace
+
+std::vector<ExperimentResult>
+sweepPrecision(ExperimentSpec base,
+               const std::vector<soc::Precision> &precisions,
+               const ProgressFn &progress)
+{
+    std::vector<ExperimentResult> out;
+    out.reserve(precisions.size());
+    for (const auto p : precisions) {
+        base.precision = p;
+        out.push_back(runCell(base, progress));
+    }
+    return out;
+}
+
+std::vector<ExperimentResult>
+sweepBatch(ExperimentSpec base, const std::vector<int> &batches,
+           const ProgressFn &progress)
+{
+    std::vector<ExperimentResult> out;
+    out.reserve(batches.size());
+    for (const int b : batches) {
+        base.batch = b;
+        out.push_back(runCell(base, progress));
+    }
+    return out;
+}
+
+std::vector<ExperimentResult>
+sweepGrid(ExperimentSpec base, const std::vector<int> &batches,
+          const std::vector<int> &processes, const ProgressFn &progress)
+{
+    std::vector<ExperimentResult> out;
+    out.reserve(batches.size() * processes.size());
+    for (const int p : processes) {
+        base.processes = p;
+        for (const int b : batches) {
+            base.batch = b;
+            out.push_back(runCell(base, progress));
+        }
+    }
+    return out;
+}
+
+} // namespace jetsim::core

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Sweep helpers: run grids of experiments the way the paper's
+ * evaluation does (precision sweeps, batch x process grids).
+ */
+
+#ifndef JETSIM_CORE_SWEEP_HH
+#define JETSIM_CORE_SWEEP_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace jetsim::core {
+
+/** Optional progress callback (label of the cell about to run). */
+using ProgressFn = std::function<void(const std::string &)>;
+
+/** Run @p base once per precision in @p precisions. */
+std::vector<ExperimentResult>
+sweepPrecision(ExperimentSpec base,
+               const std::vector<soc::Precision> &precisions,
+               const ProgressFn &progress = nullptr);
+
+/** Run @p base once per batch size. */
+std::vector<ExperimentResult>
+sweepBatch(ExperimentSpec base, const std::vector<int> &batches,
+           const ProgressFn &progress = nullptr);
+
+/** Run the full batch x processes grid (row-major over processes). */
+std::vector<ExperimentResult>
+sweepGrid(ExperimentSpec base, const std::vector<int> &batches,
+          const std::vector<int> &processes,
+          const ProgressFn &progress = nullptr);
+
+} // namespace jetsim::core
+
+#endif // JETSIM_CORE_SWEEP_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * RAII allocation handle over the board's unified memory.
+ *
+ * Mirrors cudaMalloc/cudaFree semantics on an integrated-memory
+ * device: there is no host/device copy, only accounting against the
+ * shared pool. Allocation failure is recoverable (the caller decides
+ * whether a failed deployment is fatal), matching the paper's
+ * observation that over-deploying FCN_ResNet50 on the Nano exhausts
+ * memory.
+ */
+
+#ifndef JETSIM_CUDA_DEVICE_BUFFER_HH
+#define JETSIM_CUDA_DEVICE_BUFFER_HH
+
+#include <optional>
+#include <string>
+
+#include "soc/unified_memory.hh"
+
+namespace jetsim::cuda {
+
+/** Owning handle to a unified-memory allocation. Move-only. */
+class DeviceBuffer
+{
+  public:
+    /**
+     * Attempt an allocation.
+     * @return nullopt when the pool cannot satisfy the request.
+     */
+    static std::optional<DeviceBuffer>
+    tryAlloc(soc::UnifiedMemory &mem, const std::string &owner,
+             sim::Bytes size);
+
+    DeviceBuffer(DeviceBuffer &&other) noexcept;
+    DeviceBuffer &operator=(DeviceBuffer &&other) noexcept;
+    DeviceBuffer(const DeviceBuffer &) = delete;
+    DeviceBuffer &operator=(const DeviceBuffer &) = delete;
+    ~DeviceBuffer();
+
+    sim::Bytes size() const { return size_; }
+
+  private:
+    DeviceBuffer(soc::UnifiedMemory &mem,
+                 soc::UnifiedMemory::AllocId id, sim::Bytes size)
+        : mem_(&mem), id_(id), size_(size)
+    {}
+
+    void release();
+
+    soc::UnifiedMemory *mem_ = nullptr;
+    soc::UnifiedMemory::AllocId id_ = soc::UnifiedMemory::kBadAlloc;
+    sim::Bytes size_ = 0;
+};
+
+} // namespace jetsim::cuda
+
+#endif // JETSIM_CUDA_DEVICE_BUFFER_HH

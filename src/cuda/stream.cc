@@ -1,0 +1,64 @@
+#include "cuda/stream.hh"
+
+#include "sim/logging.hh"
+
+namespace jetsim::cuda {
+
+Stream::Stream(gpu::GpuEngine &engine, const std::string &name)
+    : engine_(engine), channel_(engine.createChannel(name))
+{
+}
+
+void
+Stream::launch(const gpu::KernelDesc *k)
+{
+    ++submitted_;
+    engine_.submit(channel_, k, [this] { kernelDone(); });
+}
+
+void
+Stream::kernelDone()
+{
+    ++completed_;
+    while (!waiters_.empty() && waiters_.front().target <= completed_) {
+        auto cb = std::move(waiters_.front().cb);
+        waiters_.pop_front();
+        cb();
+    }
+}
+
+void
+Stream::onComplete(std::uint64_t target, std::function<void()> cb)
+{
+    if (completed_ >= target) {
+        cb();
+        return;
+    }
+    JETSIM_ASSERT(target <= submitted_);
+    // Targets arrive in nondecreasing order (stream FIFO discipline).
+    JETSIM_ASSERT(waiters_.empty() || waiters_.back().target <= target);
+    waiters_.push_back(Waiter{target, std::move(cb)});
+}
+
+void
+Event::record(Stream &s)
+{
+    stream_ = &s;
+    target_ = s.submitted();
+}
+
+bool
+Event::query() const
+{
+    JETSIM_ASSERT(stream_ != nullptr);
+    return stream_->completed() >= target_;
+}
+
+void
+Event::wait(std::function<void()> cb)
+{
+    JETSIM_ASSERT(stream_ != nullptr);
+    stream_->onComplete(target_, std::move(cb));
+}
+
+} // namespace jetsim::cuda

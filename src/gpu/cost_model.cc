@@ -1,0 +1,108 @@
+#include "gpu/cost_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace jetsim::gpu {
+
+KernelCostModel::KernelCostModel(const soc::DeviceSpec &spec)
+    : spec_(spec)
+{
+}
+
+double
+KernelCostModel::baseRate(const KernelDesc &k) const
+{
+    const auto &g = spec_.gpu;
+    if (k.tc && g.hasTensorCores()) {
+        switch (k.prec) {
+          case soc::Precision::Int8: return g.eff_tc_gflops_int8;
+          case soc::Precision::Fp16: return g.eff_tc_gflops_fp16;
+          case soc::Precision::Tf32: return g.eff_tc_gflops_tf32;
+          case soc::Precision::Fp32: break; // fp32 never on TC
+        }
+    }
+    switch (k.prec) {
+      case soc::Precision::Fp16:
+      case soc::Precision::Int8:
+        // int8 on the CUDA-core path rides the fast-fp16 pipeline
+        // (no dedicated int8 units outside tensor cores).
+        if (g.eff_cuda_gflops_fp16 > 0)
+            return g.eff_cuda_gflops_fp16;
+        return g.eff_cuda_gflops_fp32;
+      default:
+        return g.eff_cuda_gflops_fp32;
+    }
+}
+
+KernelTiming
+KernelCostModel::timing(const KernelDesc &k, double freq_frac,
+                        sim::Rng *rng) const
+{
+    JETSIM_ASSERT(freq_frac > 0.0 && freq_frac <= 1.0);
+    const auto &g = spec_.gpu;
+
+    const double base = baseRate(k);
+    JETSIM_ASSERT(base > 0.0);
+
+    // Shape-dependent sustained rate, never above ~95 % of peak.
+    const bool on_tc = k.tc && g.hasTensorCores() &&
+                       k.prec != soc::Precision::Fp32;
+    const double peak = on_tc ? g.peakTcGflops(k.prec)
+                              : g.peakCudaGflopsFp32() *
+                                (k.prec == soc::Precision::Fp16 &&
+                                 g.eff_cuda_gflops_fp16 > 0 ? 2.0 : 1.0);
+    const double rate =
+        std::min(base * k.efficiency_scale, 0.95 * peak) * freq_frac;
+
+    const double compute_ns = k.flops / rate;
+    const double eff_bw = g.mem_bw_gbps * g.mem_efficiency;
+    const double mem_ns = k.bytes / eff_bw;
+
+    double body_ns = std::max(compute_ns, mem_ns);
+    // Small kernels hit the device's latency floor (launch tail,
+    // DRAM latency, layer dependencies) — the overhead larger batch
+    // sizes amortise.
+    body_ns = std::max(
+        body_ns, static_cast<double>(g.min_kernel_latency) / freq_frac);
+    if (rng)
+        body_ns *= std::max(0.5, rng->lognormal(1.0, 0.05));
+
+    KernelTiming t;
+    t.duration = kKernelOverhead + static_cast<sim::Tick>(body_ns);
+
+    const double dur_ns = static_cast<double>(t.duration);
+    t.compute_frac = compute_ns / dur_ns;
+    t.bw_util = std::min(1.0, (k.bytes / dur_ns) / g.mem_bw_gbps);
+
+    // SM-active: average occupied-SM fraction of the wave schedule.
+    const int sms = std::max(1, g.num_sms);
+    const int waves = (k.blocks + sms - 1) / sms;
+    double occupancy = static_cast<double>(k.blocks) /
+                       static_cast<double>(waves * sms);
+    if (rng)
+        occupancy *= rng->uniform(0.96, 1.0);
+    t.sm_active = std::clamp(occupancy, 0.05, 1.0);
+
+    // Tensor-core utilisation: TC-busy over elapsed. The efficiency
+    // fold means memory-bound kernels show low TC utilisation even at
+    // high throughput (the paper's int8 inversion).
+    if (on_tc) {
+        const double tc_busy_ns = k.tc_stall_factor * k.flops /
+                                  (g.peakTcGflops(k.prec) * freq_frac);
+        t.tc_util = std::min(0.99, tc_busy_ns / dur_ns);
+    }
+
+    // Issue-slot utilisation: dense scalar issue while compute-bound,
+    // sparse while waiting on memory.
+    t.issue_slot = std::clamp(
+        k.issue_intensity * t.compute_frac * t.sm_active +
+            0.08 * (1.0 - t.compute_frac),
+        0.01, 0.85);
+
+    return t;
+}
+
+} // namespace jetsim::gpu

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Roofline-style kernel cost model with derived hardware counters.
+ *
+ * Duration = fixed per-kernel overhead + max(compute, memory) time,
+ * where compute time scales with the DVFS frequency and the kernel's
+ * shape-dependent efficiency, and memory time with sustained DRAM
+ * bandwidth. The same quantities yield the counters the paper reads
+ * from Nsight Systems: SM-active (grid occupancy over SMs), issue-
+ * slot utilisation, tensor-core utilisation (TC-busy cycles over
+ * elapsed), and bandwidth utilisation.
+ */
+
+#ifndef JETSIM_GPU_COST_MODEL_HH
+#define JETSIM_GPU_COST_MODEL_HH
+
+#include "gpu/kernel.hh"
+#include "sim/rng.hh"
+#include "soc/device_spec.hh"
+
+namespace jetsim::gpu {
+
+/** Pure-function cost model for one device. */
+class KernelCostModel
+{
+  public:
+    explicit KernelCostModel(const soc::DeviceSpec &spec);
+
+    /**
+     * Timing and counters for @p k at the given DVFS point.
+     * @param freq_frac current GPU frequency / max frequency
+     * @param rng source for the small execution-time jitter; pass
+     *        nullptr for the deterministic expectation (tests).
+     */
+    KernelTiming timing(const KernelDesc &k, double freq_frac,
+                        sim::Rng *rng = nullptr) const;
+
+    /**
+     * Sustained GFLOPS this kernel's path achieves (before the
+     * per-kernel efficiency scale). 0 means the path is absent and
+     * the builder should not have produced this kernel.
+     */
+    double baseRate(const KernelDesc &k) const;
+
+    /** Fixed per-kernel start/teardown overhead. */
+    static constexpr sim::Tick kKernelOverhead = sim::usec(3);
+
+  private:
+    soc::DeviceSpec spec_;
+};
+
+} // namespace jetsim::gpu
+
+#endif // JETSIM_GPU_COST_MODEL_HH

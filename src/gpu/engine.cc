@@ -1,0 +1,294 @@
+#include "gpu/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace jetsim::gpu {
+
+GpuEngine::GpuEngine(soc::Board &board)
+    : board_(board), eq_(board.eq()), cost_(board.spec()),
+      rng_(board.rng().fork("gpu-engine"))
+{
+}
+
+int
+GpuEngine::createChannel(const std::string &name)
+{
+    channels_.push_back(Channel{name, {}, false, {}});
+    return static_cast<int>(channels_.size()) - 1;
+}
+
+void
+GpuEngine::submit(int channel, const KernelDesc *k, Callback done)
+{
+    JETSIM_ASSERT(channel >= 0 &&
+                  channel < static_cast<int>(channels_.size()));
+    JETSIM_ASSERT(k != nullptr);
+    auto &ch = channels_[channel];
+    ch.queue.emplace_back(k, std::move(done));
+    ch.submit_ticks.push_back(eq_.now());
+
+    if (spatial_) {
+        if (!ch.executing)
+            spatialStart(channel);
+    } else {
+        scheduleNext();
+    }
+}
+
+std::size_t
+GpuEngine::channelDepth(int channel) const
+{
+    const auto &ch = channels_[channel];
+    std::size_t depth = ch.queue.size();
+    if (spatial_) {
+        if (ch.executing)
+            ++depth;
+    } else if (busy_ && active_channel_ == channel) {
+        ++depth;
+    }
+    return depth;
+}
+
+void
+GpuEngine::setSpatialSharing(bool on)
+{
+    JETSIM_ASSERT(!busy_ && execs_.empty());
+    spatial_ = on;
+}
+
+void
+GpuEngine::publishIdleIfQuiet()
+{
+    if (!busy_ && execs_.empty())
+        board_.setGpuState(false, 0, 0, 0, 0);
+}
+
+// ------------------------------------------------- time-multiplexed path
+
+void
+GpuEngine::scheduleNext()
+{
+    if (busy_)
+        return;
+
+    const auto &rt = board_.spec().runtime;
+    const int n = static_cast<int>(channels_.size());
+    int pick = -1;
+
+    if (active_channel_ >= 0 &&
+        !channels_[active_channel_].queue.empty() &&
+        eq_.now() - quantum_start_ < rt.gpu_quantum) {
+        pick = active_channel_;
+    } else {
+        for (int i = 1; i <= n; ++i) {
+            const int c = (active_channel_ + i + n) % n;
+            if (!channels_[c].queue.empty()) {
+                pick = c;
+                break;
+            }
+        }
+    }
+    if (pick < 0) {
+        publishIdleIfQuiet();
+        return;
+    }
+
+    sim::Tick pen = 0;
+    if (pick != active_channel_) {
+        if (active_channel_ >= 0) {
+            pen = rt.channel_switch;
+            ++channel_switches_;
+        }
+        active_channel_ = pick;
+        quantum_start_ = eq_.now() + pen;
+    } else if (eq_.now() - quantum_start_ >= rt.gpu_quantum) {
+        // Sole runnable channel keeps the GPU; restart its quantum.
+        quantum_start_ = eq_.now();
+    }
+
+    auto &ch = channels_[pick];
+    const KernelDesc *k = ch.queue.front().first;
+    Callback done = std::move(ch.queue.front().second);
+    const sim::Tick submit_tick = ch.submit_ticks.front();
+    ch.queue.pop_front();
+    ch.submit_ticks.pop_front();
+
+    const KernelTiming timing =
+        cost_.timing(*k, board_.gpuFreqFrac(), &rng_);
+    // Profiler intrusion surfaces as serialisation *between* kernels
+    // (driver-side bookkeeping): the GPU idles for the gap, so the
+    // in-kernel utilisation counters stay untouched while throughput
+    // drops — matching how Nsight perturbs real runs.
+    const sim::Tick start = eq_.now() + pen + extra_overhead_;
+    const sim::Tick end = start + timing.duration;
+
+    busy_ = true;
+    dispatch_wait_.sample(static_cast<double>(start - submit_tick));
+
+    KernelRecord rec;
+    rec.channel = pick;
+    rec.desc = k;
+    rec.submit = submit_tick;
+    rec.start = start;
+    rec.end = end;
+    rec.timing = timing;
+
+    if (start > eq_.now()) {
+        // Channel switches keep warps resident (SM-active, nothing
+        // issued); pure instrumentation gaps leave the GPU idle so
+        // they never pollute the sampled counters.
+        if (pen > 0)
+            board_.setGpuState(true, 1.0, 0.0, 0.0, 0.0);
+        else
+            board_.setGpuState(false, 0, 0, 0, 0);
+        eq_.schedule(start, [this, timing] {
+            board_.setGpuState(true, timing.sm_active, timing.issue_slot,
+                               timing.tc_util, timing.bw_util);
+        });
+    } else {
+        board_.setGpuState(true, timing.sm_active, timing.issue_slot,
+                           timing.tc_util, timing.bw_util);
+    }
+
+    eq_.schedule(end,
+                 [this, pick, rec, done = std::move(done)]() mutable {
+                     finishKernel(pick, rec, std::move(done));
+                 });
+}
+
+void
+GpuEngine::finishKernel(int channel, KernelRecord rec, Callback done)
+{
+    (void)channel;
+    ++kernels_executed_;
+    busy_ = false;
+    board_.setGpuState(false, 0, 0, 0, 0);
+    if (trace_)
+        trace_(rec);
+    if (done)
+        done(); // may submit; submit() calls scheduleNext itself
+    scheduleNext();
+}
+
+// ------------------------------------------------------ spatial (MPS) path
+
+void
+GpuEngine::spatialStart(int channel)
+{
+    auto &ch = channels_[channel];
+    JETSIM_ASSERT(!ch.executing && !ch.queue.empty());
+
+    spatialAdvance();
+
+    Exec e;
+    e.channel = channel;
+    e.desc = ch.queue.front().first;
+    e.done = std::move(ch.queue.front().second);
+    e.submit = ch.submit_ticks.front();
+    ch.queue.pop_front();
+    ch.submit_ticks.pop_front();
+
+    e.start = eq_.now();
+    e.timing = cost_.timing(*e.desc, board_.gpuFreqFrac(), &rng_);
+    e.timing.duration += extra_overhead_;
+    e.remaining_ns = static_cast<double>(e.timing.duration);
+    ch.executing = true;
+    dispatch_wait_.sample(static_cast<double>(eq_.now() - e.submit));
+
+    execs_.push_back(std::move(e));
+    spatialReschedule();
+    spatialPublish();
+}
+
+void
+GpuEngine::spatialAdvance()
+{
+    const sim::Tick now = eq_.now();
+    const double elapsed = static_cast<double>(now - last_advance_);
+    if (!execs_.empty() && elapsed > 0) {
+        const double share = 1.0 / static_cast<double>(execs_.size());
+        for (auto &e : execs_)
+            e.remaining_ns = std::max(0.0, e.remaining_ns -
+                                               elapsed * share);
+    }
+    last_advance_ = now;
+}
+
+void
+GpuEngine::spatialReschedule()
+{
+    spatial_event_.cancel();
+    if (execs_.empty()) {
+        publishIdleIfQuiet();
+        return;
+    }
+    double min_rem = execs_.front().remaining_ns;
+    for (const auto &e : execs_)
+        min_rem = std::min(min_rem, e.remaining_ns);
+    const double n = static_cast<double>(execs_.size());
+    const auto delay =
+        static_cast<sim::Tick>(std::ceil(min_rem * n)) + 1;
+    spatial_event_ = eq_.scheduleIn(delay, [this] {
+        spatialAdvance();
+
+        // Collect everything that finished at this instant.
+        std::vector<Exec> finished;
+        for (auto it = execs_.begin(); it != execs_.end();) {
+            if (it->remaining_ns <= 1.0) {
+                finished.push_back(std::move(*it));
+                it = execs_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        for (auto &e : finished)
+            channels_[e.channel].executing = false;
+
+        for (auto &e : finished) {
+            ++kernels_executed_;
+            KernelRecord rec;
+            rec.channel = e.channel;
+            rec.desc = e.desc;
+            rec.submit = e.submit;
+            rec.start = e.start;
+            rec.end = eq_.now();
+            rec.timing = e.timing;
+            if (trace_)
+                trace_(rec);
+            if (e.done)
+                e.done();
+        }
+
+        // Channels with queued work (from callbacks or earlier
+        // submissions) start their next kernel.
+        for (std::size_t c = 0; c < channels_.size(); ++c)
+            if (!channels_[c].executing && !channels_[c].queue.empty())
+                spatialStart(static_cast<int>(c));
+
+        spatialReschedule();
+        spatialPublish();
+    });
+}
+
+void
+GpuEngine::spatialPublish()
+{
+    if (execs_.empty()) {
+        publishIdleIfQuiet();
+        return;
+    }
+    double sm = 0, issue = 0, tc = 0, bw = 0;
+    for (const auto &e : execs_) {
+        sm += e.timing.sm_active;
+        issue += e.timing.issue_slot;
+        tc += e.timing.tc_util;
+        bw += e.timing.bw_util;
+    }
+    board_.setGpuState(true, std::min(1.0, sm), std::min(0.85, issue),
+                       std::min(0.99, tc), std::min(1.0, bw));
+}
+
+} // namespace jetsim::gpu

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The GPU execution engine.
+ *
+ * Jetson integrated GPUs do not support MPS (paper S2): concurrent
+ * processes share the GPU by *time multiplexing*. The engine models
+ * one hardware queue: each process's stream maps onto a channel, and
+ * the scheduler runs one channel's kernels at a time, rotating at a
+ * quantum boundary or when the channel drains, paying a channel-
+ * switch penalty. During a switch the SMs hold resident state but
+ * issue nothing — which is exactly how concurrency pushes SM-active
+ * up while issue-slot and TC utilisation sag (paper Fig 10).
+ *
+ * A hypothetical *spatial* sharing mode (idealised MPS, ablation A5)
+ * runs all channels concurrently under processor sharing instead.
+ */
+
+#ifndef JETSIM_GPU_ENGINE_HH
+#define JETSIM_GPU_ENGINE_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpu/cost_model.hh"
+#include "gpu/kernel.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "soc/board.hh"
+
+namespace jetsim::gpu {
+
+/** Single-device GPU engine with per-process channels. */
+class GpuEngine
+{
+  public:
+    using Callback = std::function<void()>;
+    using TraceHook = std::function<void(const KernelRecord &)>;
+
+    explicit GpuEngine(soc::Board &board);
+
+    GpuEngine(const GpuEngine &) = delete;
+    GpuEngine &operator=(const GpuEngine &) = delete;
+
+    /** Create a channel (one per process stream). */
+    int createChannel(const std::string &name);
+
+    /**
+     * Enqueue @p k on @p channel; @p done fires at completion. The
+     * KernelDesc must outlive the execution (engines own theirs).
+     */
+    void submit(int channel, const KernelDesc *k, Callback done);
+
+    /** Kernels queued or executing on @p channel. */
+    std::size_t channelDepth(int channel) const;
+
+    /** Switch between time-multiplexed (default) and spatial mode. */
+    void setSpatialSharing(bool on);
+
+    bool spatialSharing() const { return spatial_; }
+
+    /** Install a per-kernel trace hook (profiler); may be empty. */
+    void setTraceHook(TraceHook hook) { trace_ = std::move(hook); }
+
+    /**
+     * Extra GPU residency added to every kernel (profiler intrusion:
+     * Nsight-style instrumentation serialises per-kernel bookkeeping;
+     * the paper reports ~50 % throughput loss in phase 2).
+     */
+    void setExtraKernelOverhead(sim::Tick t) { extra_overhead_ = t; }
+
+    sim::Tick extraKernelOverhead() const { return extra_overhead_; }
+
+    /** Expose the cost model for tests and the builder. */
+    const KernelCostModel &costModel() const { return cost_; }
+
+    /** @name Statistics
+     * @{ */
+    std::uint64_t kernelsExecuted() const { return kernels_executed_; }
+    std::uint64_t channelSwitches() const { return channel_switches_; }
+    /** Submit-to-start wait per kernel (ns samples). */
+    const sim::Accumulator &dispatchWait() const { return dispatch_wait_; }
+    /** @} */
+
+  private:
+    struct Channel
+    {
+        std::string name;
+        std::deque<std::pair<const KernelDesc *, Callback>> queue;
+        bool executing = false;              // spatial mode only
+        std::deque<sim::Tick> submit_ticks;  // parallel to queue
+    };
+
+    /** One in-flight kernel under spatial sharing. */
+    struct Exec
+    {
+        int channel;
+        const KernelDesc *desc;
+        Callback done;
+        sim::Tick submit;
+        sim::Tick start;
+        double remaining_ns; // at exclusive service rate
+        KernelTiming timing;
+    };
+
+    // --- time-multiplexed path
+    void scheduleNext();
+    void finishKernel(int channel, KernelRecord rec, Callback done);
+
+    // --- spatial path
+    void spatialStart(int channel);
+    void spatialAdvance();
+    void spatialReschedule();
+    void spatialPublish();
+
+    void publishIdleIfQuiet();
+
+    soc::Board &board_;
+    sim::EventQueue &eq_;
+    KernelCostModel cost_;
+    sim::Rng rng_;
+    TraceHook trace_;
+
+    std::vector<Channel> channels_;
+    bool spatial_ = false;
+    sim::Tick extra_overhead_ = 0;
+
+    // time-mux state
+    bool busy_ = false;
+    int active_channel_ = -1;
+    sim::Tick quantum_start_ = 0;
+
+    // spatial state
+    std::vector<Exec> execs_;
+    sim::Tick last_advance_ = 0;
+    sim::EventQueue::Handle spatial_event_;
+
+    std::uint64_t kernels_executed_ = 0;
+    std::uint64_t channel_switches_ = 0;
+    sim::Accumulator dispatch_wait_;
+};
+
+} // namespace jetsim::gpu
+
+#endif // JETSIM_GPU_ENGINE_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Extension models: ResNet-18 and MobileNetV2 (torchvision
+ * definitions). Not part of the paper's sweep, but useful for
+ * mixed-tenancy scenarios and for exercising basic residual blocks
+ * and depthwise convolutions in the builder and cost model.
+ */
+
+#include "models/zoo.hh"
+
+#include <string>
+
+namespace jetsim::models {
+
+using graph::Network;
+using graph::OpKind;
+
+namespace {
+
+/** ResNet BasicBlock: two 3x3 convs with a residual. */
+int
+basicBlock(Network &net, const std::string &name, int input, int out,
+           int stride)
+{
+    int x = net.addConv(name + ".conv1", input, out, 3, stride, 1);
+    x = net.addBatchNorm(name + ".bn1", x);
+    x = net.addActivation(name + ".relu1", x, OpKind::Relu);
+    x = net.addConv(name + ".conv2", x, out, 3, 1, 1);
+    x = net.addBatchNorm(name + ".bn2", x);
+
+    int identity = input;
+    if (net.layer(input).out.c != out || stride != 1) {
+        identity = net.addConv(name + ".downsample.0", input, out, 1,
+                               stride, 0);
+        identity = net.addBatchNorm(name + ".downsample.1", identity);
+    }
+    x = net.addAdd(name + ".add", x, identity);
+    return net.addActivation(name + ".relu2", x, OpKind::Relu);
+}
+
+/**
+ * MobileNetV2 inverted residual: 1x1 expand (skipped when the
+ * expansion factor is 1), 3x3 depthwise, 1x1 linear projection,
+ * residual when the shapes allow.
+ */
+int
+invertedResidual(Network &net, const std::string &name, int input,
+                 int expand, int out, int stride)
+{
+    const int in_c = net.layer(input).out.c;
+    const int hidden = in_c * expand;
+
+    int x = input;
+    if (expand != 1) {
+        x = net.addConv(name + ".expand", x, hidden, 1, 1, 0);
+        x = net.addBatchNorm(name + ".expand.bn", x);
+        x = net.addActivation(name + ".expand.act", x, OpKind::Relu);
+    }
+
+    x = net.addConv(name + ".dw", x, hidden, 3, stride, 1, 1, hidden);
+    x = net.addBatchNorm(name + ".dw.bn", x);
+    x = net.addActivation(name + ".dw.act", x, OpKind::Relu);
+
+    x = net.addConv(name + ".project", x, out, 1, 1, 0);
+    x = net.addBatchNorm(name + ".project.bn", x);
+
+    if (stride == 1 && in_c == out)
+        x = net.addAdd(name + ".add", x, input);
+    return x;
+}
+
+} // namespace
+
+Network
+resnet18()
+{
+    Network net("resnet18", graph::Shape{3, 224, 224});
+    int x = net.addConv("conv1", net.inputId(), 64, 7, 2, 3);
+    x = net.addBatchNorm("bn1", x);
+    x = net.addActivation("relu", x, OpKind::Relu);
+    x = net.addPool("maxpool", x, OpKind::MaxPool, 3, 2, 1);
+
+    const int channels[4] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        const int stride = stage == 0 ? 1 : 2;
+        const std::string base = "layer" + std::to_string(stage + 1);
+        x = basicBlock(net, base + ".0", x, channels[stage], stride);
+        x = basicBlock(net, base + ".1", x, channels[stage], 1);
+    }
+
+    x = net.addGlobalAvgPool("avgpool", x);
+    x = net.addLinear("fc", x, 1000);
+    net.setOutput(x);
+    net.validate();
+    return net;
+}
+
+Network
+mobilenetV2()
+{
+    Network net("mobilenet_v2", graph::Shape{3, 224, 224});
+    int x = net.addConv("features.0", net.inputId(), 32, 3, 2, 1);
+    x = net.addBatchNorm("features.0.bn", x);
+    x = net.addActivation("features.0.act", x, OpKind::Relu);
+
+    // (expansion, out channels, repeats, first stride)
+    const int cfg[7][4] = {
+        {1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2},
+        {6, 64, 4, 2},  {6, 96, 3, 1},  {6, 160, 3, 2},
+        {6, 320, 1, 1},
+    };
+
+    int block = 1;
+    for (const auto &c : cfg) {
+        for (int i = 0; i < c[2]; ++i) {
+            const int stride = i == 0 ? c[3] : 1;
+            x = invertedResidual(net,
+                                 "features." + std::to_string(block++),
+                                 x, c[0], c[1], stride);
+        }
+    }
+
+    x = net.addConv("features.18", x, 1280, 1, 1, 0);
+    x = net.addBatchNorm("features.18.bn", x);
+    x = net.addActivation("features.18.act", x, OpKind::Relu);
+    x = net.addGlobalAvgPool("avgpool", x);
+    x = net.addLinear("classifier.1", x, 1000);
+    net.setOutput(x);
+    net.validate();
+    return net;
+}
+
+} // namespace jetsim::models

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * ResNet-50 and FCN_ResNet50 graph builders.
+ *
+ * Follows the torchvision definitions: Bottleneck blocks with
+ * expansion 4; FCN uses replace_stride_with_dilation on layer3/4
+ * (output stride 8) plus the FCN classification head and the
+ * auxiliary head that ships with the pretrained weights.
+ */
+
+#include "models/zoo.hh"
+
+#include <string>
+
+namespace jetsim::models {
+
+using graph::Network;
+using graph::OpKind;
+
+namespace {
+
+/**
+ * A torchvision Bottleneck: 1x1 reduce, 3x3 (stride/dilation), 1x1
+ * expand, residual add, final ReLU. @return the block output id.
+ */
+int
+bottleneck(Network &net, const std::string &name, int input, int mid,
+           int out, int stride, int dilation)
+{
+    int x = net.addConv(name + ".conv1", input, mid, 1, 1, 0);
+    x = net.addBatchNorm(name + ".bn1", x);
+    x = net.addActivation(name + ".relu1", x, OpKind::Relu);
+
+    x = net.addConv(name + ".conv2", x, mid, 3, stride, dilation,
+                    dilation);
+    x = net.addBatchNorm(name + ".bn2", x);
+    x = net.addActivation(name + ".relu2", x, OpKind::Relu);
+
+    x = net.addConv(name + ".conv3", x, out, 1, 1, 0);
+    x = net.addBatchNorm(name + ".bn3", x);
+
+    int identity = input;
+    const bool reshape = net.layer(input).out.c != out || stride != 1;
+    if (reshape) {
+        identity = net.addConv(name + ".downsample.0", input, out, 1,
+                               stride, 0);
+        identity = net.addBatchNorm(name + ".downsample.1", identity);
+    }
+
+    x = net.addAdd(name + ".add", x, identity);
+    return net.addActivation(name + ".relu3", x, OpKind::Relu);
+}
+
+/**
+ * One ResNet stage of @p blocks bottlenecks. The first block carries
+ * the stride (or, in the dilated FCN variant, converts it into extra
+ * dilation as torchvision's replace_stride_with_dilation does).
+ */
+int
+stage(Network &net, const std::string &name, int input, int mid,
+      int out, int blocks, int stride, int dilation)
+{
+    int x = bottleneck(net, name + ".0", input, mid, out, stride,
+                       dilation);
+    for (int i = 1; i < blocks; ++i)
+        x = bottleneck(net, name + "." + std::to_string(i), x, mid,
+                       out, 1, dilation);
+    return x;
+}
+
+/** Shared ResNet-50 trunk; returns {layer3 out, layer4 out}. */
+struct Trunk
+{
+    int c4; ///< layer3 output (1024 ch)
+    int c5; ///< layer4 output (2048 ch)
+};
+
+Trunk
+resnetTrunk(Network &net, bool dilated)
+{
+    int x = net.addConv("conv1", net.inputId(), 64, 7, 2, 3);
+    x = net.addBatchNorm("bn1", x);
+    x = net.addActivation("relu", x, OpKind::Relu);
+    x = net.addPool("maxpool", x, OpKind::MaxPool, 3, 2, 1);
+
+    x = stage(net, "layer1", x, 64, 256, 3, 1, 1);
+    x = stage(net, "layer2", x, 128, 512, 4, 2, 1);
+
+    // FCN: layer3/4 keep stride 1 and dilate instead (output stride 8).
+    const int s3 = dilated ? 1 : 2;
+    const int d3 = dilated ? 2 : 1;
+    const int s4 = dilated ? 1 : 2;
+    const int d4 = dilated ? 4 : 1;
+
+    const int c4 = stage(net, "layer3", x, 256, 1024, 6, s3, d3);
+    const int c5 = stage(net, "layer4", c4, 512, 2048, 3, s4, d4);
+    return Trunk{c4, c5};
+}
+
+} // namespace
+
+Network
+resnet50()
+{
+    Network net("resnet50", graph::Shape{3, 224, 224});
+    const Trunk t = resnetTrunk(net, /*dilated=*/false);
+    int x = net.addGlobalAvgPool("avgpool", t.c5);
+    x = net.addLinear("fc", x, 1000);
+    net.setOutput(x);
+    net.validate();
+    return net;
+}
+
+Network
+fcnResnet50()
+{
+    Network net("fcn_resnet50", graph::Shape{3, 224, 224});
+    const Trunk t = resnetTrunk(net, /*dilated=*/true);
+
+    // FCNHead: 3x3 conv to 512, BN, ReLU, 1x1 conv to 21 classes.
+    int x = net.addConv("classifier.0", t.c5, 512, 3, 1, 1);
+    x = net.addBatchNorm("classifier.1", x);
+    x = net.addActivation("classifier.2", x, OpKind::Relu);
+    x = net.addConv("classifier.4", x, 21, 1, 1, 0, 1, 1, true);
+
+    // Bilinear upsample of the logits back to input resolution.
+    const int out = net.addUpsample("upsample", x, 8);
+
+    // Auxiliary head off layer3 (part of the pretrained checkpoint;
+    // contributes weights/memory but not the serving output).
+    int aux = net.addConv("aux_classifier.0", t.c4, 256, 3, 1, 1);
+    aux = net.addBatchNorm("aux_classifier.1", aux);
+    aux = net.addActivation("aux_classifier.2", aux, OpKind::Relu);
+    net.addConv("aux_classifier.4", aux, 21, 1, 1, 0, 1, 1, true);
+
+    net.setOutput(out);
+
+    net.validate();
+    return net;
+}
+
+} // namespace jetsim::models

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * YOLOv8n graph builder (Ultralytics v8 architecture, nano scale:
+ * depth 0.33, width 0.25). Conv means conv+BN+SiLU throughout.
+ */
+
+#include "models/zoo.hh"
+
+#include <string>
+
+namespace jetsim::models {
+
+using graph::Network;
+using graph::OpKind;
+
+namespace {
+
+/** Ultralytics Conv: conv + BN + SiLU. */
+int
+conv(Network &net, const std::string &name, int input, int out_c,
+     int k, int s)
+{
+    const int p = k / 2;
+    int x = net.addConv(name + ".conv", input, out_c, k, s, p);
+    x = net.addBatchNorm(name + ".bn", x);
+    return net.addActivation(name + ".act", x, OpKind::Silu);
+}
+
+/** Bottleneck used inside C2f: two 3x3 Convs, optional residual. */
+int
+c2fBottleneck(Network &net, const std::string &name, int input, int c,
+              bool shortcut)
+{
+    int x = conv(net, name + ".cv1", input, c, 3, 1);
+    x = conv(net, name + ".cv2", x, c, 3, 1);
+    if (shortcut)
+        x = net.addAdd(name + ".add", x, input);
+    return x;
+}
+
+/**
+ * C2f block: 1x1 expand, channel split, n bottlenecks chained on the
+ * second half, concat of every intermediate, 1x1 fuse.
+ */
+int
+c2f(Network &net, const std::string &name, int input, int out_c, int n,
+    bool shortcut)
+{
+    const int half = out_c / 2;
+    int x = conv(net, name + ".cv1", input, out_c, 1, 1);
+    const int y0 = net.addSlice(name + ".split0", x, 0, half);
+    int y = net.addSlice(name + ".split1", x, half, out_c);
+
+    std::vector<int> cat = {y0, y};
+    for (int i = 0; i < n; ++i) {
+        y = c2fBottleneck(net, name + ".m." + std::to_string(i), y,
+                          half, shortcut);
+        cat.push_back(y);
+    }
+    const int joined = net.addConcat(name + ".cat", std::move(cat));
+    return conv(net, name + ".cv2", joined, out_c, 1, 1);
+}
+
+/** SPPF: 1x1 reduce, 3 chained 5x5 maxpools, concat, 1x1 fuse. */
+int
+sppf(Network &net, const std::string &name, int input, int out_c)
+{
+    const int hidden = net.layer(input).out.c / 2;
+    int x = conv(net, name + ".cv1", input, hidden, 1, 1);
+    const int p1 = net.addPool(name + ".m1", x, OpKind::MaxPool, 5, 1, 2);
+    const int p2 = net.addPool(name + ".m2", p1, OpKind::MaxPool, 5, 1, 2);
+    const int p3 = net.addPool(name + ".m3", p2, OpKind::MaxPool, 5, 1, 2);
+    const int cat = net.addConcat(name + ".cat", {x, p1, p2, p3});
+    return conv(net, name + ".cv2", cat, out_c, 1, 1);
+}
+
+/** One scale of the decoupled Detect head (box + class branches). */
+void
+detectScale(Network &net, const std::string &name, int input, int c2,
+            int c3, int reg_max, int classes)
+{
+    // Box regression branch.
+    int b = conv(net, name + ".cv2.0", input, c2, 3, 1);
+    b = conv(net, name + ".cv2.1", b, c2, 3, 1);
+    net.addConv(name + ".cv2.2", b, 4 * reg_max, 1, 1, 0, 1, 1, true);
+
+    // Classification branch.
+    int c = conv(net, name + ".cv3.0", input, c3, 3, 1);
+    c = conv(net, name + ".cv3.1", c, c3, 3, 1);
+    net.addConv(name + ".cv3.2", c, classes, 1, 1, 0, 1, 1, true);
+}
+
+} // namespace
+
+Network
+yolov8n()
+{
+    Network net("yolov8n", graph::Shape{3, 640, 640});
+    constexpr int kClasses = 80;
+    constexpr int kRegMax = 16;
+
+    // Backbone.
+    int p1 = conv(net, "model.0", net.inputId(), 16, 3, 2);  // 320
+    int p2 = conv(net, "model.1", p1, 32, 3, 2);             // 160
+    p2 = c2f(net, "model.2", p2, 32, 1, true);
+    int p3 = conv(net, "model.3", p2, 64, 3, 2);             // 80
+    p3 = c2f(net, "model.4", p3, 64, 2, true);
+    int p4 = conv(net, "model.5", p3, 128, 3, 2);            // 40
+    p4 = c2f(net, "model.6", p4, 128, 2, true);
+    int p5 = conv(net, "model.7", p4, 256, 3, 2);            // 20
+    p5 = c2f(net, "model.8", p5, 256, 1, true);
+    p5 = sppf(net, "model.9", p5, 256);
+
+    // Neck (FPN top-down).
+    int u1 = net.addUpsample("model.10", p5, 2);             // 40
+    int t1 = net.addConcat("model.11", {u1, p4});
+    const int n4 = c2f(net, "model.12", t1, 128, 1, false);
+
+    int u2 = net.addUpsample("model.13", n4, 2);             // 80
+    int t2 = net.addConcat("model.14", {u2, p3});
+    const int n3 = c2f(net, "model.15", t2, 64, 1, false);   // P3 out
+
+    // Neck (PAN bottom-up).
+    int d1 = conv(net, "model.16", n3, 64, 3, 2);            // 40
+    int t3 = net.addConcat("model.17", {d1, n4});
+    const int m4 = c2f(net, "model.18", t3, 128, 1, false);  // P4 out
+
+    int d2 = conv(net, "model.19", m4, 128, 3, 2);           // 20
+    int t4 = net.addConcat("model.20", {d2, p5});
+    const int m5 = c2f(net, "model.21", t4, 256, 1, false);  // P5 out
+
+    // Detect head: c2 = max(16, ch0/4, 4*reg_max), c3 = max(ch0, nc).
+    const int c2 = 64;
+    const int c3 = 80;
+    detectScale(net, "model.22.p3", n3, c2, c3, kRegMax, kClasses);
+    detectScale(net, "model.22.p4", m4, c2, c3, kRegMax, kClasses);
+    detectScale(net, "model.22.p5", m5, c2, c3, kRegMax, kClasses);
+
+    // Serving output: the P3 class map stands in for the gathered
+    // detections (the real model concatenates flattened per-scale
+    // outputs, which adds no parameters or compute).
+    net.validate();
+    return net;
+}
+
+} // namespace jetsim::models

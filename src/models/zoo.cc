@@ -1,0 +1,43 @@
+#include "models/zoo.hh"
+
+#include "sim/logging.hh"
+
+namespace jetsim::models {
+
+const std::vector<std::string> &
+paperModelNames()
+{
+    static const std::vector<std::string> names = {
+        "resnet50", "fcn_resnet50", "yolov8n",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+allModelNames()
+{
+    static const std::vector<std::string> names = {
+        "resnet50", "fcn_resnet50", "yolov8n", "resnet18",
+        "mobilenet_v2",
+    };
+    return names;
+}
+
+graph::Network
+modelByName(const std::string &name)
+{
+    if (name == "resnet50")
+        return resnet50();
+    if (name == "fcn_resnet50")
+        return fcnResnet50();
+    if (name == "yolov8n")
+        return yolov8n();
+    if (name == "resnet18")
+        return resnet18();
+    if (name == "mobilenet_v2")
+        return mobilenetV2();
+    sim::fatal("unknown model '%s' (expected resnet50, fcn_resnet50, "
+               "yolov8n, resnet18, mobilenet_v2)", name.c_str());
+}
+
+} // namespace jetsim::models

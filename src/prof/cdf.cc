@@ -1,0 +1,96 @@
+#include "prof/cdf.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace jetsim::prof {
+
+void
+Cdf::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+void
+Cdf::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+Cdf::quantile(double q) const
+{
+    JETSIM_ASSERT(!samples_.empty());
+    JETSIM_ASSERT(q >= 0.0 && q <= 1.0);
+    ensureSorted();
+    if (samples_.size() == 1)
+        return samples_.front();
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size())
+        return samples_.back();
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double
+Cdf::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+           static_cast<double>(samples_.size());
+}
+
+double
+Cdf::fractionBelow(double x) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    const auto it =
+        std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>>
+Cdf::curve(int points) const
+{
+    JETSIM_ASSERT(points >= 2);
+    std::vector<std::pair<double, double>> out;
+    if (samples_.empty())
+        return out;
+    ensureSorted();
+    const double lo = samples_.front();
+    const double hi = samples_.back();
+    out.reserve(static_cast<std::size_t>(points));
+    for (int i = 0; i < points; ++i) {
+        const double x =
+            lo + (hi - lo) * static_cast<double>(i) / (points - 1);
+        out.emplace_back(x, fractionBelow(x));
+    }
+    return out;
+}
+
+std::string
+Cdf::summary() const
+{
+    if (samples_.empty())
+        return "(no samples)";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "p10=%6.2f p50=%6.2f p90=%6.2f max=%6.2f",
+                  quantile(0.10), quantile(0.50), quantile(0.90),
+                  max());
+    return buf;
+}
+
+} // namespace jetsim::prof

@@ -1,0 +1,78 @@
+#include "prof/chrome_trace.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace jetsim::prof {
+
+ChromeTraceExporter::ChromeTraceExporter(gpu::GpuEngine &engine)
+    : engine_(engine)
+{
+}
+
+ChromeTraceExporter::~ChromeTraceExporter()
+{
+    if (attached_)
+        detach();
+}
+
+void
+ChromeTraceExporter::attach()
+{
+    if (attached_)
+        return;
+    attached_ = true;
+    engine_.setTraceHook([this](const gpu::KernelRecord &rec) {
+        events_.push_back(Event{rec.desc->name, rec.channel,
+                                rec.start, rec.end, rec.desc->prec,
+                                rec.desc->tc});
+    });
+}
+
+void
+ChromeTraceExporter::detach()
+{
+    if (!attached_)
+        return;
+    attached_ = false;
+    engine_.setTraceHook(nullptr);
+}
+
+std::string
+ChromeTraceExporter::json() const
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto &e : events_) {
+        if (!first)
+            os << ",";
+        first = false;
+        // Kernel names contain only [A-Za-z0-9._+/-]; no escaping
+        // needed for JSON strings.
+        os << "{\"name\":\"" << e.name << "\",\"ph\":\"X\""
+           << ",\"ts\":" << sim::toUsec(e.start)
+           << ",\"dur\":" << sim::toUsec(e.end - e.start)
+           << ",\"pid\":0,\"tid\":" << e.channel
+           << ",\"args\":{\"precision\":\"" << soc::name(e.prec)
+           << "\",\"tensor_cores\":" << (e.tc ? "true" : "false")
+           << "}}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}";
+    return os.str();
+}
+
+bool
+ChromeTraceExporter::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::string doc = json();
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace jetsim::prof

@@ -1,0 +1,105 @@
+#include "prof/kernel_summary.hh"
+
+#include <algorithm>
+
+namespace jetsim::prof {
+
+const char *
+boundName(KernelBound b)
+{
+    switch (b) {
+      case KernelBound::Compute: return "compute";
+      case KernelBound::Memory: return "memory";
+      case KernelBound::Latency: return "latency";
+    }
+    return "?";
+}
+
+KernelSummary::KernelSummary(gpu::GpuEngine &engine) : engine_(engine)
+{
+}
+
+KernelSummary::~KernelSummary()
+{
+    if (attached_)
+        detach();
+}
+
+void
+KernelSummary::attach()
+{
+    if (attached_)
+        return;
+    attached_ = true;
+    engine_.setTraceHook(
+        [this](const gpu::KernelRecord &rec) { record(rec); });
+}
+
+void
+KernelSummary::detach()
+{
+    if (!attached_)
+        return;
+    attached_ = false;
+    engine_.setTraceHook(nullptr);
+}
+
+void
+KernelSummary::record(const gpu::KernelRecord &rec)
+{
+    const double us = sim::toUsec(rec.end - rec.start);
+    auto &acc = by_name_[rec.desc->name];
+    ++acc.calls;
+    acc.total_us += us;
+    acc.compute_frac_sum += rec.timing.compute_frac;
+    acc.tc_util_sum += rec.timing.tc_util;
+    // Latency-bound proxy: neither compute nor bandwidth dominated.
+    const bool floored = rec.timing.compute_frac < 0.5 &&
+                         rec.timing.bw_util < 0.5;
+    acc.floor_frac_sum += floored ? 1.0 : 0.0;
+    ++total_calls_;
+    total_us_ += us;
+}
+
+void
+KernelSummary::clear()
+{
+    by_name_.clear();
+    total_calls_ = 0;
+    total_us_ = 0;
+}
+
+std::vector<KernelStats>
+KernelSummary::table(std::size_t top) const
+{
+    std::vector<KernelStats> rows;
+    rows.reserve(by_name_.size());
+    for (const auto &[name, acc] : by_name_) {
+        KernelStats s;
+        s.name = name;
+        s.calls = acc.calls;
+        s.total_us = acc.total_us;
+        s.share_pct =
+            total_us_ > 0 ? 100.0 * acc.total_us / total_us_ : 0.0;
+        const double n = static_cast<double>(acc.calls);
+        s.avg_compute_frac = acc.compute_frac_sum / n;
+        s.avg_tc_util = acc.tc_util_sum / n;
+        const double floor_frac = acc.floor_frac_sum / n;
+        if (floor_frac > 0.5)
+            s.bound = KernelBound::Latency;
+        else if (s.avg_compute_frac > 0.5)
+            s.bound = KernelBound::Compute;
+        else
+            s.bound = KernelBound::Memory;
+        rows.push_back(std::move(s));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const KernelStats &a, const KernelStats &b) {
+                  return a.total_us > b.total_us;
+              });
+    if (top > 0 && rows.size() > top)
+        rows.resize(top);
+    return rows;
+}
+
+} // namespace jetsim::prof

@@ -1,0 +1,63 @@
+#include "prof/metrics.hh"
+
+namespace jetsim::prof {
+
+const std::vector<MetricInfo> &
+metricCatalog()
+{
+    static const std::vector<MetricInfo> catalog = {
+        {"throughput", "Throughput",
+         "Total number of images processed in unit time", "img/s",
+         MetricLevel::Soc, MetricSource::Trtexec},
+        {"power", "Power", "Power consumption in Watt", "W",
+         MetricLevel::Soc, MetricSource::JetsonStats},
+        {"gpu_util", "GPU Utilisation",
+         "GPU compute time / total wall time", "%",
+         MetricLevel::Gpu, MetricSource::JetsonStats},
+        {"gpu_mem", "GPU Memory", "GPU memory usage", "%",
+         MetricLevel::Gpu, MetricSource::JetsonStats},
+        {"sm_issue", "SM Issue Cycles",
+         "SM cycles with an instruction issued", "%",
+         MetricLevel::Gpu, MetricSource::NsightSystems},
+        {"sm_active", "SM Active Cycles",
+         "SM cycles with at least 1 warp", "%",
+         MetricLevel::Gpu, MetricSource::NsightSystems},
+        {"tc_util", "TC Utilization",
+         "TC active cycles / total cycles", "%",
+         MetricLevel::Gpu, MetricSource::NsightSystems},
+        {"launch", "Launch Stats",
+         "Time GPU spends on kernel launch", "us",
+         MetricLevel::Kernel, MetricSource::NsightSystems},
+        {"sync", "Sync Time",
+         "Time GPU spends on synchronising kernels", "us",
+         MetricLevel::Kernel, MetricSource::NsightSystems},
+        {"ec_time", "EC Time",
+         "Time to execute an ExecutionContext", "ms",
+         MetricLevel::Kernel, MetricSource::NsightSystems},
+    };
+    return catalog;
+}
+
+const char *
+levelName(MetricLevel level)
+{
+    switch (level) {
+      case MetricLevel::Soc: return "SoC Level Metrics";
+      case MetricLevel::Gpu: return "GPU Level Metrics";
+      case MetricLevel::Kernel: return "Kernel Level Metrics";
+    }
+    return "?";
+}
+
+const char *
+sourceName(MetricSource source)
+{
+    switch (source) {
+      case MetricSource::Trtexec: return "trtexec";
+      case MetricSource::JetsonStats: return "jetson-stats";
+      case MetricSource::NsightSystems: return "Nsight Systems";
+    }
+    return "?";
+}
+
+} // namespace jetsim::prof

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The metric taxonomy of the paper's Table 2.
+ *
+ * Three levels: SoC (throughput, power), GPU (utilisation, memory,
+ * SM issue/active cycles, TC utilisation) and kernel (launch stats,
+ * sync time, EC time). Each metric records which simulated profiling
+ * tool produces it, mirroring the paper's tool mapping (trtexec,
+ * jetson-stats, Nsight Systems).
+ */
+
+#ifndef JETSIM_PROF_METRICS_HH
+#define JETSIM_PROF_METRICS_HH
+
+#include <string>
+#include <vector>
+
+namespace jetsim::prof {
+
+/** Metric level per the paper's Table 2. */
+enum class MetricLevel { Soc, Gpu, Kernel };
+
+/** Which simulated tool produces the metric. */
+enum class MetricSource { Trtexec, JetsonStats, NsightSystems };
+
+/** One catalogued metric. */
+struct MetricInfo
+{
+    std::string id;          ///< stable identifier, e.g. "throughput"
+    std::string name;        ///< display name as in Table 2
+    std::string description; ///< Table 2 description
+    std::string unit;
+    MetricLevel level;
+    MetricSource source;
+};
+
+/** The full Table 2 catalogue, in the paper's order. */
+const std::vector<MetricInfo> &metricCatalog();
+
+/** Display name of a level ("SoC Level Metrics", ...). */
+const char *levelName(MetricLevel level);
+
+/** Display name of a source tool. */
+const char *sourceName(MetricSource source);
+
+} // namespace jetsim::prof
+
+#endif // JETSIM_PROF_METRICS_HH

@@ -1,0 +1,92 @@
+#include "prof/nsight.hh"
+
+namespace jetsim::prof {
+
+NsightTracer::NsightTracer(soc::Board &board, gpu::GpuEngine &engine,
+                           sim::Tick counter_interval)
+    : board_(board), engine_(engine), interval_(counter_interval)
+{
+}
+
+NsightTracer::~NsightTracer()
+{
+    if (attached_)
+        detach();
+}
+
+void
+NsightTracer::attach()
+{
+    if (attached_)
+        return;
+    attached_ = true;
+
+    engine_.setTraceHook([this](const gpu::KernelRecord &rec) {
+        ++kernel_count_;
+        duration_.sample(static_cast<double>(rec.end - rec.start));
+        wait_.sample(static_cast<double>(rec.start - rec.submit));
+    });
+
+    if (intrusion_) {
+        engine_.setExtraKernelOverhead(kPerKernelOverhead);
+        board_.setLaunchOverheadFactor(kLaunchOverheadFactor);
+    }
+
+    pending_ = board_.eq().scheduleIn(
+        interval_, [this] { sampleCounters(); },
+        sim::EventQueue::kPriSample);
+}
+
+void
+NsightTracer::detach()
+{
+    if (!attached_)
+        return;
+    attached_ = false;
+    engine_.setTraceHook(nullptr);
+    engine_.setExtraKernelOverhead(0);
+    board_.setLaunchOverheadFactor(1.0);
+    pending_.cancel();
+}
+
+void
+NsightTracer::setIntrusion(bool on)
+{
+    intrusion_ = on;
+    if (attached_) {
+        engine_.setExtraKernelOverhead(on ? kPerKernelOverhead : 0);
+        board_.setLaunchOverheadFactor(on ? kLaunchOverheadFactor
+                                          : 1.0);
+    }
+}
+
+void
+NsightTracer::reset()
+{
+    duration_.reset();
+    wait_.reset();
+    kernel_count_ = 0;
+    sm_active_ = Cdf();
+    issue_slot_ = Cdf();
+    tc_util_ = Cdf();
+}
+
+void
+NsightTracer::sampleCounters()
+{
+    if (!attached_)
+        return;
+
+    const auto &a = board_.activity();
+    if (a.gpu_busy) {
+        sm_active_.add(100.0 * a.sm_active);
+        issue_slot_.add(100.0 * a.issue_slot);
+        tc_util_.add(100.0 * a.tc_util);
+    }
+
+    pending_ = board_.eq().scheduleIn(
+        interval_, [this] { sampleCounters(); },
+        sim::EventQueue::kPriSample);
+}
+
+} // namespace jetsim::prof

@@ -1,0 +1,84 @@
+#include "prof/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace jetsim::prof {
+
+std::string
+fmt(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    JETSIM_ASSERT(!headers_.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    JETSIM_ASSERT(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << std::string(width[c] - cells[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+Table::csv() const
+{
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out += cells[c];
+            if (c + 1 < cells.size())
+                out += ',';
+        }
+        out += '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+    return out;
+}
+
+void
+printHeading(std::ostream &os, const std::string &title)
+{
+    os << "\n== " << title << " ==\n\n";
+}
+
+} // namespace jetsim::prof

@@ -1,0 +1,110 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace jetsim::sim {
+
+bool
+EventQueue::Handle::pending() const
+{
+    auto e = entry_.lock();
+    return e && !e->cancelled;
+}
+
+void
+EventQueue::Handle::cancel()
+{
+    auto e = entry_.lock();
+    if (e && !e->cancelled) {
+        e->cancelled = true;
+        --e->owner->live_;
+    }
+}
+
+EventQueue::Handle
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    JETSIM_ASSERT(when >= now_);
+    JETSIM_ASSERT(cb != nullptr);
+    auto entry = std::make_shared<Handle::Entry>();
+    entry->owner = this;
+    entry->when = when;
+    entry->priority = priority;
+    entry->seq = seq_++;
+    entry->cb = std::move(cb);
+    heap_.push(entry);
+    ++live_;
+    return Handle(entry);
+}
+
+EventQueue::Handle
+EventQueue::scheduleIn(Tick delay, Callback cb, int priority)
+{
+    JETSIM_ASSERT(delay >= 0);
+    return schedule(now_ + delay, std::move(cb), priority);
+}
+
+EventQueue::EntryPtr
+EventQueue::popLive()
+{
+    while (!heap_.empty()) {
+        EntryPtr e = heap_.top();
+        heap_.pop();
+        if (e->cancelled)
+            continue;
+        --live_;
+        return e;
+    }
+    return nullptr;
+}
+
+bool
+EventQueue::runOne()
+{
+    EntryPtr e = popLive();
+    if (!e)
+        return false;
+    now_ = e->when;
+    ++executed_;
+    // Mark consumed so a Handle held by the callback's owner reports
+    // !pending() during and after execution.
+    e->cancelled = true;
+    e->cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick horizon)
+{
+    JETSIM_ASSERT(horizon >= now_);
+    std::uint64_t n = 0;
+    while (true) {
+        EntryPtr e = popLive();
+        if (!e)
+            break;
+        if (e->when > horizon) {
+            // Put it back: not yet due.
+            heap_.push(e);
+            ++live_;
+            break;
+        }
+        now_ = e->when;
+        ++executed_;
+        ++n;
+        e->cancelled = true;
+        e->cb();
+    }
+    now_ = horizon;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runAll(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && runOne())
+        ++n;
+    return n;
+}
+
+} // namespace jetsim::sim

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Discrete-event queue: the heart of the simulator.
+ *
+ * Events are callbacks scheduled at an absolute Tick. Events at the
+ * same tick execute in (priority, insertion-order) order so that
+ * component interactions are fully deterministic.
+ */
+
+#ifndef JETSIM_SIM_EVENT_QUEUE_HH
+#define JETSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace jetsim::sim {
+
+/**
+ * Time-ordered queue of callbacks with deterministic tie-breaking.
+ *
+ * The queue owns the current simulated time: executing an event
+ * advances `now()` to that event's tick. Scheduling into the past is
+ * an internal error.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Priorities for same-tick ordering; lower runs first. */
+    static constexpr int kPriDefault = 0;
+    /** Samplers run after the state they observe has settled. */
+    static constexpr int kPriSample = 100;
+
+    /**
+     * Cancellation handle for a scheduled event. Default-constructed
+     * handles are inert. Cancelling an already-executed or already-
+     * cancelled event is a no-op.
+     */
+    class Handle
+    {
+      public:
+        Handle() = default;
+
+        /** True while the event is still pending. */
+        bool pending() const;
+
+        /** Prevent the event from running; idempotent. */
+        void cancel();
+
+      private:
+        friend class EventQueue;
+        struct Entry;
+        explicit Handle(std::weak_ptr<Entry> e) : entry_(std::move(e)) {}
+        std::weak_ptr<Entry> entry_;
+    };
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb at absolute tick @p when. */
+    Handle schedule(Tick when, Callback cb, int priority = kPriDefault);
+
+    /** Schedule @p cb at now() + @p delay. */
+    Handle scheduleIn(Tick delay, Callback cb, int priority = kPriDefault);
+
+    /** True when no pending (non-cancelled) events remain. */
+    bool empty() const { return live_ == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::uint64_t pending() const { return live_; }
+
+    /**
+     * Execute the single next event, advancing time to it.
+     * @return false when the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run every event scheduled at or before @p horizon, then advance
+     * time to exactly @p horizon.
+     * @return the number of events executed.
+     */
+    std::uint64_t runUntil(Tick horizon);
+
+    /** Run until the queue drains (or @p max_events executed). */
+    std::uint64_t runAll(std::uint64_t max_events = UINT64_MAX);
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Handle::Entry
+    {
+        EventQueue *owner = nullptr;
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Callback cb;
+        bool cancelled = false;
+    };
+    using EntryPtr = std::shared_ptr<Handle::Entry>;
+
+    struct Later
+    {
+        bool
+        operator()(const EntryPtr &a, const EntryPtr &b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            if (a->priority != b->priority)
+                return a->priority > b->priority;
+            return a->seq > b->seq;
+        }
+    };
+
+    /** Pop the next live entry; nullptr when drained. */
+    EntryPtr popLive();
+
+    std::priority_queue<EntryPtr, std::vector<EntryPtr>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t live_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace jetsim::sim
+
+#endif // JETSIM_SIM_EVENT_QUEUE_HH

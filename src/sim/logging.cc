@@ -1,0 +1,88 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace jetsim::sim {
+
+namespace {
+
+void
+defaultSink(LogLevel level, const std::string &msg)
+{
+    const char *tag = "info";
+    switch (level) {
+      case LogLevel::Info: tag = "info"; break;
+      case LogLevel::Warn: tag = "warn"; break;
+      case LogLevel::Fatal: tag = "fatal"; break;
+      case LogLevel::Panic: tag = "panic"; break;
+    }
+    std::fprintf(stderr, "jetsim: %s: %s\n", tag, msg.c_str());
+}
+
+LogSink current_sink = &defaultSink;
+
+} // namespace
+
+LogSink
+setLogSink(LogSink sink)
+{
+    LogSink prev = current_sink;
+    current_sink = sink ? sink : &defaultSink;
+    return prev;
+}
+
+std::string
+vformat(const char *fmt, std::va_list ap)
+{
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    if (n < 0)
+        return "<format error>";
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+void
+inform(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    current_sink(LogLevel::Info, vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    current_sink(LogLevel::Warn, vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    current_sink(LogLevel::Fatal, vformat(fmt, ap));
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    current_sink(LogLevel::Panic, vformat(fmt, ap));
+    va_end(ap);
+    std::abort();
+}
+
+} // namespace jetsim::sim

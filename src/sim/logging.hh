@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * `fatal()` terminates the run for conditions that are the user's
+ * fault (bad configuration, impossible experiment spec). `panic()`
+ * aborts for conditions that indicate a bug in the simulator itself.
+ * `warn()` and `inform()` report without stopping.
+ */
+
+#ifndef JETSIM_SIM_LOGGING_HH
+#define JETSIM_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace jetsim::sim {
+
+/** Severity of a log message. */
+enum class LogLevel { Info, Warn, Fatal, Panic };
+
+/**
+ * Sink invoked for every log message. Tests may replace it to capture
+ * output; the default writes to stderr.
+ */
+using LogSink = void (*)(LogLevel, const std::string &);
+
+/** Replace the process-wide log sink; returns the previous sink. */
+LogSink setLogSink(LogSink sink);
+
+/** printf-style message formatting used by the helpers below. */
+std::string vformat(const char *fmt, std::va_list ap);
+
+/** Report a condition the user should know about but not worry over. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report a condition that might indicate degraded behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate with exit(1): the simulation cannot continue due to a
+ * user-level error (invalid configuration or arguments).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Abort: an internal invariant was violated; this is a simulator bug.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assertion that survives NDEBUG builds: panics with a message when
+ * the condition is false.
+ */
+#define JETSIM_ASSERT(cond, ...)                                        \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::jetsim::sim::panic("assertion failed: %s: %s",            \
+                                 __func__, #cond);                      \
+    } while (0)
+
+} // namespace jetsim::sim
+
+#endif // JETSIM_SIM_LOGGING_HH

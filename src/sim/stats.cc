@@ -1,0 +1,13 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+
+namespace jetsim::sim {
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace jetsim::sim

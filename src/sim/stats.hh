@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Lightweight statistics primitives shared across the simulator.
+ *
+ * `Accumulator` tracks streaming moments (Welford) plus min/max;
+ * `TimeWeighted` integrates a piecewise-constant signal over
+ * simulated time (used for utilisation-style metrics).
+ */
+
+#ifndef JETSIM_SIM_STATS_HH
+#define JETSIM_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace jetsim::sim {
+
+/** Streaming mean/variance/min/max over a sequence of samples. */
+class Accumulator
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double x)
+    {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        sum_ += x;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+    }
+
+    double stddev() const;
+
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Discard all samples. */
+    void reset() { *this = Accumulator(); }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Time integral of a piecewise-constant signal. Feed level changes
+ * with `set(now, level)`; `average(now)` yields the time-weighted mean
+ * since construction (or the last reset).
+ */
+class TimeWeighted
+{
+  public:
+    explicit TimeWeighted(Tick start = 0, double level = 0.0)
+        : start_(start), last_(start), level_(level)
+    {}
+
+    /** Change the signal level at time @p now. */
+    void
+    set(Tick now, double level)
+    {
+        integral_ += level_ * static_cast<double>(now - last_);
+        last_ = now;
+        level_ = level;
+    }
+
+    /** Current level. */
+    double level() const { return level_; }
+
+    /** Integral of the signal from the window start to @p now. */
+    double
+    integral(Tick now) const
+    {
+        return integral_ + level_ * static_cast<double>(now - last_);
+    }
+
+    /** Time-weighted average level over [start, now]. */
+    double
+    average(Tick now) const
+    {
+        const double span = static_cast<double>(now - start_);
+        return span > 0.0 ? integral(now) / span : level_;
+    }
+
+    /** Restart the averaging window at @p now, keeping the level. */
+    void
+    reset(Tick now)
+    {
+        start_ = now;
+        last_ = now;
+        integral_ = 0.0;
+    }
+
+  private:
+    Tick start_;
+    Tick last_;
+    double level_;
+    double integral_ = 0.0;
+};
+
+} // namespace jetsim::sim
+
+#endif // JETSIM_SIM_STATS_HH

@@ -1,0 +1,53 @@
+#include "soc/board.hh"
+
+namespace jetsim::soc {
+
+Board::Board(DeviceSpec spec, sim::EventQueue &eq, std::uint64_t seed)
+    : spec_(std::move(spec)), eq_(eq),
+      rng_(seed ^ sim::hashLabel(spec_.name)),
+      memory_(spec_.memory.total, spec_.memory.os_reserved),
+      power_model_(spec_.power),
+      governor_(spec_, eq, [this] { return powerW(); }),
+      power_tw_(eq.now(), power_model_.watts(activity_, 1.0))
+{
+}
+
+void
+Board::setCpuActive(int big, int little)
+{
+    activity_.cpu_active_big = big;
+    activity_.cpu_active_little = little;
+    refresh();
+}
+
+void
+Board::setGpuState(bool busy, double sm_active, double issue_slot,
+                   double tc_util, double bw_util)
+{
+    activity_.gpu_busy = busy;
+    activity_.sm_active = busy ? sm_active : 0.0;
+    activity_.issue_slot = busy ? issue_slot : 0.0;
+    activity_.tc_util = busy ? tc_util : 0.0;
+    activity_.bw_util = busy ? bw_util : 0.0;
+
+    const sim::Tick now = eq_.now();
+    gpu_busy_tw_.set(now, busy ? 1.0 : 0.0);
+    sm_active_tw_.set(now, activity_.sm_active);
+    issue_tw_.set(now, activity_.issue_slot);
+    tc_tw_.set(now, activity_.tc_util);
+    refresh();
+}
+
+double
+Board::powerW() const
+{
+    return power_model_.watts(activity_, governor_.freqFrac());
+}
+
+void
+Board::refresh()
+{
+    power_tw_.set(eq_.now(), powerW());
+}
+
+} // namespace jetsim::soc

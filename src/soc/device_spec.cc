@@ -1,0 +1,263 @@
+#include "soc/device_spec.hh"
+
+#include "sim/logging.hh"
+
+namespace jetsim::soc {
+
+double
+GpuSpec::peakCudaGflopsFp32() const
+{
+    // 2 FLOPs (FMA) per core per cycle.
+    return totalCudaCores() * 2.0 * max_freq_ghz;
+}
+
+double
+GpuSpec::peakTcGflops(Precision p) const
+{
+    if (!hasTensorCores())
+        return 0.0;
+    // Ampere tensor core: 256 fp16 MACs (512 FLOPs) per cycle; tf32
+    // at half rate; int8 at double rate.
+    const double fp16 = totalTensorCores() * 512.0 * max_freq_ghz;
+    switch (p) {
+      case Precision::Int8: return 2.0 * fp16;
+      case Precision::Fp16: return fp16;
+      case Precision::Tf32: return 0.5 * fp16;
+      case Precision::Fp32: return 0.0;
+    }
+    return 0.0;
+}
+
+double
+DeviceSpec::precisionCoverage(Precision p) const
+{
+    switch (p) {
+      case Precision::Int8: return coverage_int8;
+      case Precision::Fp16: return coverage_fp16;
+      case Precision::Tf32: return coverage_tf32;
+      case Precision::Fp32: return coverage_fp32;
+    }
+    return 1.0;
+}
+
+int
+DeviceSpec::bigCores() const
+{
+    int n = 0;
+    for (const auto &c : clusters)
+        if (c.big)
+            n += c.cores;
+    return n;
+}
+
+int
+DeviceSpec::littleCores() const
+{
+    int n = 0;
+    for (const auto &c : clusters)
+        if (!c.big)
+            n += c.cores;
+    return n;
+}
+
+DeviceSpec
+orinNano()
+{
+    DeviceSpec d;
+    d.name = "orin-nano";
+
+    // 6x Cortex-A78AE @ 1.5 GHz. The paper (S7) reports 3 cores
+    // dedicated to heavy loads, so we model a 3+3 big.LITTLE split.
+    d.clusters = {
+        {"A78AE-big", 3, 1.51, true},
+        {"A78AE-little", 3, 1.51, false},
+    };
+
+    d.gpu.arch = "Ampere";
+    d.gpu.num_sms = 8;              // 1024 CUDA cores
+    d.gpu.cuda_cores_per_sm = 128;
+    d.gpu.tensor_cores_per_sm = 4;  // 32 tensor cores
+    d.gpu.max_freq_ghz = 0.625;
+    d.gpu.min_freq_ghz = 0.306;
+    d.gpu.dvfs_levels = 8;
+    d.gpu.mem_bw_gbps = 68.0;       // LPDDR5
+    d.gpu.mem_efficiency = 0.70;
+
+    // Sustained rates = peak x observed efficiency (~30 % TC
+    // utilisation per the paper's Fig 5/10).
+    d.gpu.eff_tc_gflops_int8 = 6100.0;
+    d.gpu.eff_tc_gflops_fp16 = 3070.0;
+    d.gpu.eff_tc_gflops_tf32 = 1100.0;
+    d.gpu.eff_cuda_gflops_fp32 = 390.0;
+    d.gpu.eff_cuda_gflops_fp16 = 0.0; // fp16 routed to TC on Ampere
+    d.gpu.min_kernel_latency = sim::usec(25);
+
+    d.memory.total = 8 * sim::kGiB;
+    d.memory.os_reserved = static_cast<sim::Bytes>(2.2 * sim::kGiB);
+    d.memory.process_runtime_overhead = 100 * sim::kMiB;
+
+    // 7 W power mode (the paper's curves stay under 7 W).
+    d.power.idle_w = 2.30;
+    d.power.cap_w = 7.0;
+    d.power.cpu_core_w = 0.55;
+    d.power.cpu_little_w = 0.25;
+    d.power.gpu_base_w = 0.45;
+    d.power.sm_w = 1.15;
+    d.power.tc_w = 2.05;
+    d.power.dram_w = 1.35;
+
+    // Full TensorRT precision support on Ampere.
+    d.coverage_int8 = 1.0;
+    d.coverage_fp16 = 1.0;
+    d.coverage_tf32 = 1.0;
+
+    return d;
+}
+
+DeviceSpec
+orinNano15W()
+{
+    DeviceSpec d = orinNano();
+    d.name = "orin-nano-15w";
+
+    // MAXN-style mode: GPU up to 1.02 GHz; sustained rates scale
+    // with the clock (memory bandwidth does not change).
+    const double scale = 1.02 / d.gpu.max_freq_ghz;
+    d.gpu.max_freq_ghz = 1.02;
+    d.gpu.min_freq_ghz = 0.306;
+    d.gpu.eff_tc_gflops_int8 *= scale;
+    d.gpu.eff_tc_gflops_fp16 *= scale;
+    d.gpu.eff_tc_gflops_tf32 *= scale;
+    d.gpu.eff_cuda_gflops_fp32 *= scale;
+
+    d.power.cap_w = 15.0;
+    // Higher clocks and voltage raise the dynamic coefficients.
+    d.power.sm_w *= 1.8;
+    d.power.tc_w *= 1.8;
+    d.power.dram_w *= 1.3;
+    return d;
+}
+
+DeviceSpec
+jetsonNano()
+{
+    DeviceSpec d;
+    d.name = "nano";
+
+    // 4x Cortex-A57 @ 1.43 GHz; 2 cores carry the heavy load.
+    d.clusters = {
+        {"A57-big", 2, 1.43, true},
+        {"A57-little", 2, 1.43, false},
+    };
+
+    d.gpu.arch = "Maxwell";
+    d.gpu.num_sms = 1;              // single 128-core SM (GM20B)
+    d.gpu.cuda_cores_per_sm = 128;
+    d.gpu.tensor_cores_per_sm = 0;  // no tensor cores
+    d.gpu.max_freq_ghz = 0.921;
+    d.gpu.min_freq_ghz = 0.230;
+    d.gpu.dvfs_levels = 6;
+    d.gpu.mem_bw_gbps = 25.6;       // LPDDR4
+    d.gpu.mem_efficiency = 0.60;
+
+    // GM20B has a double-rate fp16 CUDA path (the reason fp16 wins on
+    // this board, paper S6.1.1); int8/tf32 have no native kernels for
+    // most layers and fall back to the fp32 path at build time.
+    d.gpu.eff_tc_gflops_int8 = 0.0;
+    d.gpu.eff_tc_gflops_fp16 = 0.0;
+    d.gpu.eff_cuda_gflops_fp32 = 70.0;
+    d.gpu.eff_cuda_gflops_fp16 = 280.0;
+    d.gpu.min_kernel_latency = sim::usec(55);
+
+    d.memory.total = 4 * sim::kGiB;
+    d.memory.os_reserved = static_cast<sim::Bytes>(1.6 * sim::kGiB);
+    d.memory.process_runtime_overhead = 520 * sim::kMiB;
+
+    // 5 W power mode.
+    d.power.idle_w = 1.90;
+    d.power.cap_w = 5.0;
+    d.power.cpu_core_w = 0.45;
+    d.power.cpu_little_w = 0.20;
+    d.power.gpu_base_w = 0.50;
+    d.power.sm_w = 1.45;
+    d.power.tc_w = 0.0;
+    d.power.dram_w = 0.95;
+
+    d.coverage_int8 = 0.35;  // a minority of layer types only
+    d.coverage_fp16 = 1.0;
+    d.coverage_tf32 = 0.0;   // Maxwell predates tf32 entirely
+
+    // Slower cores, slower launches.
+    d.runtime.launch_cpu_cost = sim::usec(9);
+    d.runtime.context_switch = sim::usec(18);
+    d.runtime.channel_switch = sim::usec(50);
+
+    return d;
+}
+
+DeviceSpec
+cloudA40()
+{
+    DeviceSpec d;
+    d.name = "a40";
+
+    d.clusters = {
+        {"EPYC", 16, 3.0, true},
+        {"EPYC-ht", 16, 3.0, false},
+    };
+
+    d.gpu.arch = "Ampere-GA102";
+    d.gpu.num_sms = 84;
+    d.gpu.cuda_cores_per_sm = 128;
+    d.gpu.tensor_cores_per_sm = 4;
+    d.gpu.max_freq_ghz = 1.74;
+    d.gpu.min_freq_ghz = 0.60;
+    d.gpu.dvfs_levels = 12;
+    d.gpu.mem_bw_gbps = 696.0;      // GDDR6
+    d.gpu.mem_efficiency = 0.75;
+
+    d.gpu.eff_tc_gflops_int8 = 130000.0;
+    d.gpu.eff_tc_gflops_fp16 = 65000.0;
+    d.gpu.eff_tc_gflops_tf32 = 33000.0;
+    d.gpu.eff_cuda_gflops_fp32 = 11000.0;
+    d.gpu.eff_cuda_gflops_fp16 = 0.0;
+
+    // Discrete 48 GB card; "unified" here is just the device pool.
+    d.memory.total = 48 * sim::kGiB;
+    d.memory.os_reserved = 1 * sim::kGiB;
+    d.memory.process_runtime_overhead = 300 * sim::kMiB;
+
+    d.power.idle_w = 30.0;
+    d.power.cap_w = 300.0;
+    d.power.cpu_core_w = 4.0;
+    d.power.cpu_little_w = 2.0;
+    d.power.gpu_base_w = 20.0;
+    d.power.sm_w = 90.0;
+    d.power.tc_w = 110.0;
+    d.power.dram_w = 60.0;
+
+    d.runtime.launch_cpu_cost = sim::usec(3);
+    d.runtime.launch_gpu_min = sim::usec(5);
+    d.runtime.launch_gpu_max = sim::usec(20);
+    d.runtime.channel_switch = sim::usec(8);
+    d.gpu.min_kernel_latency = sim::usec(8);
+
+    return d;
+}
+
+DeviceSpec
+deviceByName(const std::string &name)
+{
+    if (name == "orin-nano")
+        return orinNano();
+    if (name == "orin-nano-15w")
+        return orinNano15W();
+    if (name == "nano")
+        return jetsonNano();
+    if (name == "a40")
+        return cloudA40();
+    sim::fatal("unknown device '%s' (expected orin-nano, "
+               "orin-nano-15w, nano, a40)", name.c_str());
+}
+
+} // namespace jetsim::soc

@@ -1,0 +1,100 @@
+#include "soc/dvfs.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace jetsim::soc {
+
+namespace {
+
+/** Thermal RC constants: heating per Watt and cooling per degree. */
+constexpr double kHeatPerWatt = 0.35;   // degC/s per W above idle
+constexpr double kCoolPerDeg = 0.055;   // 1/s toward ambient
+
+} // namespace
+
+DvfsGovernor::DvfsGovernor(const DeviceSpec &spec, sim::EventQueue &eq,
+                           PowerFn power_fn)
+    : spec_(spec), eq_(eq), power_fn_(std::move(power_fn)),
+      level_(spec.gpu.dvfs_levels - 1),
+      temp_c_(spec.power.ambient_temp_c)
+{
+    JETSIM_ASSERT(spec_.gpu.dvfs_levels >= 2);
+}
+
+void
+DvfsGovernor::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    pending_ = eq_.scheduleIn(kPeriod, [this] { tick(); });
+}
+
+void
+DvfsGovernor::stop()
+{
+    running_ = false;
+    pending_.cancel();
+}
+
+void
+DvfsGovernor::setEnabled(bool enabled)
+{
+    enabled_ = enabled;
+    if (!enabled_)
+        level_ = spec_.gpu.dvfs_levels - 1;
+}
+
+double
+DvfsGovernor::freqFrac() const
+{
+    // The level arithmetic can land a hair above max_freq_ghz in
+    // floating point; clamp so consumers can rely on (0, 1].
+    return std::min(1.0, freqGhz() / spec_.gpu.max_freq_ghz);
+}
+
+double
+DvfsGovernor::freqGhz() const
+{
+    const auto &g = spec_.gpu;
+    const double step = (g.max_freq_ghz - g.min_freq_ghz) /
+                        static_cast<double>(g.dvfs_levels - 1);
+    return g.min_freq_ghz + step * level_;
+}
+
+void
+DvfsGovernor::tick()
+{
+    if (!running_)
+        return;
+
+    const double p = power_fn_();
+
+    // Exponential smoothing approximates the board's averaging sensor.
+    power_ema_ = power_ema_ == 0.0 ? p : 0.6 * power_ema_ + 0.4 * p;
+
+    // First-order thermal integration over the control period.
+    const double dt = sim::toSec(kPeriod);
+    temp_c_ += dt * (kHeatPerWatt * std::max(0.0, p - spec_.power.idle_w)
+                     - kCoolPerDeg * (temp_c_ - spec_.power.ambient_temp_c));
+
+    if (enabled_) {
+        const double cap = spec_.power.cap_w;
+        const bool hot = temp_c_ > spec_.power.throttle_temp_c;
+        if (power_ema_ > cap || hot) {
+            if (level_ > 0) {
+                --level_;
+                ++throttle_events_;
+            }
+        } else if (power_ema_ < 0.88 * cap &&
+                   temp_c_ < spec_.power.throttle_temp_c - 5.0) {
+            level_ = std::min(level_ + 1, spec_.gpu.dvfs_levels - 1);
+        }
+    }
+
+    pending_ = eq_.scheduleIn(kPeriod, [this] { tick(); });
+}
+
+} // namespace jetsim::soc

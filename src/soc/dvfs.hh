@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Dynamic voltage and frequency scaling (DVFS) governor.
+ *
+ * Jetson boards run a power-mode budget (7 W Orin Nano / 5 W Nano in
+ * the paper's experiments). The governor polls board power on a fixed
+ * period, integrates a first-order thermal model, and steps the GPU
+ * clock through the device's discrete frequency levels to keep the
+ * rail under the cap — reducing throughput instead of exceeding the
+ * budget, exactly as the paper describes (S6.2.2).
+ */
+
+#ifndef JETSIM_SOC_DVFS_HH
+#define JETSIM_SOC_DVFS_HH
+
+#include <functional>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+#include "soc/device_spec.hh"
+
+namespace jetsim::soc {
+
+/** Closed-loop frequency governor with a simple thermal model. */
+class DvfsGovernor
+{
+  public:
+    /** Returns the board's current instantaneous power in Watts. */
+    using PowerFn = std::function<double()>;
+
+    DvfsGovernor(const DeviceSpec &spec, sim::EventQueue &eq,
+                 PowerFn power_fn);
+
+    /** Begin periodic control; idempotent. */
+    void start();
+
+    /** Cancel the periodic control event. */
+    void stop();
+
+    /**
+     * Enable/disable throttling (ablation A2). Disabled, the clock
+     * pins to the maximum level and the cap is ignored.
+     */
+    void setEnabled(bool enabled);
+
+    bool enabled() const { return enabled_; }
+
+    /** Current GPU frequency as a fraction of the maximum. */
+    double freqFrac() const;
+
+    /** Current GPU frequency in GHz. */
+    double freqGhz() const;
+
+    /** Current discrete level, 0 (min) .. levels-1 (max). */
+    int level() const { return level_; }
+
+    /** Modelled die temperature in deg C. */
+    double tempC() const { return temp_c_; }
+
+    /** Number of down-clock decisions taken. */
+    std::uint64_t throttleEvents() const { return throttle_events_; }
+
+    /** Control period (public for tests). */
+    static constexpr sim::Tick kPeriod = sim::msec(10);
+
+  private:
+    void tick();
+
+    const DeviceSpec spec_;
+    sim::EventQueue &eq_;
+    PowerFn power_fn_;
+    bool enabled_ = true;
+    bool running_ = false;
+    int level_;
+    double temp_c_;
+    double power_ema_ = 0.0;
+    std::uint64_t throttle_events_ = 0;
+    sim::EventQueue::Handle pending_;
+};
+
+} // namespace jetsim::soc
+
+#endif // JETSIM_SOC_DVFS_HH

@@ -1,0 +1,23 @@
+#include "soc/power.hh"
+
+namespace jetsim::soc {
+
+double
+PowerModel::watts(const Activity &a, double freq_frac) const
+{
+    double p = spec_.idle_w;
+    p += spec_.cpu_core_w * a.cpu_active_big;
+    p += spec_.cpu_little_w * a.cpu_active_little;
+    if (a.gpu_busy) {
+        p += spec_.gpu_base_w;
+        // Dynamic power scales roughly with f (activity already folds
+        // in the voltage-dependent slowdown via throughput).
+        const double f = freq_frac;
+        p += f * (spec_.sm_w * a.sm_active +
+                  spec_.tc_w * a.tc_util +
+                  spec_.dram_w * a.bw_util);
+    }
+    return p;
+}
+
+} // namespace jetsim::soc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Board-level power model.
+ *
+ * Power is computed from an instantaneous activity snapshot that the
+ * CPU and GPU models keep up to date, using the per-device
+ * coefficients in PowerSpec. The DVFS governor (dvfs.hh) closes the
+ * loop by throttling the GPU clock when the rail approaches the
+ * board's power-mode cap — the mechanism the paper credits for the
+ * counter-intuitive fp32 power drop (S6.1.2) and the non-linear
+ * multi-process power of Fig 8.
+ */
+
+#ifndef JETSIM_SOC_POWER_HH
+#define JETSIM_SOC_POWER_HH
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "soc/device_spec.hh"
+
+namespace jetsim::soc {
+
+/** Instantaneous activity of every power-relevant unit. */
+struct Activity
+{
+    int cpu_active_big = 0;    ///< big cores currently executing
+    int cpu_active_little = 0; ///< LITTLE cores currently executing
+    bool gpu_busy = false;     ///< a kernel is resident on the GPU
+    double sm_active = 0.0;    ///< SM-active fraction [0,1]
+    double issue_slot = 0.0;   ///< issue-slot utilisation [0,1]
+    double tc_util = 0.0;      ///< tensor-core utilisation [0,1]
+    double bw_util = 0.0;      ///< DRAM bandwidth utilisation [0,1]
+};
+
+/** Maps (activity, gpu frequency) to Watts for one device. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const PowerSpec &spec) : spec_(spec) {}
+
+    /**
+     * Instantaneous board power in Watts.
+     * @param a        current activity snapshot
+     * @param freq_frac current GPU frequency / max frequency
+     */
+    double watts(const Activity &a, double freq_frac) const;
+
+  private:
+    PowerSpec spec_;
+};
+
+} // namespace jetsim::soc
+
+#endif // JETSIM_SOC_POWER_HH

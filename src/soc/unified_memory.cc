@@ -1,0 +1,73 @@
+#include "soc/unified_memory.hh"
+
+#include "sim/logging.hh"
+
+namespace jetsim::soc {
+
+UnifiedMemory::UnifiedMemory(sim::Bytes total, sim::Bytes os_reserved)
+    : total_(total), os_reserved_(os_reserved)
+{
+    JETSIM_ASSERT(os_reserved_ <= total_);
+}
+
+UnifiedMemory::AllocId
+UnifiedMemory::allocate(const std::string &owner, sim::Bytes size)
+{
+    if (size > available()) {
+        ++oom_events_;
+        return kBadAlloc;
+    }
+    const AllocId id = next_id_++;
+    allocs_[id] = Allocation{owner, size};
+    used_ += size;
+    peak_used_ = std::max(peak_used_, used_);
+    return id;
+}
+
+void
+UnifiedMemory::release(AllocId id)
+{
+    auto it = allocs_.find(id);
+    JETSIM_ASSERT(it != allocs_.end());
+    used_ -= it->second.size;
+    allocs_.erase(it);
+}
+
+void
+UnifiedMemory::releaseOwner(const std::string &owner)
+{
+    for (auto it = allocs_.begin(); it != allocs_.end();) {
+        if (it->second.owner == owner) {
+            used_ -= it->second.size;
+            it = allocs_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+double
+UnifiedMemory::usagePercent() const
+{
+    return 100.0 * static_cast<double>(os_reserved_ + used_) /
+           static_cast<double>(total_);
+}
+
+double
+UnifiedMemory::workloadPercent() const
+{
+    return 100.0 * static_cast<double>(used_) /
+           static_cast<double>(total_);
+}
+
+sim::Bytes
+UnifiedMemory::ownerUsage(const std::string &owner) const
+{
+    sim::Bytes n = 0;
+    for (const auto &[id, a] : allocs_)
+        if (a.owner == owner)
+            n += a.size;
+    return n;
+}
+
+} // namespace jetsim::soc

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The engine builder (TensorRT Builder analogue).
+ *
+ * Compiles a network for one device, batch size and requested weight
+ * precision:
+ *  1. run the fusion pass;
+ *  2. assign each fused op its compute precision, falling back to the
+ *     fp32 path when the device lacks a native kernel at the request
+ *     (coverage tables in DeviceSpec — the Jetson Nano mechanism);
+ *  3. select tactics: tensor-core vs CUDA-core path, launch grid and
+ *     the shape-dependent efficiency/issue parameters of the kernel
+ *     cost model;
+ *  4. size the engine's device-memory footprint.
+ */
+
+#ifndef JETSIM_TRT_BUILDER_HH
+#define JETSIM_TRT_BUILDER_HH
+
+#include "graph/network.hh"
+#include "soc/device_spec.hh"
+#include "trt/engine.hh"
+#include "trt/fusion.hh"
+
+namespace jetsim::trt {
+
+/** Build-time options (a slim TensorRT BuilderConfig). */
+struct BuilderConfig
+{
+    soc::Precision precision = soc::Precision::Fp16;
+    int batch = 1;
+    /** Permit per-op fp32 fallback; when false, building a model with
+     * unsupported ops fails (fatal). TensorRT's default permits it. */
+    bool allow_fallback = true;
+};
+
+/** Per-device compiler from Network to Engine. */
+class Builder
+{
+  public:
+    explicit Builder(const soc::DeviceSpec &spec);
+
+    /** Compile @p net under @p cfg. Deterministic. */
+    Engine build(const graph::Network &net,
+                 const BuilderConfig &cfg) const;
+
+  private:
+    /** Does the device have a native kernel for this op at @p p? */
+    bool supported(const FusedOp &op, soc::Precision p) const;
+
+    gpu::KernelDesc makeKernel(const FusedOp &op, soc::Precision p,
+                               const BuilderConfig &cfg) const;
+
+    soc::DeviceSpec spec_;
+};
+
+} // namespace jetsim::trt
+
+#endif // JETSIM_TRT_BUILDER_HH

@@ -1,0 +1,62 @@
+#include "trt/execution_context.hh"
+
+#include "sim/logging.hh"
+
+namespace jetsim::trt {
+
+ExecutionContext::ExecutionContext(const Engine &engine,
+                                   cuda::Stream &stream,
+                                   cpu::Thread &thread,
+                                   soc::Board &board)
+    : engine_(engine), stream_(stream), thread_(thread), board_(board),
+      rng_(board.rng().fork("ec-" + engine.model()))
+{
+    JETSIM_ASSERT(!engine_.kernels().empty());
+}
+
+void
+ExecutionContext::enqueue(DoneFn done, std::function<void()> cpu_done)
+{
+    ++invocations_;
+    auto p = std::make_shared<Pending>();
+    p->rec.enqueue_begin = board_.eq().now();
+    p->rec.kernels = static_cast<int>(engine_.kernels().size());
+    p->done = std::move(done);
+    p->cpu_done = std::move(cpu_done);
+    launchNext(p, 0);
+}
+
+void
+ExecutionContext::launchNext(const std::shared_ptr<Pending> &p,
+                             std::size_t i)
+{
+    auto &eq = board_.eq();
+
+    if (i == engine_.kernels().size()) {
+        p->rec.enqueue_end = eq.now();
+        // Wait for everything this EC submitted (stream is FIFO and
+        // the caller serialises enqueues, so the tail is ours).
+        stream_.onComplete(stream_.submitted(), [this, p] {
+            p->rec.gpu_done = board_.eq().now();
+            if (p->done)
+                p->done(p->rec);
+        });
+        if (p->cpu_done)
+            p->cpu_done();
+        return;
+    }
+
+    const sim::Tick t0 = eq.now();
+    const double mean =
+        static_cast<double>(board_.spec().runtime.launch_cpu_cost) *
+        board_.launchOverheadFactor();
+    const auto cost =
+        static_cast<sim::Tick>(rng_.lognormal(mean, 0.35));
+    thread_.exec(cost, [this, p, i, t0] {
+        stream_.launch(&engine_.kernels()[i]);
+        p->rec.launch_api_total += board_.eq().now() - t0;
+        launchNext(p, i + 1);
+    });
+}
+
+} // namespace jetsim::trt

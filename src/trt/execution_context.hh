@@ -1,0 +1,97 @@
+/**
+ * @file
+ * ExecutionContext: per-inference state (TensorRT analogue).
+ *
+ * One enqueue() call represents the inference of one batch (the
+ * paper's EC_i): the owning CPU thread issues one launch API call per
+ * engine kernel onto the process's stream, then the context reports
+ * completion when the GPU finishes the last kernel. Multiple ECs may
+ * be in flight on the stream (trtexec pre-enqueues one batch), but
+ * CPU-side enqueues are naturally serialised by the owning thread.
+ *
+ * The per-EC record captures the quantities of the paper's kernel-
+ * level analysis: total launch-API wall time (which inflates under
+ * CPU contention — the K_l growth of Fig 11/12), CPU enqueue span,
+ * and GPU completion time.
+ */
+
+#ifndef JETSIM_TRT_EXECUTION_CONTEXT_HH
+#define JETSIM_TRT_EXECUTION_CONTEXT_HH
+
+#include <functional>
+#include <memory>
+
+#include "cpu/scheduler.hh"
+#include "cuda/stream.hh"
+#include "sim/rng.hh"
+#include "soc/board.hh"
+#include "trt/engine.hh"
+
+namespace jetsim::trt {
+
+/** Timing record for one executed EC. */
+struct EcRecord
+{
+    sim::Tick enqueue_begin = 0; ///< enqueue() entry
+    sim::Tick enqueue_end = 0;   ///< last launch API returned
+    sim::Tick gpu_done = 0;      ///< last kernel completed
+    sim::Tick launch_api_total = 0; ///< sum of launch-API wall spans
+    int kernels = 0;
+
+    /** Wall duration of the EC (enqueue begin to GPU completion). */
+    sim::Tick span() const { return gpu_done - enqueue_begin; }
+};
+
+/** Drives one engine's inference invocations. */
+class ExecutionContext
+{
+  public:
+    using DoneFn = std::function<void(const EcRecord &)>;
+
+    /**
+     * @param engine compiled plan (must outlive the context)
+     * @param stream the process's CUDA stream
+     * @param thread the process's enqueue thread
+     * @param board  device (for timing constants and the clock)
+     */
+    ExecutionContext(const Engine &engine, cuda::Stream &stream,
+                     cpu::Thread &thread, soc::Board &board);
+
+    ExecutionContext(const ExecutionContext &) = delete;
+    ExecutionContext &operator=(const ExecutionContext &) = delete;
+
+    /**
+     * Enqueue one batch inference. @p done fires (in GPU-completion
+     * context) when the batch finishes; @p cpu_done fires (in thread
+     * context) when the CPU-side launch sequence returns — the moment
+     * the real enqueueV3() call would return. Must be invoked from
+     * the owning thread's logic, and the caller must not issue other
+     * work on the thread until @p cpu_done (real TensorRT contexts
+     * are not re-entrant either).
+     */
+    void enqueue(DoneFn done, std::function<void()> cpu_done = nullptr);
+
+    /** ECs enqueued over the context's lifetime. */
+    std::uint64_t invocations() const { return invocations_; }
+
+  private:
+    struct Pending
+    {
+        EcRecord rec;
+        DoneFn done;
+        std::function<void()> cpu_done;
+    };
+
+    void launchNext(const std::shared_ptr<Pending> &p, std::size_t i);
+
+    const Engine &engine_;
+    cuda::Stream &stream_;
+    cpu::Thread &thread_;
+    soc::Board &board_;
+    sim::Rng rng_;
+    std::uint64_t invocations_ = 0;
+};
+
+} // namespace jetsim::trt
+
+#endif // JETSIM_TRT_EXECUTION_CONTEXT_HH

@@ -1,0 +1,132 @@
+#include "trt/fusion.hh"
+
+#include <unordered_set>
+
+#include "sim/logging.hh"
+
+namespace jetsim::trt {
+
+using graph::Layer;
+using graph::Network;
+using graph::OpKind;
+
+double
+FusedOp::intensityPerElem() const
+{
+    return out_elems > 0 ? macs / static_cast<double>(out_elems) : 0.0;
+}
+
+namespace {
+
+bool
+isActivation(OpKind k)
+{
+    return k == OpKind::Relu || k == OpKind::Silu ||
+           k == OpKind::Sigmoid;
+}
+
+bool
+isNoKernel(OpKind k)
+{
+    return k == OpKind::Concat || k == OpKind::Slice ||
+           k == OpKind::Input;
+}
+
+/**
+ * The single consumer of @p id, or nullptr when fanout != 1. Fusion
+ * may only absorb a layer whose producer has no other consumer.
+ */
+const Layer *
+soleConsumer(const Network &net, int id)
+{
+    const Layer *found = nullptr;
+    for (const auto &l : net.layers()) {
+        for (int in : l.inputs) {
+            if (in != id)
+                continue;
+            if (found)
+                return nullptr;
+            found = &l;
+        }
+    }
+    // The network output may not be absorbed into a later op.
+    if (found && id == net.outputId())
+        return nullptr;
+    return found;
+}
+
+} // namespace
+
+std::vector<FusedOp>
+fuseNetwork(const Network &net)
+{
+    std::vector<FusedOp> ops;
+    std::unordered_set<int> consumed;
+
+    auto absorb = [&](FusedOp &op, const Layer &l) {
+        op.layer_ids.push_back(l.id);
+        op.macs += l.macs();
+        op.weight_params += l.params();
+        op.out_elems = l.out.elems();
+        if (l.kind == OpKind::Silu)
+            op.has_silu = true;
+        if (l.kind == OpKind::Conv && l.dilation > 1)
+            op.dilated = true;
+        consumed.insert(l.id);
+    };
+
+    for (const auto &l : net.layers()) {
+        if (consumed.count(l.id) || isNoKernel(l.kind))
+            continue;
+
+        FusedOp op;
+        op.name = l.name;
+        op.anchor = l.kind;
+        op.in_elems = l.in.elems();
+        op.in_channels = l.in.c;
+        op.tc_eligible = l.tensorCoreEligible();
+        absorb(op, l);
+
+        if (l.kind == OpKind::Conv || l.kind == OpKind::Linear) {
+            // Greedy pattern: [BN] [act] [Add] [act].
+            int tail = l.id;
+            bool saw_add = false;
+            while (true) {
+                const Layer *next = soleConsumer(net, tail);
+                if (!next || consumed.count(next->id))
+                    break;
+                const bool ok =
+                    next->kind == OpKind::BatchNorm ||
+                    isActivation(next->kind) ||
+                    (next->kind == OpKind::Add && !saw_add);
+                if (!ok)
+                    break;
+                // Residual Add: the other input is always already
+                // materialised (layers are topologically ordered), so
+                // the add folds into this kernel's epilogue.
+                if (next->kind == OpKind::Add)
+                    saw_add = true;
+                absorb(op, *next);
+                tail = next->id;
+            }
+            if (op.layer_ids.size() > 1)
+                op.name += "+fused";
+        }
+
+        ops.push_back(std::move(op));
+    }
+
+    // Every kernel-bearing layer must be covered exactly once.
+    std::size_t covered = 0;
+    for (const auto &o : ops)
+        covered += o.layer_ids.size();
+    std::size_t expected = 0;
+    for (const auto &l : net.layers())
+        if (!isNoKernel(l.kind))
+            ++expected;
+    JETSIM_ASSERT(covered == expected);
+
+    return ops;
+}
+
+} // namespace jetsim::trt

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Layer-fusion pass of the TensorRT-like builder.
+ *
+ * TensorRT collapses Conv+BN+activation (+residual Add) chains into
+ * single kernels, eliminates Concat/Slice by address arithmetic, and
+ * leaves pooling/upsample/linear ops as standalone kernels. This
+ * pass reproduces those decisions on the graph IR so the engine's
+ * kernel count and per-kernel work match what trtexec would launch.
+ */
+
+#ifndef JETSIM_TRT_FUSION_HH
+#define JETSIM_TRT_FUSION_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/network.hh"
+
+namespace jetsim::trt {
+
+/** One fused operation: a future GPU kernel. */
+struct FusedOp
+{
+    std::string name;            ///< anchor layer name + fused suffix
+    graph::OpKind anchor;        ///< the kernel's primary operator
+    std::vector<int> layer_ids;  ///< graph layers folded in, in order
+    double macs = 0.0;           ///< per-image multiply-accumulates
+    std::int64_t weight_params = 0;
+    std::int64_t in_elems = 0;   ///< per-image input activation elems
+    std::int64_t out_elems = 0;  ///< per-image output activation elems
+    int in_channels = 0;         ///< anchor input channels
+    bool tc_eligible = false;    ///< dense matrix math?
+    /** The fused chain contains a SiLU activation (TensorRT keeps a
+     * Q/DQ boundary there, demoting int8 requests to fp16). */
+    bool has_silu = false;
+    /** Anchor convolution is dilated (FCN backbone): executed with
+     * gather overhead that amplifies the issued tensor-core work. */
+    bool dilated = false;
+    /** Arithmetic intensity proxy: MACs per output element. */
+    double intensityPerElem() const;
+};
+
+/**
+ * Fuse @p net into kernel-sized operations. Concat/Slice layers are
+ * folded away (zero-kernel); every other layer lands in exactly one
+ * FusedOp. Deterministic.
+ */
+std::vector<FusedOp> fuseNetwork(const graph::Network &net);
+
+} // namespace jetsim::trt
+
+#endif // JETSIM_TRT_FUSION_HH

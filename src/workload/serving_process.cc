@@ -1,0 +1,226 @@
+#include "workload/serving_process.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace jetsim::workload {
+
+ServingProcess::ServingProcess(soc::Board &board,
+                               cpu::OsScheduler &sched,
+                               gpu::GpuEngine &gpu,
+                               const graph::Network &net,
+                               ServingConfig cfg)
+    : board_(board), gpu_(gpu), net_(net), cfg_(std::move(cfg)),
+      rng_(board.rng().fork("serve-" + cfg_.name)),
+      thread_(sched.createThread(cfg_.name, /*big=*/true))
+{
+    JETSIM_ASSERT(cfg_.arrival_rate > 0.0);
+}
+
+bool
+ServingProcess::deploy()
+{
+    JETSIM_ASSERT(!deployed_);
+
+    trt::Builder builder(board_.spec());
+    engine_.emplace(builder.build(net_, cfg_.build));
+
+    auto &mem = board_.memory();
+    runtime_mem_ = cuda::DeviceBuffer::tryAlloc(
+        mem, cfg_.name, board_.spec().memory.process_runtime_overhead);
+    if (!runtime_mem_) {
+        engine_.reset();
+        return false;
+    }
+    engine_mem_ = cuda::DeviceBuffer::tryAlloc(mem, cfg_.name,
+                                               engine_->deviceBytes());
+    if (!engine_mem_) {
+        runtime_mem_.reset();
+        engine_.reset();
+        return false;
+    }
+
+    stream_.emplace(gpu_, cfg_.name);
+    ctx_.emplace(*engine_, *stream_, *thread_, board_);
+    deployed_ = true;
+    return true;
+}
+
+void
+ServingProcess::start()
+{
+    JETSIM_ASSERT(deployed_);
+    scheduleArrival();
+}
+
+void
+ServingProcess::scheduleArrival()
+{
+    // Poisson process: exponential inter-arrival times.
+    const double mean_ns = 1e9 / cfg_.arrival_rate;
+    double u = rng_.uniform();
+    if (u < 1e-12)
+        u = 1e-12;
+    const auto gap =
+        static_cast<sim::Tick>(-mean_ns * std::log(u)) + 1;
+    board_.eq().scheduleIn(gap, [this] { onArrival(); });
+}
+
+void
+ServingProcess::onArrival()
+{
+    if (stopped_)
+        return;
+    ++arrived_;
+    queue_.push_back(board_.eq().now());
+    max_queue_ = std::max(max_queue_, queue_.size());
+    scheduleArrival();
+    kick();
+}
+
+void
+ServingProcess::kick()
+{
+    if (cycling_)
+        return; // the serve cycle will drain the queue itself
+    cycling_ = true;
+    prepAndEnqueue();
+}
+
+void
+ServingProcess::prepAndEnqueue()
+{
+    JETSIM_ASSERT(!queue_.empty());
+    const auto prep = static_cast<sim::Tick>(
+        rng_.lognormal(static_cast<double>(cfg_.prep_cost), 0.3));
+    thread_->exec(prep, [this] { enqueueOne(); });
+}
+
+void
+ServingProcess::enqueueOne()
+{
+    auto slot = std::make_shared<Slot>();
+    // A fixed-batch engine serves up to `batch` queued requests; a
+    // short batch still costs a full EC (padding).
+    const int take = std::min<std::size_t>(
+        static_cast<std::size_t>(cfg_.build.batch), queue_.size());
+    for (int i = 0; i < take; ++i) {
+        slot->arrivals.push_back(queue_.front());
+        queue_.pop_front();
+    }
+    pending_.push_back(slot);
+
+    ctx_->enqueue(
+        [this, slot](const trt::EcRecord &rec) {
+            slot->gpu_done = true;
+            if (measuring_) {
+                served_ += slot->arrivals.size();
+                for (const sim::Tick t : slot->arrivals)
+                    latency_.add(
+                        static_cast<double>(rec.gpu_done - t));
+            }
+            if (waiting_on_ == slot) {
+                waiting_on_.reset();
+                thread_->exec(board_.spec().runtime.sync_cpu_cost,
+                              [this] { syncReturn(); });
+            }
+        },
+        [this] { afterEnqueue(); });
+}
+
+void
+ServingProcess::afterEnqueue()
+{
+    // Keep the pipeline filled while there is work, then wait on the
+    // oldest EC; with nothing pending and nothing queued, go idle.
+    if (!queue_.empty() &&
+        pending_.size() <
+            static_cast<std::size_t>(1 + cfg_.pre_enqueue)) {
+        prepAndEnqueue();
+        return;
+    }
+    if (!pending_.empty()) {
+        syncFront();
+        return;
+    }
+    cycling_ = false;
+}
+
+void
+ServingProcess::syncFront()
+{
+    JETSIM_ASSERT(!pending_.empty());
+    auto slot = pending_.front();
+    if (slot->gpu_done) {
+        thread_->exec(board_.spec().runtime.sync_cpu_cost,
+                      [this] { syncReturn(); });
+    } else if (cfg_.spin_wait) {
+        spinWait();
+    } else {
+        waiting_on_ = slot;
+    }
+}
+
+void
+ServingProcess::spinWait()
+{
+    thread_->exec(cfg_.spin_chunk, [this] {
+        JETSIM_ASSERT(!pending_.empty());
+        if (pending_.front()->gpu_done)
+            syncReturn();
+        else
+            spinWait();
+    });
+}
+
+void
+ServingProcess::syncReturn()
+{
+    JETSIM_ASSERT(!pending_.empty());
+    pending_.pop_front();
+    if (!queue_.empty()) {
+        prepAndEnqueue();
+        return;
+    }
+    if (!pending_.empty()) {
+        syncFront();
+        return;
+    }
+    cycling_ = false;
+}
+
+void
+ServingProcess::beginMeasurement()
+{
+    measuring_ = true;
+    window_start_ = board_.eq().now();
+    served_ = 0;
+    arrived_ = 0;
+    max_queue_ = queue_.size();
+    latency_ = prof::Cdf();
+}
+
+void
+ServingProcess::endMeasurement()
+{
+    measuring_ = false;
+    window_end_ = board_.eq().now();
+}
+
+double
+ServingProcess::achievedThroughput() const
+{
+    const double span = sim::toSec(window_end_ - window_start_);
+    return span > 0 ? static_cast<double>(served_) / span : 0.0;
+}
+
+const trt::Engine &
+ServingProcess::engine() const
+{
+    JETSIM_ASSERT(engine_.has_value());
+    return *engine_;
+}
+
+} // namespace jetsim::workload

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Bottleneck classification and observation-engine tests.
+ */
+
+#include "core/bottleneck.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.hh"
+
+namespace jetsim::core {
+namespace {
+
+ExperimentResult
+synthetic()
+{
+    ExperimentResult r;
+    r.spec.device = "orin-nano";
+    r.all_deployed = true;
+    r.deployed_count = 1;
+    r.mean.deployed = true;
+    r.mean.ec_ms = 10.0;
+    r.mean.launch_ms_per_ec = 0.5;
+    r.mean.blocking_ms_per_ec = 0.1;
+    r.mean.resched_ms_per_ec = 0.0;
+    r.mean.cpu_ms_per_ec = 1.0;
+    r.final_freq_frac = 1.0;
+    return r;
+}
+
+TEST(Bottleneck, GpuComputeIsTheQuietDefault)
+{
+    const auto b = analyzeBottleneck(synthetic());
+    EXPECT_EQ(b.primary, Bottleneck::GpuCompute);
+    EXPECT_DOUBLE_EQ(b.ec_ms, 10.0);
+}
+
+TEST(Bottleneck, MemoryCapacityWinsOverEverything)
+{
+    auto r = synthetic();
+    r.all_deployed = false;
+    r.spec.processes = 4;
+    r.deployed_count = 3;
+    r.mean.blocking_ms_per_ec = 9.0;
+    const auto b = analyzeBottleneck(r);
+    EXPECT_EQ(b.primary, Bottleneck::MemoryCapacity);
+    EXPECT_NE(b.explanation.find("3/4"), std::string::npos);
+}
+
+TEST(Bottleneck, BlockingDominanceDetected)
+{
+    auto r = synthetic();
+    r.mean.blocking_ms_per_ec = 2.0;
+    r.mean.resched_ms_per_ec = 1.0;
+    const auto b = analyzeBottleneck(r);
+    EXPECT_EQ(b.primary, Bottleneck::CpuBlocking);
+}
+
+TEST(Bottleneck, PowerThrottleDetected)
+{
+    auto r = synthetic();
+    r.dvfs_throttle_events = 20;
+    r.final_freq_frac = 0.6;
+    const auto b = analyzeBottleneck(r);
+    EXPECT_EQ(b.primary, Bottleneck::PowerThrottle);
+}
+
+TEST(Bottleneck, LaunchBoundDetected)
+{
+    auto r = synthetic();
+    r.mean.launch_ms_per_ec = 4.0;
+    const auto b = analyzeBottleneck(r);
+    EXPECT_EQ(b.primary, Bottleneck::KernelLaunch);
+}
+
+TEST(Bottleneck, NamesAreStable)
+{
+    EXPECT_STREQ(bottleneckName(Bottleneck::GpuCompute),
+                 "gpu-compute");
+    EXPECT_STREQ(bottleneckName(Bottleneck::MemoryCapacity),
+                 "memory-capacity");
+}
+
+TEST(Observations, EmptyInputYieldsNothing)
+{
+    EXPECT_TRUE(makeObservations({}).empty());
+}
+
+TEST(Observations, BestPrecisionPerDevice)
+{
+    std::vector<ExperimentResult> rs;
+    for (auto p : {soc::Precision::Int8, soc::Precision::Fp32}) {
+        auto r = synthetic();
+        r.spec.model = "resnet50";
+        r.spec.precision = p;
+        r.spec.processes = 1;
+        r.total_throughput =
+            p == soc::Precision::Int8 ? 400.0 : 40.0;
+        rs.push_back(r);
+    }
+    const auto obs = makeObservations(rs);
+    bool found = false;
+    for (const auto &o : obs)
+        if (o.id == "best-precision") {
+            found = true;
+            EXPECT_NE(o.text.find("int8"), std::string::npos);
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(Observations, OomIsSurfaced)
+{
+    auto r = synthetic();
+    r.all_deployed = false;
+    r.spec.processes = 4;
+    r.deployed_count = 3;
+    const auto obs = makeObservations({r});
+    bool found = false;
+    for (const auto &o : obs)
+        found |= o.id == "oom";
+    EXPECT_TRUE(found);
+}
+
+TEST(Observations, RealRunsProduceTakeaways)
+{
+    // End to end: a small sweep should yield at least the power
+    // envelope and best-precision statements.
+    std::vector<ExperimentResult> rs;
+    for (auto p : {soc::Precision::Int8, soc::Precision::Fp32}) {
+        ExperimentSpec s;
+        s.model = "resnet50";
+        s.precision = p;
+        s.warmup = sim::msec(200);
+        s.duration = sim::sec(1);
+        rs.push_back(runExperiment(s));
+    }
+    const auto obs = makeObservations(rs);
+    EXPECT_GE(obs.size(), 2u);
+}
+
+} // namespace
+} // namespace jetsim::core

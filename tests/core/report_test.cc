@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Markdown report rendering tests.
+ */
+
+#include "core/report.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/profiler.hh"
+
+namespace jetsim::core {
+namespace {
+
+ExperimentSpec
+quick()
+{
+    ExperimentSpec s;
+    s.model = "resnet50";
+    s.precision = soc::Precision::Int8;
+    s.warmup = sim::msec(200);
+    s.duration = sim::sec(1);
+    return s;
+}
+
+TEST(Report, ContainsAllSections)
+{
+    const auto [light, deep] = runTwoPhase(quick());
+    const auto doc = renderReport(light, deep);
+
+    EXPECT_NE(doc.find("# Profiling report"), std::string::npos);
+    EXPECT_NE(doc.find("## Phase 1"), std::string::npos);
+    EXPECT_NE(doc.find("## Phase 2"), std::string::npos);
+    EXPECT_NE(doc.find("Utilisation counters"), std::string::npos);
+    EXPECT_NE(doc.find("Kernel-level decomposition"),
+              std::string::npos);
+    EXPECT_NE(doc.find("**Bottleneck:**"), std::string::npos);
+    EXPECT_NE(doc.find("resnet50"), std::string::npos);
+    EXPECT_NE(doc.find("int8"), std::string::npos);
+}
+
+TEST(Report, NumbersMatchResults)
+{
+    const auto [light, deep] = runTwoPhase(quick());
+    const auto doc = renderReport(light, deep);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", light.total_throughput);
+    EXPECT_NE(doc.find(buf), std::string::npos);
+}
+
+TEST(Report, OomReportShortCircuits)
+{
+    ExperimentSpec s = quick();
+    s.device = "nano";
+    s.model = "fcn_resnet50";
+    s.processes = 4;
+    const auto [light, deep] = runTwoPhase(s);
+    const auto doc = renderReport(light, deep);
+    EXPECT_NE(doc.find("FAILED (out of memory)"), std::string::npos);
+    EXPECT_EQ(doc.find("## Phase 1"), std::string::npos);
+}
+
+TEST(Report, WriteReportCreatesFile)
+{
+    const std::string path = "/tmp/jetsim_report_test.md";
+    ASSERT_TRUE(writeReport(quick(), path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("# Profiling report"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace jetsim::core

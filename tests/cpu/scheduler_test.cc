@@ -1,0 +1,281 @@
+/**
+ * @file
+ * OS-scheduler tests: dispatch, time-sharing, preemption accounting,
+ * cache-warmth penalties, and the big.LITTLE partition, including
+ * parameterized sweeps over thread counts.
+ */
+
+#include "cpu/scheduler.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "soc/board.hh"
+
+namespace jetsim::cpu {
+namespace {
+
+struct Rig
+{
+    sim::EventQueue eq;
+    soc::Board board{soc::orinNano(), eq};
+    OsScheduler sched{board};
+};
+
+TEST(Scheduler, SingleThreadRunsImmediately)
+{
+    Rig r;
+    bool done = false;
+    Thread *t = r.sched.createThread("t0");
+    EXPECT_EQ(t->state(), Thread::State::Idle);
+    t->exec(sim::usec(100), [&] { done = true; });
+    r.eq.runAll();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(t->state(), Thread::State::Idle);
+    EXPECT_GE(t->cpuTime(), sim::usec(100));
+}
+
+TEST(Scheduler, WorkTimeIsAccounted)
+{
+    Rig r;
+    Thread *t = r.sched.createThread("t0");
+    t->exec(sim::usec(250), nullptr);
+    r.eq.runAll();
+    EXPECT_EQ(t->cpuTime(), sim::usec(250));
+    EXPECT_EQ(t->dispatches(), 1u);
+}
+
+TEST(Scheduler, ChainedItemsRunInOrder)
+{
+    Rig r;
+    Thread *t = r.sched.createThread("t0");
+    std::vector<int> order;
+    t->exec(sim::usec(10), [&] { order.push_back(1); });
+    t->exec(sim::usec(10), [&] { order.push_back(2); });
+    t->exec(sim::usec(10), [&] { order.push_back(3); });
+    r.eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, CallbackMayQueueMoreWork)
+{
+    Rig r;
+    Thread *t = r.sched.createThread("t0");
+    int steps = 0;
+    std::function<void()> step = [&] {
+        if (++steps < 4)
+            t->exec(sim::usec(5), step);
+    };
+    t->exec(sim::usec(5), step);
+    r.eq.runAll();
+    EXPECT_EQ(steps, 4);
+}
+
+TEST(Scheduler, ThreadsWithinCoreCountRunConcurrently)
+{
+    Rig r;
+    // 3 big cores: 3 threads of equal work finish at the same time.
+    std::vector<sim::Tick> done(3);
+    for (int i = 0; i < 3; ++i) {
+        Thread *t = r.sched.createThread("t" + std::to_string(i));
+        t->exec(sim::msec(1), [&, i] { done[i] = r.eq.now(); });
+    }
+    r.eq.runAll();
+    EXPECT_EQ(done[0], done[1]);
+    EXPECT_EQ(done[1], done[2]);
+}
+
+TEST(Scheduler, OversubscriptionSerialises)
+{
+    Rig r;
+    // 6 threads x 1 ms on 3 big cores: ~2 ms wall, not 1 ms.
+    sim::Tick last = 0;
+    for (int i = 0; i < 6; ++i) {
+        Thread *t = r.sched.createThread("t" + std::to_string(i));
+        t->exec(sim::msec(1), [&] { last = r.eq.now(); });
+    }
+    r.eq.runAll();
+    EXPECT_GE(last, sim::msec(2));
+}
+
+TEST(Scheduler, WakeWaitAccruesUnderContention)
+{
+    Rig r;
+    std::vector<Thread *> ts;
+    for (int i = 0; i < 6; ++i)
+        ts.push_back(r.sched.createThread("t" + std::to_string(i)));
+    for (auto *t : ts)
+        t->exec(sim::msec(1), nullptr);
+    r.eq.runAll();
+    sim::Tick total_wait = 0;
+    for (auto *t : ts)
+        total_wait += t->wakeWait();
+    EXPECT_GT(total_wait, 0);
+}
+
+TEST(Scheduler, NoWaitWhenCoresAreFree)
+{
+    Rig r;
+    Thread *t = r.sched.createThread("t0");
+    t->exec(sim::msec(1), nullptr);
+    r.eq.runAll();
+    EXPECT_EQ(t->wakeWait(), 0);
+    EXPECT_EQ(t->preemptWait(), 0);
+    EXPECT_EQ(t->migrations(), 0u);
+}
+
+TEST(Scheduler, LongRunnersGetPreempted)
+{
+    Rig r;
+    // 4 long threads on 3 cores force timeslice preemption.
+    std::vector<Thread *> ts;
+    for (int i = 0; i < 4; ++i) {
+        ts.push_back(r.sched.createThread("t" + std::to_string(i)));
+        ts.back()->exec(sim::msec(20), nullptr);
+    }
+    r.eq.runAll();
+    EXPECT_GT(r.sched.preemptions(), 0u);
+    std::uint64_t preempted = 0;
+    for (auto *t : ts)
+        preempted += t->preemptions();
+    EXPECT_GT(preempted, 0u);
+}
+
+TEST(Scheduler, FairnessUnderTimeSharing)
+{
+    Rig r;
+    // All equal threads finish within one timeslice of each other.
+    std::vector<sim::Tick> done(6, 0);
+    for (int i = 0; i < 6; ++i) {
+        Thread *t = r.sched.createThread("t" + std::to_string(i));
+        t->exec(sim::msec(10), [&, i] { done[i] = r.eq.now(); });
+    }
+    r.eq.runAll();
+    const auto [lo, hi] = std::minmax_element(done.begin(), done.end());
+    EXPECT_LE(*hi - *lo,
+              2 * r.board.spec().runtime.timeslice +
+                  sim::usec(200));
+}
+
+TEST(Scheduler, MigrationsChargeCachePenalty)
+{
+    Rig r;
+    std::vector<Thread *> ts;
+    for (int i = 0; i < 5; ++i) {
+        ts.push_back(r.sched.createThread("t" + std::to_string(i)));
+        ts.back()->exec(sim::msec(30), nullptr);
+    }
+    r.eq.runAll();
+    std::uint64_t migrations = 0;
+    sim::Tick penalty = 0;
+    for (auto *t : ts) {
+        migrations += t->migrations();
+        penalty += t->cachePenalty();
+    }
+    EXPECT_GT(migrations, 0u);
+    EXPECT_GT(penalty, 0);
+}
+
+TEST(Scheduler, BigAffinityLimitsParallelismWhenPartitioned)
+{
+    Rig r;
+    // 6 big threads on 3 big cores vs the same with partitioning off
+    // (all 6 cores usable): partitioned must take longer.
+    sim::Tick partitioned_end = 0;
+    {
+        Rig p;
+        for (int i = 0; i < 6; ++i)
+            p.sched.createThread("t" + std::to_string(i))
+                ->exec(sim::msec(5), nullptr);
+        p.eq.runAll();
+        partitioned_end = p.eq.now();
+    }
+    r.sched.setPartitioned(false);
+    for (int i = 0; i < 6; ++i)
+        r.sched.createThread("t" + std::to_string(i))
+            ->exec(sim::msec(5), nullptr);
+    r.eq.runAll();
+    EXPECT_LT(r.eq.now(), partitioned_end);
+}
+
+TEST(Scheduler, LittleThreadsUseLittleCores)
+{
+    Rig r;
+    Thread *big = r.sched.createThread("big", true);
+    Thread *little = r.sched.createThread("little", false);
+    big->exec(sim::msec(1), nullptr);
+    little->exec(sim::msec(1), nullptr);
+    // Both runnable: one big core and one LITTLE core busy.
+    r.eq.runUntil(sim::usec(100));
+    EXPECT_EQ(r.sched.busyCores(true), 1);
+    EXPECT_EQ(r.sched.busyCores(false), 1);
+    r.eq.runAll();
+}
+
+TEST(Scheduler, BoardActivityTracksBusyCores)
+{
+    Rig r;
+    for (int i = 0; i < 2; ++i)
+        r.sched.createThread("t" + std::to_string(i))
+            ->exec(sim::msec(1), nullptr);
+    r.eq.runUntil(sim::usec(100));
+    EXPECT_EQ(r.board.activity().cpu_active_big, 2);
+    r.eq.runAll();
+    EXPECT_EQ(r.board.activity().cpu_active_big, 0);
+}
+
+TEST(Scheduler, ResetStatsZeroesCounters)
+{
+    Rig r;
+    Thread *t = r.sched.createThread("t0");
+    t->exec(sim::msec(1), nullptr);
+    r.eq.runAll();
+    EXPECT_GT(t->cpuTime(), 0);
+    t->resetStats();
+    EXPECT_EQ(t->cpuTime(), 0);
+    EXPECT_EQ(t->dispatches(), 0u);
+}
+
+/** Invariant sweep over thread counts. */
+class SchedulerLoad : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SchedulerLoad, ConservationAndBounds)
+{
+    const int n = GetParam();
+    Rig r;
+    std::vector<Thread *> ts;
+    const sim::Tick work = sim::msec(4);
+    for (int i = 0; i < n; ++i) {
+        ts.push_back(r.sched.createThread("t" + std::to_string(i)));
+        ts.back()->exec(work, nullptr);
+    }
+    r.eq.runAll();
+
+    const auto &spec = r.board.spec();
+    for (auto *t : ts) {
+        // Every thread ran at least its nominal work (plus possible
+        // cache-penalty inflation), and is idle at the end.
+        EXPECT_GE(t->cpuTime(), work);
+        EXPECT_EQ(t->state(), Thread::State::Idle);
+        EXPECT_GE(t->dispatches(), 1u);
+    }
+    // Make-span is bounded below by total work over the big cores.
+    const double big = spec.bigCores();
+    EXPECT_GE(r.eq.now(),
+              static_cast<sim::Tick>(n * work / big) - sim::usec(1));
+    // No core ran two threads at once: busy cores never exceed count.
+    EXPECT_EQ(r.sched.busyCores(true), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, SchedulerLoad,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16));
+
+} // namespace
+} // namespace jetsim::cpu

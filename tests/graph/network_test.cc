@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Graph IR tests: shape inference, parameter and MAC formulas,
+ * liveness-based peak activation, and validation.
+ */
+
+#include "graph/network.hh"
+
+#include <gtest/gtest.h>
+
+namespace jetsim::graph {
+namespace {
+
+TEST(Network, InputLayerIsImplicit)
+{
+    Network net("n", Shape{3, 224, 224});
+    EXPECT_EQ(net.size(), 1u);
+    EXPECT_EQ(net.layer(0).kind, OpKind::Input);
+    EXPECT_EQ(net.layer(0).out, (Shape{3, 224, 224}));
+}
+
+TEST(Network, ConvShapeInference)
+{
+    Network net("n", Shape{3, 224, 224});
+    const int c = net.addConv("c", net.inputId(), 64, 7, 2, 3);
+    EXPECT_EQ(net.layer(c).out, (Shape{64, 112, 112}));
+}
+
+TEST(Network, ConvSamePadding)
+{
+    Network net("n", Shape{16, 56, 56});
+    const int c = net.addConv("c", 0, 32, 3, 1, 1);
+    EXPECT_EQ(net.layer(c).out, (Shape{32, 56, 56}));
+}
+
+TEST(Network, DilatedConvKeepsResolutionWithMatchingPad)
+{
+    Network net("n", Shape{256, 28, 28});
+    const int c = net.addConv("c", 0, 256, 3, 1, 2, 2);
+    EXPECT_EQ(net.layer(c).out, (Shape{256, 28, 28}));
+}
+
+TEST(Network, ConvParamsFormula)
+{
+    Network net("n", Shape{3, 224, 224});
+    const int c = net.addConv("c", 0, 64, 7, 2, 3);
+    // 64 x 3 x 7 x 7 = 9408, no bias.
+    EXPECT_EQ(net.layer(c).params(), 9408);
+    const int cb = net.addConv("cb", c, 8, 1, 1, 0, 1, 1, true);
+    EXPECT_EQ(net.layer(cb).params(), 64 * 8 + 8);
+}
+
+TEST(Network, GroupedConvDividesParams)
+{
+    Network net("n", Shape{32, 10, 10});
+    const int c = net.addConv("c", 0, 32, 3, 1, 1, 1, 32);
+    // Depthwise: 32 x (32/32) x 3 x 3.
+    EXPECT_EQ(net.layer(c).params(), 32 * 9);
+}
+
+TEST(Network, ConvMacsFormula)
+{
+    Network net("n", Shape{3, 224, 224});
+    const int c = net.addConv("c", 0, 64, 7, 2, 3);
+    // out elems x in_c x k x k = 64*112*112 * 3*49.
+    EXPECT_DOUBLE_EQ(net.layer(c).macs(),
+                     64.0 * 112 * 112 * 3 * 49);
+}
+
+TEST(Network, PoolShapes)
+{
+    Network net("n", Shape{64, 112, 112});
+    const int p = net.addPool("p", 0, OpKind::MaxPool, 3, 2, 1);
+    EXPECT_EQ(net.layer(p).out, (Shape{64, 56, 56}));
+    const int g = net.addGlobalAvgPool("g", p);
+    EXPECT_EQ(net.layer(g).out, (Shape{64, 1, 1}));
+}
+
+TEST(Network, LinearFlattensInput)
+{
+    Network net("n", Shape{2048, 1, 1});
+    const int f = net.addLinear("fc", 0, 1000);
+    EXPECT_EQ(net.layer(f).out, (Shape{1000, 1, 1}));
+    EXPECT_EQ(net.layer(f).params(), 2048 * 1000 + 1000);
+}
+
+TEST(Network, ElementwiseShapesPreserved)
+{
+    Network net("n", Shape{8, 4, 4});
+    const int a = net.addConv("a", 0, 8, 1);
+    const int r = net.addActivation("r", a, OpKind::Relu);
+    const int s = net.addAdd("s", r, 0);
+    const int bn = net.addBatchNorm("bn", s);
+    for (int id : {r, s, bn})
+        EXPECT_EQ(net.layer(id).out, (Shape{8, 4, 4}));
+    EXPECT_EQ(net.layer(bn).params(), 4 * 8);
+}
+
+TEST(Network, ConcatSumsChannels)
+{
+    Network net("n", Shape{8, 4, 4});
+    const int a = net.addConv("a", 0, 16, 1);
+    const int b = net.addConv("b", 0, 24, 1);
+    const int c = net.addConcat("c", {a, b});
+    EXPECT_EQ(net.layer(c).out, (Shape{40, 4, 4}));
+    EXPECT_DOUBLE_EQ(net.layer(c).macs(), 0.0);
+}
+
+TEST(Network, SliceSelectsChannelRange)
+{
+    Network net("n", Shape{32, 4, 4});
+    const int s = net.addSlice("s", 0, 8, 24);
+    EXPECT_EQ(net.layer(s).out, (Shape{16, 4, 4}));
+    EXPECT_EQ(net.layer(s).params(), 0);
+}
+
+TEST(Network, UpsampleScalesSpatially)
+{
+    Network net("n", Shape{21, 28, 28});
+    const int u = net.addUpsample("u", 0, 8);
+    EXPECT_EQ(net.layer(u).out, (Shape{21, 224, 224}));
+}
+
+TEST(Network, TotalsAggregate)
+{
+    Network net("n", Shape{3, 8, 8});
+    net.addConv("a", 0, 4, 3, 1, 1);
+    net.addConv("b", 1, 4, 3, 1, 1);
+    EXPECT_EQ(net.totalParams(), 3 * 4 * 9 + 4 * 4 * 9);
+    EXPECT_GT(net.totalMacs(), 0.0);
+    EXPECT_EQ(net.totalActivationElems(), 2 * 4 * 8 * 8);
+}
+
+TEST(Network, PeakLivenessBeatsTotal)
+{
+    // A deep chain's peak is far below the total of all tensors.
+    Network net("n", Shape{4, 16, 16});
+    int x = net.inputId();
+    for (int i = 0; i < 10; ++i)
+        x = net.addConv("c" + std::to_string(i), x, 4, 3, 1, 1);
+    EXPECT_LT(net.peakActivationElems(),
+              net.totalActivationElems());
+    // At least one producer + consumer pair must be live together.
+    EXPECT_GE(net.peakActivationElems(), 2 * 4 * 16 * 16);
+}
+
+TEST(Network, PeakAccountsForSkipConnections)
+{
+    // Residual input stays live across the body of the block.
+    Network net("n", Shape{8, 8, 8});
+    int x = net.addConv("c1", 0, 8, 3, 1, 1);
+    int y = net.addConv("c2", x, 8, 3, 1, 1);
+    y = net.addConv("c3", y, 8, 3, 1, 1);
+    net.addAdd("add", y, x); // x live until here
+    EXPECT_GE(net.peakActivationElems(), 3 * 8 * 8 * 8);
+}
+
+TEST(Network, FanoutCountsConsumers)
+{
+    Network net("n", Shape{8, 4, 4});
+    const int a = net.addConv("a", 0, 8, 1);
+    net.addActivation("r1", a, OpKind::Relu);
+    net.addActivation("r2", a, OpKind::Relu);
+    EXPECT_EQ(net.fanout(a), 2);
+    EXPECT_EQ(net.fanout(0), 1);
+}
+
+TEST(Network, OutputDefaultsToLastAndIsSettable)
+{
+    Network net("n", Shape{8, 4, 4});
+    const int a = net.addConv("a", 0, 8, 1);
+    const int b = net.addConv("b", a, 8, 1);
+    EXPECT_EQ(net.outputId(), b);
+    net.setOutput(a);
+    EXPECT_EQ(net.outputId(), a);
+}
+
+TEST(Network, TensorCoreEligibility)
+{
+    Network net("n", Shape{64, 8, 8});
+    const int big = net.addConv("big", 0, 64, 3, 1, 1);
+    EXPECT_TRUE(net.layer(big).tensorCoreEligible());
+    const int dw = net.addConv("dw", 0, 64, 3, 1, 1, 1, 64);
+    EXPECT_FALSE(net.layer(dw).tensorCoreEligible());
+    const int act = net.addActivation("r", big, OpKind::Relu);
+    EXPECT_FALSE(net.layer(act).tensorCoreEligible());
+}
+
+TEST(Network, ToDotRendersEveryNodeAndEdge)
+{
+    Network net("tiny", Shape{3, 8, 8});
+    const int a = net.addConv("convA", 0, 8, 3, 1, 1);
+    net.addActivation("reluB", a, OpKind::Relu);
+    const auto dot = net.toDot();
+    EXPECT_NE(dot.find("digraph \"tiny\""), std::string::npos);
+    EXPECT_NE(dot.find("convA"), std::string::npos);
+    EXPECT_NE(dot.find("reluB"), std::string::npos);
+    EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+    EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);
+    EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(Network, ValidatePassesOnWellFormedGraph)
+{
+    Network net("n", Shape{3, 8, 8});
+    net.addConv("a", 0, 4, 3, 1, 1);
+    net.validate(); // must not panic
+}
+
+} // namespace
+} // namespace jetsim::graph

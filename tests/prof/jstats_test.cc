@@ -1,0 +1,107 @@
+/**
+ * @file
+ * JStats sampler tests against synthetic board activity.
+ */
+
+#include "prof/jstats.hh"
+
+#include <gtest/gtest.h>
+
+namespace jetsim::prof {
+namespace {
+
+struct Rig
+{
+    sim::EventQueue eq;
+    soc::Board board{soc::orinNano(), eq};
+};
+
+TEST(JStats, SamplesAtInterval)
+{
+    Rig r;
+    JStatsSampler js(r.board, sim::msec(100));
+    js.start();
+    r.eq.runUntil(sim::sec(1));
+    EXPECT_EQ(js.samples().size(), 10u);
+}
+
+TEST(JStats, IdleBoardReadsIdlePowerAndZeroUtil)
+{
+    Rig r;
+    JStatsSampler js(r.board, sim::msec(100));
+    js.start();
+    r.eq.runUntil(sim::sec(1));
+    EXPECT_NEAR(js.avgPowerW(), r.board.spec().power.idle_w, 0.01);
+    EXPECT_DOUBLE_EQ(js.avgGpuUtilPct(), 0.0);
+}
+
+TEST(JStats, GpuBusyWindowShowsUtilisation)
+{
+    Rig r;
+    JStatsSampler js(r.board, sim::msec(100));
+    js.start();
+    // Busy for exactly half of each interval via synthetic toggles.
+    for (int i = 0; i < 10; ++i) {
+        r.eq.schedule(sim::msec(100 * i), [&] {
+            r.board.setGpuState(true, 0.8, 0.3, 0.2, 0.4);
+        });
+        r.eq.schedule(sim::msec(100 * i + 50), [&] {
+            r.board.setGpuState(false, 0, 0, 0, 0);
+        });
+    }
+    r.eq.runUntil(sim::sec(1));
+    EXPECT_NEAR(js.avgGpuUtilPct(), 50.0, 1.0);
+    EXPECT_GT(js.avgPowerW(), r.board.spec().power.idle_w);
+}
+
+TEST(JStats, MemoryPercentTracksAllocations)
+{
+    Rig r;
+    JStatsSampler js(r.board, sim::msec(100));
+    js.start();
+    const auto os_pct = r.board.memory().usagePercent();
+    r.eq.schedule(sim::msec(450), [&] {
+        r.board.memory().allocate("p", 2 * sim::kGiB);
+    });
+    r.eq.runUntil(sim::sec(1));
+    EXPECT_NEAR(js.samples().front().mem_pct, os_pct, 0.1);
+    EXPECT_GT(js.peakMemPct(), os_pct + 20.0);
+}
+
+TEST(JStats, ResetDropsHistory)
+{
+    Rig r;
+    JStatsSampler js(r.board, sim::msec(100));
+    js.start();
+    r.eq.runUntil(sim::msec(500));
+    EXPECT_FALSE(js.samples().empty());
+    js.reset();
+    EXPECT_TRUE(js.samples().empty());
+    r.eq.runUntil(sim::sec(1));
+    EXPECT_EQ(js.samples().size(), 5u);
+}
+
+TEST(JStats, StopHaltsSampling)
+{
+    Rig r;
+    JStatsSampler js(r.board, sim::msec(100));
+    js.start();
+    r.eq.runUntil(sim::msec(300));
+    js.stop();
+    const auto n = js.samples().size();
+    r.eq.runUntil(sim::sec(1));
+    EXPECT_EQ(js.samples().size(), n);
+}
+
+TEST(JStats, StartIsIdempotent)
+{
+    Rig r;
+    JStatsSampler js(r.board, sim::msec(100));
+    js.start();
+    js.start();
+    r.eq.runUntil(sim::msec(500));
+    EXPECT_EQ(js.samples().size(), 5u);
+}
+
+} // namespace
+} // namespace jetsim::prof

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Checks the metric catalogue against the paper's Table 2.
+ */
+
+#include "prof/metrics.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace jetsim::prof {
+namespace {
+
+TEST(Metrics, CatalogHasTable2Entries)
+{
+    const auto &cat = metricCatalog();
+    EXPECT_EQ(cat.size(), 10u);
+}
+
+TEST(Metrics, LevelsPartitionAsInTable2)
+{
+    int soc = 0, gpu = 0, kernel = 0;
+    for (const auto &m : metricCatalog()) {
+        switch (m.level) {
+          case MetricLevel::Soc: ++soc; break;
+          case MetricLevel::Gpu: ++gpu; break;
+          case MetricLevel::Kernel: ++kernel; break;
+        }
+    }
+    EXPECT_EQ(soc, 2);    // throughput, power
+    EXPECT_EQ(gpu, 5);    // util, memory, issue, active, tc
+    EXPECT_EQ(kernel, 3); // launch, sync, ec
+}
+
+TEST(Metrics, IdsAreUniqueAndNonEmpty)
+{
+    std::set<std::string> ids;
+    for (const auto &m : metricCatalog()) {
+        EXPECT_FALSE(m.id.empty());
+        EXPECT_FALSE(m.name.empty());
+        EXPECT_FALSE(m.description.empty());
+        EXPECT_TRUE(ids.insert(m.id).second) << m.id;
+    }
+}
+
+TEST(Metrics, ToolMappingMatchesMethodology)
+{
+    // Throughput comes from trtexec; power/memory from jetson-stats;
+    // everything kernel/counter level from Nsight (paper Section 4).
+    for (const auto &m : metricCatalog()) {
+        if (m.id == "throughput") {
+            EXPECT_EQ(m.source, MetricSource::Trtexec);
+        }
+        if (m.id == "power" || m.id == "gpu_mem") {
+            EXPECT_EQ(m.source, MetricSource::JetsonStats);
+        }
+        if (m.level == MetricLevel::Kernel) {
+            EXPECT_EQ(m.source, MetricSource::NsightSystems);
+        }
+    }
+}
+
+TEST(Metrics, NamesRender)
+{
+    EXPECT_STREQ(levelName(MetricLevel::Soc), "SoC Level Metrics");
+    EXPECT_STREQ(levelName(MetricLevel::Gpu), "GPU Level Metrics");
+    EXPECT_STREQ(levelName(MetricLevel::Kernel),
+                 "Kernel Level Metrics");
+    EXPECT_STREQ(sourceName(MetricSource::Trtexec), "trtexec");
+    EXPECT_STREQ(sourceName(MetricSource::JetsonStats),
+                 "jetson-stats");
+    EXPECT_STREQ(sourceName(MetricSource::NsightSystems),
+                 "Nsight Systems");
+}
+
+} // namespace
+} // namespace jetsim::prof

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Board composition tests: activity publication, power integration,
+ * and the 15 W power-mode variant.
+ */
+
+#include "soc/board.hh"
+
+#include <gtest/gtest.h>
+
+namespace jetsim::soc {
+namespace {
+
+TEST(Board, IdleBoardDrawsIdlePower)
+{
+    sim::EventQueue eq;
+    Board b(orinNano(), eq);
+    EXPECT_NEAR(b.powerW(), b.spec().power.idle_w, 1e-9);
+    EXPECT_FALSE(b.activity().gpu_busy);
+}
+
+TEST(Board, CpuActivityRaisesPower)
+{
+    sim::EventQueue eq;
+    Board b(orinNano(), eq);
+    const double idle = b.powerW();
+    b.setCpuActive(2, 1);
+    EXPECT_GT(b.powerW(), idle);
+    EXPECT_EQ(b.activity().cpu_active_big, 2);
+    EXPECT_EQ(b.activity().cpu_active_little, 1);
+}
+
+TEST(Board, GpuStateClearsWhenIdle)
+{
+    sim::EventQueue eq;
+    Board b(orinNano(), eq);
+    b.setGpuState(true, 0.9, 0.3, 0.4, 0.5);
+    EXPECT_TRUE(b.activity().gpu_busy);
+    EXPECT_DOUBLE_EQ(b.activity().tc_util, 0.4);
+    b.setGpuState(false, 0.9, 0.3, 0.4, 0.5);
+    EXPECT_DOUBLE_EQ(b.activity().sm_active, 0.0);
+    EXPECT_DOUBLE_EQ(b.activity().tc_util, 0.0);
+}
+
+TEST(Board, PowerRailIntegratesOverTime)
+{
+    sim::EventQueue eq;
+    Board b(orinNano(), eq);
+    const double idle = b.powerW();
+    // Busy for the second half of a 2 ms window.
+    eq.schedule(sim::msec(1), [&] {
+        b.setGpuState(true, 1.0, 0.5, 0.5, 0.5);
+    });
+    eq.runUntil(sim::msec(2));
+    const double avg = b.powerTw().average(eq.now());
+    EXPECT_GT(avg, idle);
+    EXPECT_LT(avg, b.powerW()); // less than the busy level
+}
+
+TEST(Board, GpuBusyTwTracksDutyCycle)
+{
+    sim::EventQueue eq;
+    Board b(orinNano(), eq);
+    eq.schedule(sim::msec(1), [&] {
+        b.setGpuState(true, 1, 0, 0, 0);
+    });
+    eq.schedule(sim::msec(3), [&] {
+        b.setGpuState(false, 0, 0, 0, 0);
+    });
+    eq.runUntil(sim::msec(4));
+    EXPECT_NEAR(b.gpuBusyTw().average(eq.now()), 0.5, 1e-9);
+}
+
+TEST(Board, SeedVariesRngNotSpec)
+{
+    sim::EventQueue eq;
+    Board a(orinNano(), eq, 1);
+    Board b(orinNano(), eq, 2);
+    EXPECT_NE(a.rng().next(), b.rng().next());
+    EXPECT_EQ(a.spec().gpu.num_sms, b.spec().gpu.num_sms);
+}
+
+TEST(Board, LaunchOverheadFactorDefaultsToOne)
+{
+    sim::EventQueue eq;
+    Board b(orinNano(), eq);
+    EXPECT_DOUBLE_EQ(b.launchOverheadFactor(), 1.0);
+    b.setLaunchOverheadFactor(1.7);
+    EXPECT_DOUBLE_EQ(b.launchOverheadFactor(), 1.7);
+}
+
+TEST(PowerMode, FifteenWattModeRaisesEnvelopeAndClock)
+{
+    const auto w7 = orinNano();
+    const auto w15 = orinNano15W();
+    EXPECT_DOUBLE_EQ(w15.power.cap_w, 15.0);
+    EXPECT_GT(w15.gpu.max_freq_ghz, w7.gpu.max_freq_ghz);
+    EXPECT_GT(w15.gpu.eff_tc_gflops_int8, w7.gpu.eff_tc_gflops_int8);
+    // Same silicon: geometry and memory unchanged.
+    EXPECT_EQ(w15.gpu.totalCudaCores(), w7.gpu.totalCudaCores());
+    EXPECT_EQ(w15.memory.total, w7.memory.total);
+    EXPECT_DOUBLE_EQ(w15.gpu.mem_bw_gbps, w7.gpu.mem_bw_gbps);
+}
+
+TEST(PowerMode, LookupByName)
+{
+    EXPECT_EQ(deviceByName("orin-nano-15w").name, "orin-nano-15w");
+}
+
+} // namespace
+} // namespace jetsim::soc

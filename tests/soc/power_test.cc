@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the power model.
+ */
+
+#include "soc/power.hh"
+
+#include <gtest/gtest.h>
+
+namespace jetsim::soc {
+namespace {
+
+PowerSpec
+spec()
+{
+    PowerSpec s;
+    s.idle_w = 2.0;
+    s.cap_w = 7.0;
+    s.cpu_core_w = 0.5;
+    s.cpu_little_w = 0.2;
+    s.gpu_base_w = 0.4;
+    s.sm_w = 1.0;
+    s.tc_w = 2.0;
+    s.dram_w = 1.0;
+    return s;
+}
+
+TEST(PowerModel, IdleBoardDrawsIdlePower)
+{
+    PowerModel pm(spec());
+    EXPECT_DOUBLE_EQ(pm.watts(Activity{}, 1.0), 2.0);
+}
+
+TEST(PowerModel, CpuCoresAddLinearly)
+{
+    PowerModel pm(spec());
+    Activity a;
+    a.cpu_active_big = 2;
+    a.cpu_active_little = 1;
+    EXPECT_DOUBLE_EQ(pm.watts(a, 1.0), 2.0 + 1.0 + 0.2);
+}
+
+TEST(PowerModel, GpuTermsOnlyCountWhileBusy)
+{
+    PowerModel pm(spec());
+    Activity a;
+    a.sm_active = 1.0;
+    a.tc_util = 1.0;
+    a.bw_util = 1.0;
+    a.gpu_busy = false;
+    EXPECT_DOUBLE_EQ(pm.watts(a, 1.0), 2.0);
+    a.gpu_busy = true;
+    EXPECT_DOUBLE_EQ(pm.watts(a, 1.0), 2.0 + 0.4 + 1.0 + 2.0 + 1.0);
+}
+
+TEST(PowerModel, DynamicTermsScaleWithFrequency)
+{
+    PowerModel pm(spec());
+    Activity a;
+    a.gpu_busy = true;
+    a.sm_active = 1.0;
+    const double full = pm.watts(a, 1.0);
+    const double half = pm.watts(a, 0.5);
+    // gpu_base stays, the sm term halves.
+    EXPECT_DOUBLE_EQ(full - half, 0.5);
+}
+
+TEST(PowerModel, MonotoneInEveryActivityTerm)
+{
+    PowerModel pm(spec());
+    Activity lo;
+    lo.gpu_busy = true;
+    lo.sm_active = 0.2;
+    lo.tc_util = 0.1;
+    lo.bw_util = 0.1;
+    Activity hi = lo;
+    hi.sm_active = 0.9;
+    hi.tc_util = 0.8;
+    hi.bw_util = 0.7;
+    hi.cpu_active_big = 3;
+    EXPECT_GT(pm.watts(hi, 1.0), pm.watts(lo, 1.0));
+}
+
+TEST(PowerModel, TensorCoreTermDominatesWhenWeighted)
+{
+    // The fp32 power drop: no TC activity means less dynamic power
+    // even at full SM activity.
+    PowerModel pm(spec());
+    Activity fp32;
+    fp32.gpu_busy = true;
+    fp32.sm_active = 1.0;
+    fp32.tc_util = 0.0;
+    fp32.bw_util = 0.3;
+    Activity int8 = fp32;
+    int8.sm_active = 0.8;
+    int8.tc_util = 0.6;
+    EXPECT_GT(pm.watts(int8, 1.0), pm.watts(fp32, 1.0));
+}
+
+} // namespace
+} // namespace jetsim::soc

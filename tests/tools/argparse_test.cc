@@ -1,0 +1,130 @@
+/**
+ * @file
+ * ArgParser unit tests (the flag parser shared by the CLI tools).
+ */
+
+#include "argparse.hh"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace jetsim::tools {
+namespace {
+
+ArgParser
+parser()
+{
+    ArgParser p("test", "test parser");
+    p.add("model", "resnet50", "model name");
+    p.add("batch", "1", "batch size");
+    p.add("rate", "2.5", "a double");
+    p.add("verbose", "false", "a boolean switch");
+    p.add("list", "1,2,4", "an int list");
+    return p;
+}
+
+template <std::size_t N>
+bool
+parse(ArgParser &p, std::array<const char *, N> argv)
+{
+    return p.parse(static_cast<int>(N),
+                   const_cast<char **>(argv.data()));
+}
+
+TEST(ArgParse, DefaultsApplyWhenUnset)
+{
+    auto p = parser();
+    ASSERT_TRUE(parse(p, std::array<const char *, 1>{"test"}));
+    EXPECT_EQ(p.str("model"), "resnet50");
+    EXPECT_EQ(p.intval("batch"), 1);
+    EXPECT_DOUBLE_EQ(p.dbl("rate"), 2.5);
+    EXPECT_FALSE(p.boolean("verbose"));
+    EXPECT_FALSE(p.given("model"));
+}
+
+TEST(ArgParse, EqualsSyntax)
+{
+    auto p = parser();
+    ASSERT_TRUE(parse(p, std::array<const char *, 3>{
+                             "test", "--model=yolov8n",
+                             "--batch=8"}));
+    EXPECT_EQ(p.str("model"), "yolov8n");
+    EXPECT_EQ(p.intval("batch"), 8);
+    EXPECT_TRUE(p.given("model"));
+}
+
+TEST(ArgParse, SpaceSyntax)
+{
+    auto p = parser();
+    ASSERT_TRUE(parse(p, std::array<const char *, 5>{
+                             "test", "--model", "fcn_resnet50",
+                             "--rate", "9.75"}));
+    EXPECT_EQ(p.str("model"), "fcn_resnet50");
+    EXPECT_DOUBLE_EQ(p.dbl("rate"), 9.75);
+}
+
+TEST(ArgParse, BareFlagIsBooleanTrue)
+{
+    auto p = parser();
+    ASSERT_TRUE(parse(p, std::array<const char *, 2>{"test",
+                                                     "--verbose"}));
+    EXPECT_TRUE(p.boolean("verbose"));
+}
+
+TEST(ArgParse, BareFlagBeforeAnotherFlag)
+{
+    auto p = parser();
+    ASSERT_TRUE(parse(p, std::array<const char *, 3>{
+                             "test", "--verbose", "--batch=4"}));
+    EXPECT_TRUE(p.boolean("verbose"));
+    EXPECT_EQ(p.intval("batch"), 4);
+}
+
+TEST(ArgParse, IntListParses)
+{
+    auto p = parser();
+    ASSERT_TRUE(parse(p, std::array<const char *, 2>{
+                             "test", "--list=1,2,4,16"}));
+    EXPECT_EQ(p.intlist("list"),
+              (std::vector<int>{1, 2, 4, 16}));
+}
+
+TEST(ArgParse, IntListDefault)
+{
+    auto p = parser();
+    ASSERT_TRUE(parse(p, std::array<const char *, 1>{"test"}));
+    EXPECT_EQ(p.intlist("list"), (std::vector<int>{1, 2, 4}));
+}
+
+TEST(ArgParse, UnknownFlagFails)
+{
+    auto p = parser();
+    EXPECT_FALSE(parse(p, std::array<const char *, 2>{
+                              "test", "--nope=1"}));
+}
+
+TEST(ArgParse, PositionalArgumentFails)
+{
+    auto p = parser();
+    EXPECT_FALSE(
+        parse(p, std::array<const char *, 2>{"test", "oops"}));
+}
+
+TEST(ArgParse, BooleanSpellings)
+{
+    for (const char *v : {"true", "1", "yes", "on"}) {
+        auto p = parser();
+        const std::string flag = std::string("--verbose=") + v;
+        ASSERT_TRUE(parse(p, std::array<const char *, 2>{
+                                 "test", flag.c_str()}));
+        EXPECT_TRUE(p.boolean("verbose")) << v;
+    }
+    auto p = parser();
+    ASSERT_TRUE(parse(p, std::array<const char *, 2>{
+                             "test", "--verbose=off"}));
+    EXPECT_FALSE(p.boolean("verbose"));
+}
+
+} // namespace
+} // namespace jetsim::tools

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Builder tests: precision assignment and fallback, memory
+ * footprints, tactic parameters, determinism.
+ */
+
+#include "trt/builder.hh"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.hh"
+
+namespace jetsim::trt {
+namespace {
+
+Engine
+build(const soc::DeviceSpec &dev, const std::string &model,
+      soc::Precision p, int batch = 1)
+{
+    Builder b(dev);
+    BuilderConfig cfg;
+    cfg.precision = p;
+    cfg.batch = batch;
+    return b.build(models::modelByName(model), cfg);
+}
+
+TEST(Builder, KernelCountMatchesFusedOps)
+{
+    const auto net = models::resnet50();
+    const auto ops = fuseNetwork(net);
+    const auto e = build(soc::orinNano(), "resnet50",
+                         soc::Precision::Fp16);
+    EXPECT_EQ(e.kernels().size(), ops.size());
+}
+
+TEST(Builder, OrinRunsAllPrecisionsNatively)
+{
+    for (auto p : soc::kAllPrecisions) {
+        const auto e = build(soc::orinNano(), "resnet50", p);
+        EXPECT_EQ(e.fallbackOps(), 0) << soc::name(p);
+        for (const auto &k : e.kernels())
+            EXPECT_EQ(k.prec, p);
+    }
+}
+
+TEST(Builder, NanoInt8MostlyFallsBack)
+{
+    const auto e = build(soc::jetsonNano(), "resnet50",
+                         soc::Precision::Int8);
+    // Coverage is a minority: most ops run the fp32 path.
+    EXPECT_GT(e.fallbackOps(),
+              static_cast<int>(e.kernels().size()) / 2);
+    int fp32 = 0;
+    for (const auto &k : e.kernels())
+        fp32 += k.prec == soc::Precision::Fp32;
+    EXPECT_EQ(fp32, e.fallbackOps());
+}
+
+TEST(Builder, NanoTf32FullyFallsBack)
+{
+    const auto e = build(soc::jetsonNano(), "resnet50",
+                         soc::Precision::Tf32);
+    EXPECT_EQ(e.fallbackOps(),
+              static_cast<int>(e.kernels().size()));
+}
+
+TEST(Builder, NanoFp16IsNative)
+{
+    const auto e = build(soc::jetsonNano(), "resnet50",
+                         soc::Precision::Fp16);
+    EXPECT_EQ(e.fallbackOps(), 0);
+}
+
+TEST(Builder, YoloInt8DemotesSiluOpsToFp16)
+{
+    const auto e = build(soc::orinNano(), "yolov8n",
+                         soc::Precision::Int8);
+    int fp16 = 0, int8 = 0;
+    for (const auto &k : e.kernels()) {
+        fp16 += k.prec == soc::Precision::Fp16;
+        int8 += k.prec == soc::Precision::Int8;
+    }
+    EXPECT_GT(fp16, 30); // SiLU-fused convolutions
+    EXPECT_GT(e.fallbackOps(), 0);
+    // ResNet (ReLU) keeps everything in int8 on Orin.
+    const auto r = build(soc::orinNano(), "resnet50",
+                         soc::Precision::Int8);
+    EXPECT_EQ(r.fallbackOps(), 0);
+    (void)int8;
+}
+
+TEST(Builder, WeightBytesScaleWithPrecision)
+{
+    const auto i8 = build(soc::orinNano(), "resnet50",
+                          soc::Precision::Int8);
+    const auto f16 = build(soc::orinNano(), "resnet50",
+                           soc::Precision::Fp16);
+    const auto f32 = build(soc::orinNano(), "resnet50",
+                           soc::Precision::Fp32);
+    EXPECT_LT(i8.weightBytes(), f16.weightBytes());
+    EXPECT_LT(f16.weightBytes(), f32.weightBytes());
+    // fp32 weights are ~4x int8 weights (same parameter count).
+    EXPECT_NEAR(static_cast<double>(f32.weightBytes()) /
+                    static_cast<double>(i8.weightBytes()),
+                4.0, 0.6);
+}
+
+TEST(Builder, FootprintGrowsWithBatch)
+{
+    sim::Bytes prev = 0;
+    for (int b : {1, 2, 4, 8, 16}) {
+        const auto e = build(soc::orinNano(), "resnet50",
+                             soc::Precision::Fp16, b);
+        EXPECT_GT(e.deviceBytes(), prev);
+        prev = e.deviceBytes();
+    }
+}
+
+TEST(Builder, WeightsDominateSmallBatchFootprint)
+{
+    // The paper: "the model size is the dominant factor" at batch 1.
+    const auto e = build(soc::orinNano(), "resnet50",
+                         soc::Precision::Fp32);
+    EXPECT_GT(e.weightBytes(), e.activationBytes());
+    EXPECT_GT(e.weightBytes(), e.ioBytes());
+}
+
+TEST(Builder, IoBytesModelPreEnqueueDoubleBuffer)
+{
+    const auto b1 = build(soc::orinNano(), "resnet50",
+                          soc::Precision::Fp16, 1);
+    const auto b4 = build(soc::orinNano(), "resnet50",
+                          soc::Precision::Fp16, 4);
+    EXPECT_NEAR(static_cast<double>(b4.ioBytes()),
+                4.0 * static_cast<double>(b1.ioBytes()), 16.0);
+}
+
+TEST(Builder, FlopsScaleLinearlyWithBatch)
+{
+    const auto b1 = build(soc::orinNano(), "yolov8n",
+                          soc::Precision::Fp16, 1);
+    const auto b8 = build(soc::orinNano(), "yolov8n",
+                          soc::Precision::Fp16, 8);
+    EXPECT_NEAR(b8.totalFlops() / b1.totalFlops(), 8.0, 0.01);
+}
+
+TEST(Builder, TcOnlyForEligibleOpsOnTcDevices)
+{
+    const auto nano = build(soc::jetsonNano(), "resnet50",
+                            soc::Precision::Fp16);
+    for (const auto &k : nano.kernels())
+        EXPECT_FALSE(k.tc);
+
+    const auto orin = build(soc::orinNano(), "resnet50",
+                            soc::Precision::Fp16);
+    int tc = 0;
+    for (const auto &k : orin.kernels())
+        tc += k.tc;
+    EXPECT_GT(tc, 40); // all the conv/linear kernels
+}
+
+TEST(Builder, Fp32NeverOnTensorCores)
+{
+    const auto e = build(soc::orinNano(), "resnet50",
+                         soc::Precision::Fp32);
+    for (const auto &k : e.kernels())
+        EXPECT_FALSE(k.tc);
+}
+
+TEST(Builder, DilatedOpsCarryStallFactor)
+{
+    const auto e = build(soc::orinNano(), "fcn_resnet50",
+                         soc::Precision::Fp16);
+    int stalled = 0;
+    for (const auto &k : e.kernels())
+        stalled += k.tc_stall_factor > 1.0;
+    EXPECT_GT(stalled, 5);
+}
+
+TEST(Builder, Deterministic)
+{
+    const auto a = build(soc::orinNano(), "yolov8n",
+                         soc::Precision::Int8, 4);
+    const auto b = build(soc::orinNano(), "yolov8n",
+                         soc::Precision::Int8, 4);
+    ASSERT_EQ(a.kernels().size(), b.kernels().size());
+    for (std::size_t i = 0; i < a.kernels().size(); ++i) {
+        EXPECT_EQ(a.kernels()[i].prec, b.kernels()[i].prec);
+        EXPECT_DOUBLE_EQ(a.kernels()[i].flops, b.kernels()[i].flops);
+    }
+    EXPECT_EQ(a.deviceBytes(), b.deviceBytes());
+}
+
+TEST(Builder, EngineMetadataIsRecorded)
+{
+    const auto e = build(soc::orinNano(), "resnet50",
+                         soc::Precision::Tf32, 4);
+    EXPECT_EQ(e.model(), "resnet50");
+    EXPECT_EQ(e.requestedPrecision(), soc::Precision::Tf32);
+    EXPECT_EQ(e.batch(), 4);
+    EXPECT_GT(e.workspaceBytes(), 0u);
+}
+
+} // namespace
+} // namespace jetsim::trt

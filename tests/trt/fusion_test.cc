@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Fusion-pass tests: pattern coverage, exactness, and the per-op
+ * metadata the builder consumes.
+ */
+
+#include "trt/fusion.hh"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.hh"
+
+namespace jetsim::trt {
+namespace {
+
+using graph::Network;
+using graph::OpKind;
+using graph::Shape;
+
+TEST(Fusion, ConvBnReluCollapses)
+{
+    Network net("n", Shape{3, 8, 8});
+    int x = net.addConv("conv", 0, 8, 3, 1, 1);
+    x = net.addBatchNorm("bn", x);
+    net.addActivation("relu", x, OpKind::Relu);
+    const auto ops = fuseNetwork(net);
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0].layer_ids.size(), 3u);
+    EXPECT_EQ(ops[0].anchor, OpKind::Conv);
+}
+
+TEST(Fusion, ResidualAddFoldsIntoConvEpilogue)
+{
+    Network net("n", Shape{8, 8, 8});
+    int x = net.addConv("c1", 0, 8, 3, 1, 1);
+    x = net.addBatchNorm("bn1", x);
+    net.addAdd("add", x, 0);
+    const auto ops = fuseNetwork(net);
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0].layer_ids.size(), 3u);
+}
+
+TEST(Fusion, FanoutBlocksFusion)
+{
+    Network net("n", Shape{3, 8, 8});
+    const int c = net.addConv("conv", 0, 8, 3, 1, 1);
+    net.addActivation("r1", c, OpKind::Relu);
+    net.addActivation("r2", c, OpKind::Relu);
+    const auto ops = fuseNetwork(net);
+    // Conv stays alone; the two activations are separate kernels.
+    EXPECT_EQ(ops.size(), 3u);
+}
+
+TEST(Fusion, NetworkOutputNeverAbsorbed)
+{
+    Network net("n", Shape{3, 8, 8});
+    const int c = net.addConv("conv", 0, 8, 3, 1, 1);
+    net.addActivation("relu", c, OpKind::Relu);
+    net.setOutput(c); // conv itself is the output
+    const auto ops = fuseNetwork(net);
+    EXPECT_EQ(ops.size(), 2u);
+}
+
+TEST(Fusion, ConcatAndSliceProduceNoKernels)
+{
+    Network net("n", Shape{8, 4, 4});
+    const int a = net.addConv("a", 0, 8, 1);
+    const int b = net.addConv("b", 0, 8, 1);
+    const int c = net.addConcat("cat", {a, b});
+    net.addSlice("s", c, 0, 8);
+    const auto ops = fuseNetwork(net);
+    EXPECT_EQ(ops.size(), 2u); // just the two convs
+}
+
+TEST(Fusion, EveryKernelLayerCoveredExactlyOnce)
+{
+    for (const auto &name : models::paperModelNames()) {
+        const auto net = models::modelByName(name);
+        const auto ops = fuseNetwork(net);
+        std::size_t covered = 0;
+        for (const auto &o : ops)
+            covered += o.layer_ids.size();
+        std::size_t expected = 0;
+        for (const auto &l : net.layers())
+            if (l.kind != OpKind::Input &&
+                l.kind != OpKind::Concat && l.kind != OpKind::Slice)
+                ++expected;
+        EXPECT_EQ(covered, expected) << name;
+    }
+}
+
+TEST(Fusion, MacsAreConserved)
+{
+    for (const auto &name : models::paperModelNames()) {
+        const auto net = models::modelByName(name);
+        const auto ops = fuseNetwork(net);
+        double fused = 0;
+        for (const auto &o : ops)
+            fused += o.macs;
+        EXPECT_NEAR(fused, net.totalMacs(), net.totalMacs() * 1e-9)
+            << name;
+    }
+}
+
+TEST(Fusion, ParamsAreConserved)
+{
+    const auto net = models::resnet50();
+    const auto ops = fuseNetwork(net);
+    std::int64_t fused = 0;
+    for (const auto &o : ops)
+        fused += o.weight_params;
+    EXPECT_EQ(fused, net.totalParams());
+}
+
+TEST(Fusion, ResNet50KernelCountIsCompact)
+{
+    // 53 convs + 1 fc + pools: TensorRT-style fusion lands in the
+    // 50-60 kernel range, far below the 175 raw layers.
+    const auto ops = fuseNetwork(models::resnet50());
+    EXPECT_GE(ops.size(), 50u);
+    EXPECT_LE(ops.size(), 62u);
+}
+
+TEST(Fusion, SiluFlagMarksYoloOps)
+{
+    const auto ops = fuseNetwork(models::yolov8n());
+    int with_silu = 0;
+    for (const auto &o : ops)
+        with_silu += o.has_silu;
+    EXPECT_GT(with_silu, 30);
+}
+
+TEST(Fusion, DilatedFlagMarksFcnOps)
+{
+    const auto ops = fuseNetwork(models::fcnResnet50());
+    int dilated = 0;
+    for (const auto &o : ops)
+        dilated += o.dilated;
+    EXPECT_GT(dilated, 5);
+
+    for (const auto &o : fuseNetwork(models::resnet50()))
+        EXPECT_FALSE(o.dilated);
+}
+
+TEST(Fusion, IntensityPerElemIsSane)
+{
+    const auto ops = fuseNetwork(models::resnet50());
+    for (const auto &o : ops) {
+        if (o.anchor == OpKind::Conv) {
+            EXPECT_GT(o.intensityPerElem(), 1.0) << o.name;
+        }
+    }
+}
+
+TEST(Fusion, Deterministic)
+{
+    const auto a = fuseNetwork(models::yolov8n());
+    const auto b = fuseNetwork(models::yolov8n());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].layer_ids, b[i].layer_ids);
+    }
+}
+
+} // namespace
+} // namespace jetsim::trt

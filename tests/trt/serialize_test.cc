@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Engine plan serialisation round-trip tests.
+ */
+
+#include "trt/engine.hh"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.hh"
+#include "trt/builder.hh"
+
+namespace jetsim::trt {
+namespace {
+
+Engine
+build(const std::string &model, soc::Precision p, int batch = 1)
+{
+    Builder b(soc::orinNano());
+    BuilderConfig cfg;
+    cfg.precision = p;
+    cfg.batch = batch;
+    return b.build(models::modelByName(model), cfg);
+}
+
+TEST(Serialize, RoundTripPreservesMetadata)
+{
+    const auto e = build("resnet50", soc::Precision::Int8, 4);
+    const auto plan = e.serialize();
+    const auto d = Engine::deserialize(plan);
+
+    EXPECT_EQ(d.model(), e.model());
+    EXPECT_EQ(d.requestedPrecision(), e.requestedPrecision());
+    EXPECT_EQ(d.batch(), e.batch());
+    EXPECT_EQ(d.fallbackOps(), e.fallbackOps());
+    EXPECT_EQ(d.weightBytes(), e.weightBytes());
+    EXPECT_EQ(d.activationBytes(), e.activationBytes());
+    EXPECT_EQ(d.ioBytes(), e.ioBytes());
+    EXPECT_EQ(d.workspaceBytes(), e.workspaceBytes());
+    EXPECT_EQ(d.deviceBytes(), e.deviceBytes());
+}
+
+TEST(Serialize, RoundTripPreservesEveryKernel)
+{
+    for (const auto &model : models::paperModelNames()) {
+        const auto e = build(model, soc::Precision::Fp16);
+        const auto d = Engine::deserialize(e.serialize());
+        ASSERT_EQ(d.kernels().size(), e.kernels().size()) << model;
+        for (std::size_t i = 0; i < e.kernels().size(); ++i) {
+            const auto &a = e.kernels()[i];
+            const auto &b = d.kernels()[i];
+            EXPECT_EQ(a.name, b.name);
+            EXPECT_DOUBLE_EQ(a.flops, b.flops);
+            EXPECT_DOUBLE_EQ(a.bytes, b.bytes);
+            EXPECT_EQ(a.prec, b.prec);
+            EXPECT_EQ(a.tc, b.tc);
+            EXPECT_EQ(a.blocks, b.blocks);
+            EXPECT_DOUBLE_EQ(a.efficiency_scale, b.efficiency_scale);
+            EXPECT_DOUBLE_EQ(a.issue_intensity, b.issue_intensity);
+            EXPECT_DOUBLE_EQ(a.tc_stall_factor, b.tc_stall_factor);
+        }
+    }
+}
+
+TEST(Serialize, TotalsRecomputedOnLoad)
+{
+    const auto e = build("yolov8n", soc::Precision::Int8, 2);
+    const auto d = Engine::deserialize(e.serialize());
+    EXPECT_DOUBLE_EQ(d.totalFlops(), e.totalFlops());
+    EXPECT_DOUBLE_EQ(d.totalBytes(), e.totalBytes());
+}
+
+TEST(Serialize, SerializeIsDeterministic)
+{
+    const auto a = build("resnet50", soc::Precision::Tf32).serialize();
+    const auto b = build("resnet50", soc::Precision::Tf32).serialize();
+    EXPECT_EQ(a, b);
+}
+
+TEST(Serialize, DoubleRoundTripIsStable)
+{
+    const auto e = build("mobilenet_v2", soc::Precision::Int8);
+    const auto once = e.serialize();
+    const auto twice = Engine::deserialize(once).serialize();
+    EXPECT_EQ(once, twice);
+}
+
+using SerializeDeath = ::testing::Test;
+
+TEST(SerializeDeath, RejectsBadMagic)
+{
+    EXPECT_DEATH(Engine::deserialize("not-a-plan v1\n"),
+                 "bad header");
+}
+
+TEST(SerializeDeath, RejectsTruncatedPlan)
+{
+    auto plan = build("resnet50", soc::Precision::Fp16).serialize();
+    plan.resize(plan.size() / 2);
+    EXPECT_DEATH(Engine::deserialize(plan), "plan");
+}
+
+} // namespace
+} // namespace jetsim::trt

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the jetsim tools.
+ *
+ * Supports `--flag=value`, `--flag value` and boolean `--flag`
+ * switches, with typed accessors, defaults, and generated help.
+ */
+
+#ifndef JETSIM_TOOLS_ARGPARSE_HH
+#define JETSIM_TOOLS_ARGPARSE_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace jetsim::tools {
+
+/** Declarative flag set with typed lookup. */
+class ArgParser
+{
+  public:
+    ArgParser(std::string program, std::string description)
+        : program_(std::move(program)),
+          description_(std::move(description))
+    {
+    }
+
+    /** Declare a flag (name without the leading dashes). */
+    void
+    add(const std::string &name, const std::string &default_value,
+        const std::string &help)
+    {
+        order_.push_back(name);
+        defaults_[name] = default_value;
+        help_[name] = help;
+    }
+
+    /**
+     * Parse argv. Unknown flags or `--help` print usage; unknown
+     * flags exit non-zero.
+     */
+    bool
+    parse(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                usage();
+                std::exit(0);
+            }
+            if (arg.rfind("--", 0) != 0) {
+                std::fprintf(stderr, "%s: unexpected argument '%s'\n",
+                             program_.c_str(), arg.c_str());
+                usage();
+                return false;
+            }
+            arg = arg.substr(2);
+            std::string value;
+            const auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                value = arg.substr(eq + 1);
+                arg = arg.substr(0, eq);
+            }
+            if (!defaults_.count(arg)) {
+                std::fprintf(stderr, "%s: unknown flag '--%s'\n",
+                             program_.c_str(), arg.c_str());
+                usage();
+                return false;
+            }
+            if (eq == std::string::npos) {
+                // `--flag value` unless the next token is a flag or
+                // missing (then it is a boolean switch).
+                if (i + 1 < argc &&
+                    std::string(argv[i + 1]).rfind("--", 0) != 0)
+                    value = argv[++i];
+                else
+                    value = "true";
+            }
+            values_[arg] = value;
+        }
+        return true;
+    }
+
+    std::string
+    str(const std::string &name) const
+    {
+        auto it = values_.find(name);
+        if (it != values_.end())
+            return it->second;
+        return defaults_.at(name);
+    }
+
+    int
+    intval(const std::string &name) const
+    {
+        return std::atoi(str(name).c_str());
+    }
+
+    double
+    dbl(const std::string &name) const
+    {
+        return std::atof(str(name).c_str());
+    }
+
+    bool
+    boolean(const std::string &name) const
+    {
+        const auto v = str(name);
+        return v == "true" || v == "1" || v == "yes" || v == "on";
+    }
+
+    /** Comma-separated integer list ("1,2,4" -> {1,2,4}). */
+    std::vector<int>
+    intlist(const std::string &name) const
+    {
+        std::vector<int> out;
+        const std::string v = str(name);
+        std::size_t pos = 0;
+        while (pos < v.size()) {
+            const auto comma = v.find(',', pos);
+            const auto end =
+                comma == std::string::npos ? v.size() : comma;
+            out.push_back(std::atoi(v.substr(pos, end - pos).c_str()));
+            pos = end + 1;
+        }
+        return out;
+    }
+
+    /** True when the user supplied the flag explicitly. */
+    bool given(const std::string &name) const
+    {
+        return values_.count(name) > 0;
+    }
+
+    void
+    usage() const
+    {
+        std::fprintf(stderr, "%s - %s\n\nflags:\n", program_.c_str(),
+                     description_.c_str());
+        for (const auto &name : order_)
+            std::fprintf(stderr, "  --%-14s %s (default: %s)\n",
+                         name.c_str(), help_.at(name).c_str(),
+                         defaults_.at(name).c_str());
+    }
+
+  private:
+    std::string program_;
+    std::string description_;
+    std::vector<std::string> order_;
+    std::map<std::string, std::string> defaults_;
+    std::map<std::string, std::string> help_;
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace jetsim::tools
+
+#endif // JETSIM_TOOLS_ARGPARSE_HH
