@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_biglittle.dir/abl_biglittle.cpp.o"
+  "CMakeFiles/abl_biglittle.dir/abl_biglittle.cpp.o.d"
+  "abl_biglittle"
+  "abl_biglittle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_biglittle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

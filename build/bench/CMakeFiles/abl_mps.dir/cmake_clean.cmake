@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mps.dir/abl_mps.cpp.o"
+  "CMakeFiles/abl_mps.dir/abl_mps.cpp.o.d"
+  "abl_mps"
+  "abl_mps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_preenqueue.dir/abl_preenqueue.cpp.o"
+  "CMakeFiles/abl_preenqueue.dir/abl_preenqueue.cpp.o.d"
+  "abl_preenqueue"
+  "abl_preenqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_preenqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

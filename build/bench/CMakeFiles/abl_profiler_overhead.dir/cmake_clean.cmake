@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_profiler_overhead.dir/abl_profiler_overhead.cpp.o"
+  "CMakeFiles/abl_profiler_overhead.dir/abl_profiler_overhead.cpp.o.d"
+  "abl_profiler_overhead"
+  "abl_profiler_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_profiler_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

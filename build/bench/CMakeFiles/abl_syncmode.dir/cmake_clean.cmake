@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_syncmode.dir/abl_syncmode.cpp.o"
+  "CMakeFiles/abl_syncmode.dir/abl_syncmode.cpp.o.d"
+  "abl_syncmode"
+  "abl_syncmode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_syncmode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_layer_breakdown.dir/ext_layer_breakdown.cpp.o"
+  "CMakeFiles/ext_layer_breakdown.dir/ext_layer_breakdown.cpp.o.d"
+  "ext_layer_breakdown"
+  "ext_layer_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_layer_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mixed_tenancy.dir/ext_mixed_tenancy.cpp.o"
+  "CMakeFiles/ext_mixed_tenancy.dir/ext_mixed_tenancy.cpp.o.d"
+  "ext_mixed_tenancy"
+  "ext_mixed_tenancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mixed_tenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_serving_latency.dir/ext_serving_latency.cpp.o"
+  "CMakeFiles/ext_serving_latency.dir/ext_serving_latency.cpp.o.d"
+  "ext_serving_latency"
+  "ext_serving_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_serving_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

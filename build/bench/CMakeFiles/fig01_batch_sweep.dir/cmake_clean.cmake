@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_batch_sweep.dir/fig01_batch_sweep.cpp.o"
+  "CMakeFiles/fig01_batch_sweep.dir/fig01_batch_sweep.cpp.o.d"
+  "fig01_batch_sweep"
+  "fig01_batch_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_batch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

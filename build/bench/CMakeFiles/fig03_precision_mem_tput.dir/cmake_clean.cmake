@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_precision_mem_tput.dir/fig03_precision_mem_tput.cpp.o"
+  "CMakeFiles/fig03_precision_mem_tput.dir/fig03_precision_mem_tput.cpp.o.d"
+  "fig03_precision_mem_tput"
+  "fig03_precision_mem_tput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_precision_mem_tput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_precision_counters.dir/fig05_precision_counters.cpp.o"
+  "CMakeFiles/fig05_precision_counters.dir/fig05_precision_counters.cpp.o.d"
+  "fig05_precision_counters"
+  "fig05_precision_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_precision_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_concurrent_orin.dir/fig06_concurrent_orin.cpp.o"
+  "CMakeFiles/fig06_concurrent_orin.dir/fig06_concurrent_orin.cpp.o.d"
+  "fig06_concurrent_orin"
+  "fig06_concurrent_orin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_concurrent_orin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

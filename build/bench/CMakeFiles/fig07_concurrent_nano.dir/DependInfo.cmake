@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig07_concurrent_nano.cpp" "bench/CMakeFiles/fig07_concurrent_nano.dir/fig07_concurrent_nano.cpp.o" "gcc" "bench/CMakeFiles/fig07_concurrent_nano.dir/fig07_concurrent_nano.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jetsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jetsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trt/CMakeFiles/jetsim_trt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/jetsim_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/jetsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/jetsim_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/jetsim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/jetsim_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/jetsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/jetsim_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jetsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

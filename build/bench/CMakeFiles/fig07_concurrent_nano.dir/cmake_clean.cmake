@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_concurrent_nano.dir/fig07_concurrent_nano.cpp.o"
+  "CMakeFiles/fig07_concurrent_nano.dir/fig07_concurrent_nano.cpp.o.d"
+  "fig07_concurrent_nano"
+  "fig07_concurrent_nano.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_concurrent_nano.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

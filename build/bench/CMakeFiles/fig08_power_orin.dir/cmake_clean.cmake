@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_power_orin.dir/fig08_power_orin.cpp.o"
+  "CMakeFiles/fig08_power_orin.dir/fig08_power_orin.cpp.o.d"
+  "fig08_power_orin"
+  "fig08_power_orin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_power_orin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

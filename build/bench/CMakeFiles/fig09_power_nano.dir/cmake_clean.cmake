@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_power_nano.dir/fig09_power_nano.cpp.o"
+  "CMakeFiles/fig09_power_nano.dir/fig09_power_nano.cpp.o.d"
+  "fig09_power_nano"
+  "fig09_power_nano.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_power_nano.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_kernel_events_orin.dir/fig11_kernel_events_orin.cpp.o"
+  "CMakeFiles/fig11_kernel_events_orin.dir/fig11_kernel_events_orin.cpp.o.d"
+  "fig11_kernel_events_orin"
+  "fig11_kernel_events_orin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_kernel_events_orin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

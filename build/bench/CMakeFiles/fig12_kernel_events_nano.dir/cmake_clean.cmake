@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_kernel_events_nano.dir/fig12_kernel_events_nano.cpp.o"
+  "CMakeFiles/fig12_kernel_events_nano.dir/fig12_kernel_events_nano.cpp.o.d"
+  "fig12_kernel_events_nano"
+  "fig12_kernel_events_nano.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_kernel_events_nano.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

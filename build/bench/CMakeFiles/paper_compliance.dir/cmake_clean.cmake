@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_compliance.dir/paper_compliance.cpp.o"
+  "CMakeFiles/paper_compliance.dir/paper_compliance.cpp.o.d"
+  "paper_compliance"
+  "paper_compliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_compliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_metric_catalog.dir/table2_metric_catalog.cpp.o"
+  "CMakeFiles/table2_metric_catalog.dir/table2_metric_catalog.cpp.o.d"
+  "table2_metric_catalog"
+  "table2_metric_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_metric_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

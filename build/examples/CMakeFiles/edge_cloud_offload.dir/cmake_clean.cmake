@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_cloud_offload.dir/edge_cloud_offload.cpp.o"
+  "CMakeFiles/edge_cloud_offload.dir/edge_cloud_offload.cpp.o.d"
+  "edge_cloud_offload"
+  "edge_cloud_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_cloud_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("soc")
+subdirs("cpu")
+subdirs("gpu")
+subdirs("cuda")
+subdirs("graph")
+subdirs("models")
+subdirs("trt")
+subdirs("prof")
+subdirs("workload")
+subdirs("core")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jetsim_core.dir/bottleneck.cc.o"
+  "CMakeFiles/jetsim_core.dir/bottleneck.cc.o.d"
+  "CMakeFiles/jetsim_core.dir/profiler.cc.o"
+  "CMakeFiles/jetsim_core.dir/profiler.cc.o.d"
+  "CMakeFiles/jetsim_core.dir/report.cc.o"
+  "CMakeFiles/jetsim_core.dir/report.cc.o.d"
+  "CMakeFiles/jetsim_core.dir/sweep.cc.o"
+  "CMakeFiles/jetsim_core.dir/sweep.cc.o.d"
+  "libjetsim_core.a"
+  "libjetsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jetsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

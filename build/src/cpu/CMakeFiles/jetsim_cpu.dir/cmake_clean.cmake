@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jetsim_cpu.dir/scheduler.cc.o"
+  "CMakeFiles/jetsim_cpu.dir/scheduler.cc.o.d"
+  "libjetsim_cpu.a"
+  "libjetsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jetsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

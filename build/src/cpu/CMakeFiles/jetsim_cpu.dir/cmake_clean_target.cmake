@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjetsim_cpu.a"
+)

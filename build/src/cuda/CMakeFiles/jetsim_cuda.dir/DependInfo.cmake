@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cuda/device_buffer.cc" "src/cuda/CMakeFiles/jetsim_cuda.dir/device_buffer.cc.o" "gcc" "src/cuda/CMakeFiles/jetsim_cuda.dir/device_buffer.cc.o.d"
+  "/root/repo/src/cuda/stream.cc" "src/cuda/CMakeFiles/jetsim_cuda.dir/stream.cc.o" "gcc" "src/cuda/CMakeFiles/jetsim_cuda.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/jetsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/jetsim_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jetsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

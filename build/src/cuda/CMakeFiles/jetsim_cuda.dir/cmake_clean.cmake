@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jetsim_cuda.dir/device_buffer.cc.o"
+  "CMakeFiles/jetsim_cuda.dir/device_buffer.cc.o.d"
+  "CMakeFiles/jetsim_cuda.dir/stream.cc.o"
+  "CMakeFiles/jetsim_cuda.dir/stream.cc.o.d"
+  "libjetsim_cuda.a"
+  "libjetsim_cuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jetsim_cuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

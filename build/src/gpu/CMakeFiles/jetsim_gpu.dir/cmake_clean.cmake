@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jetsim_gpu.dir/cost_model.cc.o"
+  "CMakeFiles/jetsim_gpu.dir/cost_model.cc.o.d"
+  "CMakeFiles/jetsim_gpu.dir/engine.cc.o"
+  "CMakeFiles/jetsim_gpu.dir/engine.cc.o.d"
+  "libjetsim_gpu.a"
+  "libjetsim_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jetsim_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jetsim_graph.dir/network.cc.o"
+  "CMakeFiles/jetsim_graph.dir/network.cc.o.d"
+  "libjetsim_graph.a"
+  "libjetsim_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jetsim_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/extra.cc" "src/models/CMakeFiles/jetsim_models.dir/extra.cc.o" "gcc" "src/models/CMakeFiles/jetsim_models.dir/extra.cc.o.d"
+  "/root/repo/src/models/resnet.cc" "src/models/CMakeFiles/jetsim_models.dir/resnet.cc.o" "gcc" "src/models/CMakeFiles/jetsim_models.dir/resnet.cc.o.d"
+  "/root/repo/src/models/yolov8.cc" "src/models/CMakeFiles/jetsim_models.dir/yolov8.cc.o" "gcc" "src/models/CMakeFiles/jetsim_models.dir/yolov8.cc.o.d"
+  "/root/repo/src/models/zoo.cc" "src/models/CMakeFiles/jetsim_models.dir/zoo.cc.o" "gcc" "src/models/CMakeFiles/jetsim_models.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/jetsim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jetsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jetsim_models.dir/extra.cc.o"
+  "CMakeFiles/jetsim_models.dir/extra.cc.o.d"
+  "CMakeFiles/jetsim_models.dir/resnet.cc.o"
+  "CMakeFiles/jetsim_models.dir/resnet.cc.o.d"
+  "CMakeFiles/jetsim_models.dir/yolov8.cc.o"
+  "CMakeFiles/jetsim_models.dir/yolov8.cc.o.d"
+  "CMakeFiles/jetsim_models.dir/zoo.cc.o"
+  "CMakeFiles/jetsim_models.dir/zoo.cc.o.d"
+  "libjetsim_models.a"
+  "libjetsim_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jetsim_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

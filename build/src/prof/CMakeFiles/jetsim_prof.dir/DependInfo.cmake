@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prof/cdf.cc" "src/prof/CMakeFiles/jetsim_prof.dir/cdf.cc.o" "gcc" "src/prof/CMakeFiles/jetsim_prof.dir/cdf.cc.o.d"
+  "/root/repo/src/prof/chrome_trace.cc" "src/prof/CMakeFiles/jetsim_prof.dir/chrome_trace.cc.o" "gcc" "src/prof/CMakeFiles/jetsim_prof.dir/chrome_trace.cc.o.d"
+  "/root/repo/src/prof/jstats.cc" "src/prof/CMakeFiles/jetsim_prof.dir/jstats.cc.o" "gcc" "src/prof/CMakeFiles/jetsim_prof.dir/jstats.cc.o.d"
+  "/root/repo/src/prof/kernel_summary.cc" "src/prof/CMakeFiles/jetsim_prof.dir/kernel_summary.cc.o" "gcc" "src/prof/CMakeFiles/jetsim_prof.dir/kernel_summary.cc.o.d"
+  "/root/repo/src/prof/metrics.cc" "src/prof/CMakeFiles/jetsim_prof.dir/metrics.cc.o" "gcc" "src/prof/CMakeFiles/jetsim_prof.dir/metrics.cc.o.d"
+  "/root/repo/src/prof/nsight.cc" "src/prof/CMakeFiles/jetsim_prof.dir/nsight.cc.o" "gcc" "src/prof/CMakeFiles/jetsim_prof.dir/nsight.cc.o.d"
+  "/root/repo/src/prof/report.cc" "src/prof/CMakeFiles/jetsim_prof.dir/report.cc.o" "gcc" "src/prof/CMakeFiles/jetsim_prof.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/jetsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/jetsim_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jetsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

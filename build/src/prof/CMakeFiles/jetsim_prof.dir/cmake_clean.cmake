@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jetsim_prof.dir/cdf.cc.o"
+  "CMakeFiles/jetsim_prof.dir/cdf.cc.o.d"
+  "CMakeFiles/jetsim_prof.dir/chrome_trace.cc.o"
+  "CMakeFiles/jetsim_prof.dir/chrome_trace.cc.o.d"
+  "CMakeFiles/jetsim_prof.dir/jstats.cc.o"
+  "CMakeFiles/jetsim_prof.dir/jstats.cc.o.d"
+  "CMakeFiles/jetsim_prof.dir/kernel_summary.cc.o"
+  "CMakeFiles/jetsim_prof.dir/kernel_summary.cc.o.d"
+  "CMakeFiles/jetsim_prof.dir/metrics.cc.o"
+  "CMakeFiles/jetsim_prof.dir/metrics.cc.o.d"
+  "CMakeFiles/jetsim_prof.dir/nsight.cc.o"
+  "CMakeFiles/jetsim_prof.dir/nsight.cc.o.d"
+  "CMakeFiles/jetsim_prof.dir/report.cc.o"
+  "CMakeFiles/jetsim_prof.dir/report.cc.o.d"
+  "libjetsim_prof.a"
+  "libjetsim_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jetsim_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jetsim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/jetsim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/jetsim_sim.dir/logging.cc.o"
+  "CMakeFiles/jetsim_sim.dir/logging.cc.o.d"
+  "CMakeFiles/jetsim_sim.dir/rng.cc.o"
+  "CMakeFiles/jetsim_sim.dir/rng.cc.o.d"
+  "CMakeFiles/jetsim_sim.dir/stats.cc.o"
+  "CMakeFiles/jetsim_sim.dir/stats.cc.o.d"
+  "libjetsim_sim.a"
+  "libjetsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jetsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

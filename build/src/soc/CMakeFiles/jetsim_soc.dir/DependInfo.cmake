@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/board.cc" "src/soc/CMakeFiles/jetsim_soc.dir/board.cc.o" "gcc" "src/soc/CMakeFiles/jetsim_soc.dir/board.cc.o.d"
+  "/root/repo/src/soc/device_spec.cc" "src/soc/CMakeFiles/jetsim_soc.dir/device_spec.cc.o" "gcc" "src/soc/CMakeFiles/jetsim_soc.dir/device_spec.cc.o.d"
+  "/root/repo/src/soc/dvfs.cc" "src/soc/CMakeFiles/jetsim_soc.dir/dvfs.cc.o" "gcc" "src/soc/CMakeFiles/jetsim_soc.dir/dvfs.cc.o.d"
+  "/root/repo/src/soc/network_link.cc" "src/soc/CMakeFiles/jetsim_soc.dir/network_link.cc.o" "gcc" "src/soc/CMakeFiles/jetsim_soc.dir/network_link.cc.o.d"
+  "/root/repo/src/soc/power.cc" "src/soc/CMakeFiles/jetsim_soc.dir/power.cc.o" "gcc" "src/soc/CMakeFiles/jetsim_soc.dir/power.cc.o.d"
+  "/root/repo/src/soc/precision.cc" "src/soc/CMakeFiles/jetsim_soc.dir/precision.cc.o" "gcc" "src/soc/CMakeFiles/jetsim_soc.dir/precision.cc.o.d"
+  "/root/repo/src/soc/unified_memory.cc" "src/soc/CMakeFiles/jetsim_soc.dir/unified_memory.cc.o" "gcc" "src/soc/CMakeFiles/jetsim_soc.dir/unified_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/jetsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

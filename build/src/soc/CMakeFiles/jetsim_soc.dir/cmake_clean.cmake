@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jetsim_soc.dir/board.cc.o"
+  "CMakeFiles/jetsim_soc.dir/board.cc.o.d"
+  "CMakeFiles/jetsim_soc.dir/device_spec.cc.o"
+  "CMakeFiles/jetsim_soc.dir/device_spec.cc.o.d"
+  "CMakeFiles/jetsim_soc.dir/dvfs.cc.o"
+  "CMakeFiles/jetsim_soc.dir/dvfs.cc.o.d"
+  "CMakeFiles/jetsim_soc.dir/network_link.cc.o"
+  "CMakeFiles/jetsim_soc.dir/network_link.cc.o.d"
+  "CMakeFiles/jetsim_soc.dir/power.cc.o"
+  "CMakeFiles/jetsim_soc.dir/power.cc.o.d"
+  "CMakeFiles/jetsim_soc.dir/precision.cc.o"
+  "CMakeFiles/jetsim_soc.dir/precision.cc.o.d"
+  "CMakeFiles/jetsim_soc.dir/unified_memory.cc.o"
+  "CMakeFiles/jetsim_soc.dir/unified_memory.cc.o.d"
+  "libjetsim_soc.a"
+  "libjetsim_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jetsim_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jetsim_trt.dir/builder.cc.o"
+  "CMakeFiles/jetsim_trt.dir/builder.cc.o.d"
+  "CMakeFiles/jetsim_trt.dir/execution_context.cc.o"
+  "CMakeFiles/jetsim_trt.dir/execution_context.cc.o.d"
+  "CMakeFiles/jetsim_trt.dir/fusion.cc.o"
+  "CMakeFiles/jetsim_trt.dir/fusion.cc.o.d"
+  "CMakeFiles/jetsim_trt.dir/serialize.cc.o"
+  "CMakeFiles/jetsim_trt.dir/serialize.cc.o.d"
+  "libjetsim_trt.a"
+  "libjetsim_trt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jetsim_trt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jetsim_workload.dir/inference_process.cc.o"
+  "CMakeFiles/jetsim_workload.dir/inference_process.cc.o.d"
+  "CMakeFiles/jetsim_workload.dir/serving_process.cc.o"
+  "CMakeFiles/jetsim_workload.dir/serving_process.cc.o.d"
+  "libjetsim_workload.a"
+  "libjetsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jetsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

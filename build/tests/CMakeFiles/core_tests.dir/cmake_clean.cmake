@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/bottleneck_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/bottleneck_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/calibration_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/calibration_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/mixed_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/mixed_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/profiler_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/profiler_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/property_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/property_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/report_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/report_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

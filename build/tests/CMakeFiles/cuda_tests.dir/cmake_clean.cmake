@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuda_tests.dir/cuda/stream_test.cc.o"
+  "CMakeFiles/cuda_tests.dir/cuda/stream_test.cc.o.d"
+  "cuda_tests"
+  "cuda_tests.pdb"
+  "cuda_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuda_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

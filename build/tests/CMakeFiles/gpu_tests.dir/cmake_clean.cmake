@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_tests.dir/gpu/cost_model_test.cc.o"
+  "CMakeFiles/gpu_tests.dir/gpu/cost_model_test.cc.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/engine_test.cc.o"
+  "CMakeFiles/gpu_tests.dir/gpu/engine_test.cc.o.d"
+  "gpu_tests"
+  "gpu_tests.pdb"
+  "gpu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prof_tests.dir/prof/cdf_test.cc.o"
+  "CMakeFiles/prof_tests.dir/prof/cdf_test.cc.o.d"
+  "CMakeFiles/prof_tests.dir/prof/chrome_trace_test.cc.o"
+  "CMakeFiles/prof_tests.dir/prof/chrome_trace_test.cc.o.d"
+  "CMakeFiles/prof_tests.dir/prof/jstats_test.cc.o"
+  "CMakeFiles/prof_tests.dir/prof/jstats_test.cc.o.d"
+  "CMakeFiles/prof_tests.dir/prof/kernel_summary_test.cc.o"
+  "CMakeFiles/prof_tests.dir/prof/kernel_summary_test.cc.o.d"
+  "CMakeFiles/prof_tests.dir/prof/metrics_test.cc.o"
+  "CMakeFiles/prof_tests.dir/prof/metrics_test.cc.o.d"
+  "CMakeFiles/prof_tests.dir/prof/nsight_test.cc.o"
+  "CMakeFiles/prof_tests.dir/prof/nsight_test.cc.o.d"
+  "prof_tests"
+  "prof_tests.pdb"
+  "prof_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prof_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

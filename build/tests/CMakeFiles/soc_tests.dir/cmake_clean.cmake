@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_tests.dir/soc/board_test.cc.o"
+  "CMakeFiles/soc_tests.dir/soc/board_test.cc.o.d"
+  "CMakeFiles/soc_tests.dir/soc/device_spec_test.cc.o"
+  "CMakeFiles/soc_tests.dir/soc/device_spec_test.cc.o.d"
+  "CMakeFiles/soc_tests.dir/soc/dvfs_test.cc.o"
+  "CMakeFiles/soc_tests.dir/soc/dvfs_test.cc.o.d"
+  "CMakeFiles/soc_tests.dir/soc/network_link_test.cc.o"
+  "CMakeFiles/soc_tests.dir/soc/network_link_test.cc.o.d"
+  "CMakeFiles/soc_tests.dir/soc/power_test.cc.o"
+  "CMakeFiles/soc_tests.dir/soc/power_test.cc.o.d"
+  "CMakeFiles/soc_tests.dir/soc/unified_memory_test.cc.o"
+  "CMakeFiles/soc_tests.dir/soc/unified_memory_test.cc.o.d"
+  "soc_tests"
+  "soc_tests.pdb"
+  "soc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trt_tests.dir/trt/builder_test.cc.o"
+  "CMakeFiles/trt_tests.dir/trt/builder_test.cc.o.d"
+  "CMakeFiles/trt_tests.dir/trt/execution_context_test.cc.o"
+  "CMakeFiles/trt_tests.dir/trt/execution_context_test.cc.o.d"
+  "CMakeFiles/trt_tests.dir/trt/fusion_test.cc.o"
+  "CMakeFiles/trt_tests.dir/trt/fusion_test.cc.o.d"
+  "CMakeFiles/trt_tests.dir/trt/random_graph_test.cc.o"
+  "CMakeFiles/trt_tests.dir/trt/random_graph_test.cc.o.d"
+  "CMakeFiles/trt_tests.dir/trt/serialize_test.cc.o"
+  "CMakeFiles/trt_tests.dir/trt/serialize_test.cc.o.d"
+  "trt_tests"
+  "trt_tests.pdb"
+  "trt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

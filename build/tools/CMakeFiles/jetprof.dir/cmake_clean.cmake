@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jetprof.dir/jetprof.cpp.o"
+  "CMakeFiles/jetprof.dir/jetprof.cpp.o.d"
+  "jetprof"
+  "jetprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jetprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netinfo.dir/netinfo.cpp.o"
+  "CMakeFiles/netinfo.dir/netinfo.cpp.o.d"
+  "netinfo"
+  "netinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

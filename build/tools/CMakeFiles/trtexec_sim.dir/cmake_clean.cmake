@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trtexec_sim.dir/trtexec_sim.cpp.o"
+  "CMakeFiles/trtexec_sim.dir/trtexec_sim.cpp.o.d"
+  "trtexec_sim"
+  "trtexec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trtexec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
