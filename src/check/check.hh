@@ -1,0 +1,45 @@
+/**
+ * @file
+ * JetSan check macros: the entry points components use.
+ *
+ * JETSIM_CHECK evaluates a condition and reports a violation through
+ * the process-wide check::Reporter when it fails; JETSIM_VIOLATION
+ * reports unconditionally (for sites that already branched on the
+ * bad state and need to sanitise it afterwards).
+ *
+ * Checks compile away when the JETSIM_CHECKS CMake option is OFF
+ * (JETSIM_ENABLE_CHECKS == 0); they are ON by default — every check
+ * is O(1) and off the per-kernel hot path's inner loops.
+ */
+
+#ifndef JETSIM_CHECK_CHECK_HH
+#define JETSIM_CHECK_CHECK_HH
+
+#include "check/reporter.hh"
+
+#ifndef JETSIM_ENABLE_CHECKS
+#define JETSIM_ENABLE_CHECKS 1
+#endif
+
+/**
+ * Report a violation of @p inv at severity @p sev when @p cond is
+ * false. @p component is a dotted component path; @p when is the
+ * simulated time (check::kTimeUnknown if unavailable); the rest is a
+ * printf-style message.
+ */
+#define JETSIM_CHECK(cond, sev, inv, component, when, ...)              \
+    do {                                                                \
+        if (JETSIM_ENABLE_CHECKS && !(cond))                            \
+            ::jetsim::check::Reporter::instance().report(               \
+                sev, inv, component, when, __VA_ARGS__);                \
+    } while (0)
+
+/** Unconditionally report a violation (the caller already branched). */
+#define JETSIM_VIOLATION(sev, inv, component, when, ...)                \
+    do {                                                                \
+        if (JETSIM_ENABLE_CHECKS)                                       \
+            ::jetsim::check::Reporter::instance().report(               \
+                sev, inv, component, when, __VA_ARGS__);                \
+    } while (0)
+
+#endif // JETSIM_CHECK_CHECK_HH

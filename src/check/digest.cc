@@ -1,0 +1,51 @@
+#include "check/digest.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace jetsim::check {
+
+void
+Digest::addBytes(const void *p, std::size_t n)
+{
+    const auto *b = static_cast<const unsigned char *>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+        h_ ^= b[i];
+        h_ *= 0x100000001b3ULL;
+    }
+}
+
+Digest &
+Digest::add(std::uint64_t v)
+{
+    addBytes(&v, sizeof(v));
+    return *this;
+}
+
+Digest &
+Digest::add(std::int64_t v)
+{
+    return add(static_cast<std::uint64_t>(v));
+}
+
+Digest &
+Digest::add(double v)
+{
+    // All NaN payloads hash alike so a NaN-vs-NaN comparison cannot
+    // masquerade as non-determinism.
+    if (std::isnan(v))
+        return add(std::uint64_t{0x7ff8000000000000ULL});
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return add(bits);
+}
+
+Digest &
+Digest::add(std::string_view s)
+{
+    addBytes(s.data(), s.size());
+    return add(static_cast<std::uint64_t>(s.size()));
+}
+
+} // namespace jetsim::check

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Streaming 64-bit digest for determinism checking.
+ *
+ * The replay harness (tools/simcheck) and the determinism tests hash
+ * every numeric field of an experiment result; two runs of the same
+ * seeded spec must produce bit-identical digests. Doubles are hashed
+ * by bit pattern, so even sub-ULP drift — the earliest symptom of
+ * hidden global state or iteration-order dependence — is caught.
+ */
+
+#ifndef JETSIM_CHECK_DIGEST_HH
+#define JETSIM_CHECK_DIGEST_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace jetsim::check {
+
+/** Order-sensitive FNV-1a accumulator over typed values. */
+class Digest
+{
+  public:
+    /** Fold in one 64-bit value. */
+    Digest &add(std::uint64_t v);
+
+    Digest &add(std::int64_t v);
+
+    /** Fold in a double by bit pattern (NaNs normalised). */
+    Digest &add(double v);
+
+    /** Fold in a string's bytes and length. */
+    Digest &add(std::string_view s);
+
+    /** The digest over everything added so far. */
+    std::uint64_t value() const { return h_; }
+
+  private:
+    void addBytes(const void *p, std::size_t n);
+
+    std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+} // namespace jetsim::check
+
+#endif // JETSIM_CHECK_DIGEST_HH

@@ -1,0 +1,134 @@
+#include "check/reporter.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace jetsim::check {
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+const char *
+invariantName(Invariant i)
+{
+    switch (i) {
+      case Invariant::Causality: return "causality";
+      case Invariant::MemoryAccounting: return "memory-accounting";
+      case Invariant::StreamHazard: return "stream-hazard";
+      case Invariant::Plausibility: return "plausibility";
+      case Invariant::Determinism: return "determinism";
+    }
+    return "?";
+}
+
+std::string
+Violation::str() const
+{
+    char time_buf[32];
+    if (sim_time == kTimeUnknown)
+        std::snprintf(time_buf, sizeof(time_buf), "t=?");
+    else
+        std::snprintf(time_buf, sizeof(time_buf), "t=%lld",
+                      static_cast<long long>(sim_time));
+    return std::string("jetsan: ") + severityName(severity) + " [" +
+           invariantName(invariant) + "] " + component + " " +
+           time_buf + ": " + message;
+}
+
+Reporter::Reporter()
+{
+    if (const char *env = std::getenv("JETSIM_CHECK_MODE")) {
+        if (std::strcmp(env, "log") == 0)
+            mode_ = Mode::Log;
+        else if (std::strcmp(env, "count") == 0)
+            mode_ = Mode::Count;
+        else if (std::strcmp(env, "abort") == 0)
+            mode_ = Mode::Abort;
+    }
+}
+
+Reporter &
+Reporter::instance()
+{
+    static Reporter r;
+    return r;
+}
+
+Reporter::Mode
+Reporter::setMode(Mode m)
+{
+    const Mode prev = mode_;
+    mode_ = m;
+    return prev;
+}
+
+std::uint64_t
+Reporter::count(Invariant inv) const
+{
+    return by_invariant_[static_cast<int>(inv)];
+}
+
+void
+Reporter::clear()
+{
+    total_ = 0;
+    for (auto &c : by_invariant_)
+        c = 0;
+    violations_.clear();
+}
+
+void
+Reporter::report(Severity sev, Invariant inv, const char *component,
+                 std::int64_t sim_time, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    char buf[512];
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+
+    Violation v;
+    v.severity = sev;
+    v.invariant = inv;
+    v.component = component;
+    v.sim_time = sim_time;
+    v.message = buf;
+
+    ++total_;
+    ++by_invariant_[static_cast<int>(inv)];
+    if (violations_.size() < kMaxRecorded)
+        violations_.push_back(v);
+
+    if (mode_ == Mode::Count)
+        return;
+
+    std::fprintf(stderr, "%s\n", v.str().c_str());
+    if (mode_ == Mode::Abort && sev == Severity::Error) {
+        std::fflush(stderr);
+        std::abort();
+    }
+}
+
+ScopedCapture::ScopedCapture()
+    : prev_(Reporter::instance().setMode(Reporter::Mode::Count))
+{
+    Reporter::instance().clear();
+}
+
+ScopedCapture::~ScopedCapture()
+{
+    Reporter::instance().clear();
+    Reporter::instance().setMode(prev_);
+}
+
+} // namespace jetsim::check

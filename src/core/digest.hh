@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Bit-exact digests of experiment results.
+ *
+ * The JetSan determinism invariant: running the same seeded spec
+ * twice must reproduce every output bit. These helpers fold an
+ * entire result — SoC metrics, per-process decomposition, counter
+ * CDFs — into one 64-bit value so the replay harness
+ * (tools/simcheck) and tests/check/determinism_test.cc can compare
+ * runs with a single integer.
+ */
+
+#ifndef JETSIM_CORE_DIGEST_HH
+#define JETSIM_CORE_DIGEST_HH
+
+#include <cstdint>
+
+#include "core/experiment.hh"
+
+namespace jetsim::core {
+
+/** Digest of every numeric field of a single-model result. */
+std::uint64_t resultDigest(const ExperimentResult &r);
+
+/** Digest of a heterogeneous (multi-tenant) result. */
+std::uint64_t resultDigest(const MixedExperimentResult &r);
+
+} // namespace jetsim::core
+
+#endif // JETSIM_CORE_DIGEST_HH

@@ -9,6 +9,11 @@ Stream::Stream(gpu::GpuEngine &engine, const std::string &name)
 {
 }
 
+Stream::~Stream()
+{
+    engine_.destroyChannel(channel_);
+}
+
 void
 Stream::launch(const gpu::KernelDesc *k)
 {

@@ -35,6 +35,14 @@ class Stream
     Stream &operator=(const Stream &) = delete;
 
     /**
+     * Retires the engine channel: queued kernels are dropped and any
+     * in-flight one completes without calling back into this object.
+     * Work submitted to the channel afterwards is a JetSan
+     * stream-hazard violation. The engine must outlive the stream.
+     */
+    ~Stream();
+
+    /**
      * Submit @p k for execution after everything previously launched
      * on this stream. Asynchronous: returns immediately.
      */

@@ -3,9 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/check.hh"
 #include "sim/logging.hh"
 
 namespace jetsim::gpu {
+
+namespace {
+
+constexpr const char *kComponent = "gpu.cost";
+
+/**
+ * Longest single kernel body the model will produce (one simulated
+ * hour). Finite-clamping before the Tick cast keeps a degenerate
+ * input (zero rate or bandwidth would otherwise yield inf, and
+ * casting a non-finite double to an integer is UB).
+ */
+constexpr double kMaxBodyNs = 3.6e12;
+
+} // namespace
 
 KernelCostModel::KernelCostModel(const soc::DeviceSpec &spec)
     : spec_(spec)
@@ -41,11 +56,50 @@ KernelTiming
 KernelCostModel::timing(const KernelDesc &k, double freq_frac,
                         sim::Rng *rng) const
 {
-    JETSIM_ASSERT(freq_frac > 0.0 && freq_frac <= 1.0);
+    // --- JetSan input validation: a degenerate descriptor or DVFS
+    // state must not leak NaN/Inf (or UB) into the timeline.
+    JETSIM_CHECK(std::isfinite(freq_frac) && freq_frac > 0.0 &&
+                     freq_frac <= 1.0,
+                 check::Severity::Error,
+                 check::Invariant::Plausibility, kComponent,
+                 check::kTimeUnknown,
+                 "frequency fraction %g outside (0, 1] for kernel "
+                 "'%s'",
+                 freq_frac, k.name.c_str());
+    if (!std::isfinite(freq_frac) || freq_frac <= 0.0)
+        freq_frac = 1e-3;
+    freq_frac = std::min(freq_frac, 1.0);
+
+    JETSIM_CHECK(std::isfinite(k.flops) && k.flops >= 0.0 &&
+                     std::isfinite(k.bytes) && k.bytes >= 0.0 &&
+                     std::isfinite(k.efficiency_scale) &&
+                     k.efficiency_scale > 0.0 && k.blocks >= 1,
+                 check::Severity::Error,
+                 check::Invariant::Plausibility, kComponent,
+                 check::kTimeUnknown,
+                 "degenerate kernel descriptor '%s' (flops=%g bytes=%g "
+                 "eff=%g blocks=%d)",
+                 k.name.c_str(), k.flops, k.bytes, k.efficiency_scale,
+                 k.blocks);
+    const double flops =
+        std::isfinite(k.flops) ? std::max(0.0, k.flops) : 0.0;
+    const double bytes =
+        std::isfinite(k.bytes) ? std::max(0.0, k.bytes) : 0.0;
+    const double eff_scale =
+        std::isfinite(k.efficiency_scale) && k.efficiency_scale > 0.0
+            ? k.efficiency_scale
+            : 1.0;
+    const int blocks = std::max(1, k.blocks);
+
     const auto &g = spec_.gpu;
 
     const double base = baseRate(k);
-    JETSIM_ASSERT(base > 0.0);
+    JETSIM_CHECK(base > 0.0, check::Severity::Error,
+                 check::Invariant::Plausibility, kComponent,
+                 check::kTimeUnknown,
+                 "device %s has no execution path for kernel '%s' "
+                 "(base rate 0)",
+                 spec_.name.c_str(), k.name.c_str());
 
     // Shape-dependent sustained rate, never above ~95 % of peak.
     const bool on_tc = k.tc && g.hasTensorCores() &&
@@ -54,12 +108,15 @@ KernelCostModel::timing(const KernelDesc &k, double freq_frac,
                               : g.peakCudaGflopsFp32() *
                                 (k.prec == soc::Precision::Fp16 &&
                                  g.eff_cuda_gflops_fp16 > 0 ? 2.0 : 1.0);
-    const double rate =
-        std::min(base * k.efficiency_scale, 0.95 * peak) * freq_frac;
+    const double rate = std::max(
+        std::min(std::max(base, 1e-9) * eff_scale, 0.95 * peak) *
+            freq_frac,
+        1e-9);
 
-    const double compute_ns = k.flops / rate;
-    const double eff_bw = g.mem_bw_gbps * g.mem_efficiency;
-    const double mem_ns = k.bytes / eff_bw;
+    const double compute_ns = flops / rate;
+    const double eff_bw =
+        std::max(g.mem_bw_gbps * g.mem_efficiency, 1e-9);
+    const double mem_ns = bytes / eff_bw;
 
     double body_ns = std::max(compute_ns, mem_ns);
     // Small kernels hit the device's latency floor (launch tail,
@@ -69,18 +126,19 @@ KernelCostModel::timing(const KernelDesc &k, double freq_frac,
         body_ns, static_cast<double>(g.min_kernel_latency) / freq_frac);
     if (rng)
         body_ns *= std::max(0.5, rng->lognormal(1.0, 0.05));
+    body_ns = std::min(body_ns, kMaxBodyNs);
 
     KernelTiming t;
     t.duration = kKernelOverhead + static_cast<sim::Tick>(body_ns);
 
     const double dur_ns = static_cast<double>(t.duration);
-    t.compute_frac = compute_ns / dur_ns;
-    t.bw_util = std::min(1.0, (k.bytes / dur_ns) / g.mem_bw_gbps);
+    t.compute_frac = std::min(1.0, compute_ns / dur_ns);
+    t.bw_util = std::min(1.0, (bytes / dur_ns) / g.mem_bw_gbps);
 
     // SM-active: average occupied-SM fraction of the wave schedule.
     const int sms = std::max(1, g.num_sms);
-    const int waves = (k.blocks + sms - 1) / sms;
-    double occupancy = static_cast<double>(k.blocks) /
+    const int waves = (blocks + sms - 1) / sms;
+    double occupancy = static_cast<double>(blocks) /
                        static_cast<double>(waves * sms);
     if (rng)
         occupancy *= rng->uniform(0.96, 1.0);
@@ -90,8 +148,9 @@ KernelCostModel::timing(const KernelDesc &k, double freq_frac,
     // fold means memory-bound kernels show low TC utilisation even at
     // high throughput (the paper's int8 inversion).
     if (on_tc) {
-        const double tc_busy_ns = k.tc_stall_factor * k.flops /
-                                  (g.peakTcGflops(k.prec) * freq_frac);
+        const double tc_busy_ns =
+            k.tc_stall_factor * flops /
+            std::max(g.peakTcGflops(k.prec) * freq_frac, 1e-9);
         t.tc_util = std::min(0.99, tc_busy_ns / dur_ns);
     }
 
@@ -101,6 +160,19 @@ KernelCostModel::timing(const KernelDesc &k, double freq_frac,
         k.issue_intensity * t.compute_frac * t.sm_active +
             0.08 * (1.0 - t.compute_frac),
         0.01, 0.85);
+
+    // --- JetSan output validation: nothing non-finite escapes.
+    JETSIM_CHECK(t.duration > 0 && std::isfinite(t.sm_active) &&
+                     std::isfinite(t.issue_slot) &&
+                     std::isfinite(t.tc_util) &&
+                     std::isfinite(t.bw_util) &&
+                     std::isfinite(t.compute_frac),
+                 check::Severity::Error,
+                 check::Invariant::Plausibility, kComponent,
+                 check::kTimeUnknown,
+                 "non-finite timing escaped the cost model for "
+                 "kernel '%s'",
+                 k.name.c_str());
 
     return t;
 }

@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/check.hh"
 #include "sim/logging.hh"
 
 namespace jetsim::gpu {
+
+namespace {
+constexpr const char *kComponent = "gpu.engine";
+}
 
 GpuEngine::GpuEngine(soc::Board &board)
     : board_(board), eq_(board.eq()), cost_(board.spec()),
@@ -16,8 +21,30 @@ GpuEngine::GpuEngine(soc::Board &board)
 int
 GpuEngine::createChannel(const std::string &name)
 {
-    channels_.push_back(Channel{name, {}, false, {}});
+    channels_.push_back(Channel{name, {}, false, {}, true});
     return static_cast<int>(channels_.size()) - 1;
+}
+
+void
+GpuEngine::destroyChannel(int channel)
+{
+    JETSIM_ASSERT(channel >= 0 &&
+                  channel < static_cast<int>(channels_.size()));
+    auto &ch = channels_[channel];
+    ch.alive = false;
+    // Drop not-yet-started work: their callbacks point into the
+    // destroyed stream. The in-flight kernel (if any) is skipped at
+    // completion via the alive flag.
+    ch.queue.clear();
+    ch.submit_ticks.clear();
+}
+
+bool
+GpuEngine::channelAlive(int channel) const
+{
+    return channel >= 0 &&
+           channel < static_cast<int>(channels_.size()) &&
+           channels_[channel].alive;
 }
 
 void
@@ -27,6 +54,15 @@ GpuEngine::submit(int channel, const KernelDesc *k, Callback done)
                   channel < static_cast<int>(channels_.size()));
     JETSIM_ASSERT(k != nullptr);
     auto &ch = channels_[channel];
+    if (!ch.alive) {
+        JETSIM_VIOLATION(check::Severity::Error,
+                         check::Invariant::StreamHazard, kComponent,
+                         eq_.now(),
+                         "kernel '%s' submitted on destroyed stream "
+                         "channel %d (%s)",
+                         k->name.c_str(), channel, ch.name.c_str());
+        return; // drop: the owning stream no longer exists
+    }
     ch.queue.emplace_back(k, std::move(done));
     ch.submit_ticks.push_back(eq_.now());
 
@@ -162,14 +198,23 @@ GpuEngine::scheduleNext()
 void
 GpuEngine::finishKernel(int channel, KernelRecord rec, Callback done)
 {
-    (void)channel;
+    // Exactly one kernel may occupy the time-multiplexed GPU; a
+    // second completion without a matching start means occupancy
+    // overlapped somewhere.
+    JETSIM_CHECK(busy_, check::Severity::Error,
+                 check::Invariant::StreamHazard, kComponent, eq_.now(),
+                 "kernel completion on channel %d without exclusive "
+                 "occupancy (overlap or double finish)",
+                 channel);
     ++kernels_executed_;
     busy_ = false;
     board_.setGpuState(false, 0, 0, 0, 0);
-    if (trace_)
-        trace_(rec);
-    if (done)
-        done(); // may submit; submit() calls scheduleNext itself
+    if (channels_[channel].alive) {
+        if (trace_)
+            trace_(rec);
+        if (done)
+            done(); // may submit; submit() calls scheduleNext itself
+    }
     scheduleNext();
 }
 
@@ -249,6 +294,8 @@ GpuEngine::spatialReschedule()
 
         for (auto &e : finished) {
             ++kernels_executed_;
+            if (!channels_[e.channel].alive)
+                continue; // owning stream destroyed mid-flight
             KernelRecord rec;
             rec.channel = e.channel;
             rec.desc = e.desc;

@@ -47,6 +47,18 @@ class GpuEngine
     int createChannel(const std::string &name);
 
     /**
+     * Retire a channel when its owning stream is destroyed. Queued
+     * (not yet started) kernels are dropped and the in-flight one,
+     * if any, completes without invoking its callback — submitting
+     * to a retired channel afterwards is a JetSan stream-hazard
+     * violation (the CUDA use-after-destroy analogue).
+     */
+    void destroyChannel(int channel);
+
+    /** True while the channel's owning stream is alive. */
+    bool channelAlive(int channel) const;
+
+    /**
      * Enqueue @p k on @p channel; @p done fires at completion. The
      * KernelDesc must outlive the execution (engines own theirs).
      */
@@ -90,6 +102,7 @@ class GpuEngine
         std::deque<std::pair<const KernelDesc *, Callback>> queue;
         bool executing = false;              // spatial mode only
         std::deque<sim::Tick> submit_ticks;  // parallel to queue
+        bool alive = true;                   // owning stream exists
     };
 
     /** One in-flight kernel under spatial sharing. */

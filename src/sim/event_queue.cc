@@ -1,8 +1,13 @@
 #include "sim/event_queue.hh"
 
+#include "check/check.hh"
 #include "sim/logging.hh"
 
 namespace jetsim::sim {
+
+namespace {
+constexpr const char *kComponent = "sim.event_queue";
+}
 
 bool
 EventQueue::Handle::pending() const
@@ -24,7 +29,15 @@ EventQueue::Handle::cancel()
 EventQueue::Handle
 EventQueue::schedule(Tick when, Callback cb, int priority)
 {
-    JETSIM_ASSERT(when >= now_);
+    if (when < now_) {
+        JETSIM_VIOLATION(check::Severity::Error,
+                         check::Invariant::Causality, kComponent, now_,
+                         "event scheduled into the past (when=%lld < "
+                         "now=%lld)",
+                         static_cast<long long>(when),
+                         static_cast<long long>(now_));
+        when = now_; // sanitise so Log mode can continue
+    }
     JETSIM_ASSERT(cb != nullptr);
     auto entry = std::make_shared<Handle::Entry>();
     entry->owner = this;
@@ -40,8 +53,15 @@ EventQueue::schedule(Tick when, Callback cb, int priority)
 EventQueue::Handle
 EventQueue::scheduleIn(Tick delay, Callback cb, int priority)
 {
-    JETSIM_ASSERT(delay >= 0);
-    return schedule(now_ + delay, std::move(cb), priority);
+    JETSIM_CHECK(delay >= 0, check::Severity::Error,
+                 check::Invariant::Causality, kComponent, now_,
+                 "negative delay %lld", static_cast<long long>(delay));
+    if (delay < 0)
+        delay = 0;
+    // Saturate instead of overflowing past kTickMax (UB on int64).
+    const Tick when =
+        delay > kTickMax - now_ ? kTickMax : now_ + delay;
+    return schedule(when, std::move(cb), priority);
 }
 
 EventQueue::EntryPtr
@@ -58,12 +78,44 @@ EventQueue::popLive()
     return nullptr;
 }
 
+void
+EventQueue::checkDispatch(const Handle::Entry &e)
+{
+    // Time must never run backwards, and same-tick events must leave
+    // the heap in (priority, insertion-order) order — the strict-
+    // weak-ordering contract of the comparator.
+    JETSIM_CHECK(e.when >= now_, check::Severity::Error,
+                 check::Invariant::Causality, kComponent, now_,
+                 "dispatch went backwards in time (event at %lld)",
+                 static_cast<long long>(e.when));
+    if (e.when == last_when_) {
+        // An event with a lower seq than the previous dispatch was
+        // already in the heap back then; at equal-or-lower priority
+        // the comparator should have popped it first. (A *higher*
+        // priority value is fine: it legitimately runs later.)
+        const bool ordered =
+            !(e.seq < last_seq_ && e.priority <= last_priority_);
+        JETSIM_CHECK(ordered, check::Severity::Error,
+                     check::Invariant::Causality, kComponent, now_,
+                     "same-tick dispatch out of order (pri=%d seq=%llu "
+                     "after pri=%d seq=%llu)",
+                     e.priority,
+                     static_cast<unsigned long long>(e.seq),
+                     last_priority_,
+                     static_cast<unsigned long long>(last_seq_));
+    }
+    last_when_ = e.when;
+    last_priority_ = e.priority;
+    last_seq_ = e.seq;
+}
+
 bool
 EventQueue::runOne()
 {
     EntryPtr e = popLive();
     if (!e)
         return false;
+    checkDispatch(*e);
     now_ = e->when;
     ++executed_;
     // Mark consumed so a Handle held by the callback's owner reports
@@ -76,7 +128,10 @@ EventQueue::runOne()
 std::uint64_t
 EventQueue::runUntil(Tick horizon)
 {
-    JETSIM_ASSERT(horizon >= now_);
+    JETSIM_CHECK(horizon >= now_, check::Severity::Error,
+                 check::Invariant::Causality, kComponent, now_,
+                 "runUntil horizon %lld is in the past",
+                 static_cast<long long>(horizon));
     std::uint64_t n = 0;
     while (true) {
         EntryPtr e = popLive();
@@ -88,13 +143,15 @@ EventQueue::runUntil(Tick horizon)
             ++live_;
             break;
         }
+        checkDispatch(*e);
         now_ = e->when;
         ++executed_;
         ++n;
         e->cancelled = true;
         e->cb();
     }
-    now_ = horizon;
+    if (horizon > now_)
+        now_ = horizon;
     return n;
 }
 

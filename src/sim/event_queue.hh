@@ -126,11 +126,20 @@ class EventQueue
     /** Pop the next live entry; nullptr when drained. */
     EntryPtr popLive();
 
+    /** JetSan: verify dispatch order against the previous event. */
+    void checkDispatch(const Handle::Entry &e);
+
     std::priority_queue<EntryPtr, std::vector<EntryPtr>, Later> heap_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t live_ = 0;
     std::uint64_t executed_ = 0;
+
+    // Key of the most recently dispatched event, for the JetSan
+    // monotonic-dispatch / same-tick-ordering invariant.
+    Tick last_when_ = -1;
+    int last_priority_ = 0;
+    std::uint64_t last_seq_ = 0;
 };
 
 } // namespace jetsim::sim

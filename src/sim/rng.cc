@@ -74,8 +74,17 @@ std::int64_t
 Rng::uniformInt(std::int64_t lo, std::int64_t hi)
 {
     JETSIM_ASSERT(lo <= hi);
-    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(next() % span);
+    // Width in unsigned arithmetic: `hi - lo` overflows int64 when
+    // the bounds span more than half the type's range, and the +1
+    // wraps to 0 for the full range (then `next() % span` would
+    // divide by zero). Both are handled by staying unsigned and
+    // special-casing the wrap.
+    const std::uint64_t span = static_cast<std::uint64_t>(hi) -
+                               static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     next() % span);
 }
 
 double

@@ -1,6 +1,40 @@
 #include "soc/board.hh"
 
+#include <algorithm>
+#include <cmath>
+
+#include "check/check.hh"
+
 namespace jetsim::soc {
+
+namespace {
+
+constexpr const char *kComponent = "soc.board";
+
+/** Clamp a utilisation fraction after reporting out-of-range input. */
+double
+sanitizeFrac(double v)
+{
+    if (!std::isfinite(v))
+        return 0.0;
+    return std::clamp(v, 0.0, 1.0);
+}
+
+/**
+ * The largest power the coefficient model can produce: every unit
+ * active at full utilisation and maximum frequency. Anything above
+ * this (plus rounding slack) is a model bug, not throttling lag.
+ */
+double
+maxPlausibleWatts(const DeviceSpec &spec)
+{
+    const auto &p = spec.power;
+    return p.idle_w + p.cpu_core_w * spec.bigCores() +
+           p.cpu_little_w * spec.littleCores() + p.gpu_base_w +
+           p.sm_w + p.tc_w + p.dram_w;
+}
+
+} // namespace
 
 Board::Board(DeviceSpec spec, sim::EventQueue &eq, std::uint64_t seed)
     : spec_(std::move(spec)), eq_(eq),
@@ -15,8 +49,16 @@ Board::Board(DeviceSpec spec, sim::EventQueue &eq, std::uint64_t seed)
 void
 Board::setCpuActive(int big, int little)
 {
-    activity_.cpu_active_big = big;
-    activity_.cpu_active_little = little;
+    JETSIM_CHECK(big >= 0 && big <= spec_.bigCores() && little >= 0 &&
+                     little <= spec_.littleCores(),
+                 check::Severity::Error,
+                 check::Invariant::Plausibility, kComponent, eq_.now(),
+                 "active core counts (%d big, %d little) outside the "
+                 "%d/%d the board has",
+                 big, little, spec_.bigCores(), spec_.littleCores());
+    activity_.cpu_active_big = std::clamp(big, 0, spec_.bigCores());
+    activity_.cpu_active_little =
+        std::clamp(little, 0, spec_.littleCores());
     refresh();
 }
 
@@ -24,11 +66,22 @@ void
 Board::setGpuState(bool busy, double sm_active, double issue_slot,
                    double tc_util, double bw_util)
 {
+    const auto in_range = [](double v) {
+        return std::isfinite(v) && v >= 0.0 && v <= 1.0 + 1e-9;
+    };
+    JETSIM_CHECK(!busy || (in_range(sm_active) && in_range(issue_slot) &&
+                           in_range(tc_util) && in_range(bw_util)),
+                 check::Severity::Error,
+                 check::Invariant::Plausibility, kComponent, eq_.now(),
+                 "GPU utilisation outside [0,1] or non-finite "
+                 "(sm=%g issue=%g tc=%g bw=%g)",
+                 sm_active, issue_slot, tc_util, bw_util);
+
     activity_.gpu_busy = busy;
-    activity_.sm_active = busy ? sm_active : 0.0;
-    activity_.issue_slot = busy ? issue_slot : 0.0;
-    activity_.tc_util = busy ? tc_util : 0.0;
-    activity_.bw_util = busy ? bw_util : 0.0;
+    activity_.sm_active = busy ? sanitizeFrac(sm_active) : 0.0;
+    activity_.issue_slot = busy ? sanitizeFrac(issue_slot) : 0.0;
+    activity_.tc_util = busy ? sanitizeFrac(tc_util) : 0.0;
+    activity_.bw_util = busy ? sanitizeFrac(bw_util) : 0.0;
 
     const sim::Tick now = eq_.now();
     gpu_busy_tw_.set(now, busy ? 1.0 : 0.0);
@@ -47,7 +100,14 @@ Board::powerW() const
 void
 Board::refresh()
 {
-    power_tw_.set(eq_.now(), powerW());
+    const double p = powerW();
+    JETSIM_CHECK(std::isfinite(p) && p >= 0.0 &&
+                     p <= maxPlausibleWatts(spec_) + 0.5,
+                 check::Severity::Error,
+                 check::Invariant::Plausibility, kComponent, eq_.now(),
+                 "implausible board power %g W (max plausible %g W)",
+                 p, maxPlausibleWatts(spec_));
+    power_tw_.set(eq_.now(), p);
 }
 
 } // namespace jetsim::soc

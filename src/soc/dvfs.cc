@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.hh"
 #include "sim/logging.hh"
 
 namespace jetsim::soc {
@@ -93,6 +94,17 @@ DvfsGovernor::tick()
             level_ = std::min(level_ + 1, spec_.gpu.dvfs_levels - 1);
         }
     }
+
+    // JetSan: the clock must stay inside the device's DVFS table.
+    JETSIM_CHECK(level_ >= 0 && level_ < spec_.gpu.dvfs_levels &&
+                     freqGhz() >= spec_.gpu.min_freq_ghz - 1e-9 &&
+                     freqGhz() <= spec_.gpu.max_freq_ghz + 1e-9,
+                 check::Severity::Error,
+                 check::Invariant::Plausibility, "soc.dvfs", eq_.now(),
+                 "GPU clock outside the DVFS table (level=%d of %d, "
+                 "%.3f GHz not in [%.3f, %.3f])",
+                 level_, spec_.gpu.dvfs_levels, freqGhz(),
+                 spec_.gpu.min_freq_ghz, spec_.gpu.max_freq_ghz);
 
     pending_ = eq_.scheduleIn(kPeriod, [this] { tick(); });
 }

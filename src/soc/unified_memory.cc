@@ -1,19 +1,37 @@
 #include "soc/unified_memory.hh"
 
+#include <algorithm>
+
+#include "check/check.hh"
 #include "sim/logging.hh"
 
 namespace jetsim::soc {
 
+namespace {
+constexpr const char *kComponent = "soc.memory";
+}
+
 UnifiedMemory::UnifiedMemory(sim::Bytes total, sim::Bytes os_reserved)
     : total_(total), os_reserved_(os_reserved)
 {
-    JETSIM_ASSERT(os_reserved_ <= total_);
+    if (os_reserved_ > total_) {
+        JETSIM_VIOLATION(check::Severity::Error,
+                         check::Invariant::MemoryAccounting, kComponent,
+                         check::kTimeUnknown,
+                         "OS reservation (%llu B) exceeds physical "
+                         "memory (%llu B)",
+                         static_cast<unsigned long long>(os_reserved_),
+                         static_cast<unsigned long long>(total_));
+        os_reserved_ = total_;
+    }
 }
 
 UnifiedMemory::AllocId
 UnifiedMemory::allocate(const std::string &owner, sim::Bytes size)
 {
     if (size > available()) {
+        // A denied allocation is a *legal* outcome (the paper's
+        // over-deployment failure mode), not an invariant violation.
         ++oom_events_;
         return kBadAlloc;
     }
@@ -21,6 +39,15 @@ UnifiedMemory::allocate(const std::string &owner, sim::Bytes size)
     allocs_[id] = Allocation{owner, size};
     used_ += size;
     peak_used_ = std::max(peak_used_, used_);
+    JETSIM_CHECK(used_ <= total_ - os_reserved_,
+                 check::Severity::Error,
+                 check::Invariant::MemoryAccounting, kComponent,
+                 check::kTimeUnknown,
+                 "used (%llu B) exceeds allocatable pool (%llu B) "
+                 "after allocating for %s",
+                 static_cast<unsigned long long>(used_),
+                 static_cast<unsigned long long>(total_ - os_reserved_),
+                 owner.c_str());
     return id;
 }
 
@@ -28,8 +55,23 @@ void
 UnifiedMemory::release(AllocId id)
 {
     auto it = allocs_.find(id);
-    JETSIM_ASSERT(it != allocs_.end());
-    used_ -= it->second.size;
+    if (it == allocs_.end()) {
+        JETSIM_VIOLATION(check::Severity::Error,
+                         check::Invariant::MemoryAccounting, kComponent,
+                         check::kTimeUnknown,
+                         "release of unknown allocation id %llu "
+                         "(double free or use-after-free)",
+                         static_cast<unsigned long long>(id));
+        return;
+    }
+    JETSIM_CHECK(it->second.size <= used_, check::Severity::Error,
+                 check::Invariant::MemoryAccounting, kComponent,
+                 check::kTimeUnknown,
+                 "releasing %llu B from %s underflows used (%llu B)",
+                 static_cast<unsigned long long>(it->second.size),
+                 it->second.owner.c_str(),
+                 static_cast<unsigned long long>(used_));
+    used_ -= std::min(it->second.size, used_);
     allocs_.erase(it);
 }
 
@@ -38,12 +80,43 @@ UnifiedMemory::releaseOwner(const std::string &owner)
 {
     for (auto it = allocs_.begin(); it != allocs_.end();) {
         if (it->second.owner == owner) {
-            used_ -= it->second.size;
+            used_ -= std::min(it->second.size, used_);
             it = allocs_.erase(it);
         } else {
             ++it;
         }
     }
+}
+
+bool
+UnifiedMemory::auditInvariants() const
+{
+    sim::Bytes sum = 0;
+    for (const auto &[id, a] : allocs_)
+        sum += a.size;
+    bool ok = true;
+    if (sum != used_) {
+        ok = false;
+        JETSIM_VIOLATION(check::Severity::Error,
+                         check::Invariant::MemoryAccounting, kComponent,
+                         check::kTimeUnknown,
+                         "accounting drift: used=%llu B but live "
+                         "allocations sum to %llu B",
+                         static_cast<unsigned long long>(used_),
+                         static_cast<unsigned long long>(sum));
+    }
+    if (used_ > total_ - os_reserved_) {
+        ok = false;
+        JETSIM_VIOLATION(check::Severity::Error,
+                         check::Invariant::MemoryAccounting, kComponent,
+                         check::kTimeUnknown,
+                         "used (%llu B) exceeds allocatable pool "
+                         "(%llu B)",
+                         static_cast<unsigned long long>(used_),
+                         static_cast<unsigned long long>(
+                             total_ - os_reserved_));
+    }
+    return ok;
 }
 
 double

@@ -35,6 +35,13 @@ class UnifiedMemory
     static constexpr AllocId kBadAlloc = 0;
 
     /**
+     * JetSan fault-injection seam: tests corrupt the accounting
+     * state through this class to prove the checker notices. Never
+     * used outside tests/check/.
+     */
+    friend class MemoryFaultInjector;
+
+    /**
      * @param total Physical RAM on the board.
      * @param os_reserved Bytes permanently held by the OS image.
      */
@@ -87,6 +94,15 @@ class UnifiedMemory
 
     /** Number of failed allocations observed. */
     std::uint64_t oomEvents() const { return oom_events_; }
+
+    /**
+     * JetSan audit: verify that used() equals the sum of live
+     * allocations and never exceeds the allocatable pool. Called
+     * internally after every mutation (O(1) capacity check) and by
+     * tests (full O(n) sum check).
+     * @return true when the accounting is consistent.
+     */
+    bool auditInvariants() const;
 
   private:
     struct Allocation

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * JetSan plausibility invariant: NaN/Inf and out-of-range physical
+ * quantities injected into the board power path and the GPU cost
+ * model must be detected, reported with the right component, and
+ * sanitised so nothing non-finite escapes into the timeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "check/reporter.hh"
+#include "gpu/cost_model.hh"
+#include "sim/event_queue.hh"
+#include "soc/board.hh"
+#include "soc/device_spec.hh"
+
+namespace jetsim {
+namespace {
+
+using check::Invariant;
+using check::ScopedCapture;
+using check::Severity;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+gpu::KernelDesc
+healthyKernel()
+{
+    gpu::KernelDesc k;
+    k.name = "conv1";
+    k.flops = 2e9;
+    k.bytes = 5e7;
+    k.blocks = 128;
+    return k;
+}
+
+void
+expectFinite(const gpu::KernelTiming &t)
+{
+    EXPECT_GT(t.duration, 0);
+    EXPECT_TRUE(std::isfinite(t.sm_active));
+    EXPECT_TRUE(std::isfinite(t.issue_slot));
+    EXPECT_TRUE(std::isfinite(t.tc_util));
+    EXPECT_TRUE(std::isfinite(t.bw_util));
+    EXPECT_TRUE(std::isfinite(t.compute_frac));
+}
+
+TEST(PlausibilityInjection, NanGpuUtilisationIsDetected)
+{
+    sim::EventQueue eq;
+    soc::Board board(soc::orinNano(), eq);
+
+    ScopedCapture cap;
+    board.setGpuState(true, kNaN, 0.2, 0.1, 0.3); // deliberate NaN
+
+    ASSERT_EQ(cap.count(Invariant::Plausibility), 1u);
+    const auto &v = cap.violations().front();
+    EXPECT_EQ(v.severity, Severity::Error);
+    EXPECT_EQ(v.component, "soc.board");
+    // Sanitised: the NaN never reaches the power model.
+    EXPECT_TRUE(std::isfinite(board.powerW()));
+    EXPECT_EQ(board.activity().sm_active, 0.0);
+}
+
+TEST(PlausibilityInjection, OutOfRangeUtilisationIsDetected)
+{
+    sim::EventQueue eq;
+    soc::Board board(soc::orinNano(), eq);
+
+    ScopedCapture cap;
+    board.setGpuState(true, 3.5, 0.2, 0.1, 0.3); // > 1
+    EXPECT_EQ(cap.count(Invariant::Plausibility), 1u);
+    EXPECT_EQ(board.activity().sm_active, 1.0); // clamped
+}
+
+TEST(PlausibilityInjection, BadCpuCoreCountIsDetected)
+{
+    sim::EventQueue eq;
+    soc::Board board(soc::orinNano(), eq);
+
+    ScopedCapture cap;
+    board.setCpuActive(999, -1);
+    EXPECT_EQ(cap.count(Invariant::Plausibility), 1u);
+    EXPECT_LE(board.activity().cpu_active_big,
+              board.spec().bigCores());
+    EXPECT_GE(board.activity().cpu_active_little, 0);
+    EXPECT_TRUE(std::isfinite(board.powerW()));
+}
+
+TEST(PlausibilityInjection, ZeroFrequencyIsDetectedAndSanitised)
+{
+    const gpu::KernelCostModel model(soc::orinNano());
+    const gpu::KernelDesc k = healthyKernel();
+
+    ScopedCapture cap;
+    const auto t = model.timing(k, 0.0); // divide-by-zero bait
+
+    ASSERT_GE(cap.count(Invariant::Plausibility), 1u);
+    const auto &v = cap.violations().front();
+    EXPECT_EQ(v.severity, Severity::Error);
+    EXPECT_EQ(v.component, "gpu.cost");
+    expectFinite(t);
+}
+
+TEST(PlausibilityInjection, NanFrequencyIsDetectedAndSanitised)
+{
+    const gpu::KernelCostModel model(soc::orinNano());
+
+    ScopedCapture cap;
+    const auto t = model.timing(healthyKernel(), kNaN);
+    EXPECT_GE(cap.count(Invariant::Plausibility), 1u);
+    expectFinite(t);
+}
+
+TEST(PlausibilityInjection, DegenerateKernelDescriptorIsDetected)
+{
+    const gpu::KernelCostModel model(soc::orinNano());
+
+    gpu::KernelDesc k = healthyKernel();
+    k.blocks = 0;
+    k.efficiency_scale = 0.0;
+    k.flops = kNaN;
+
+    ScopedCapture cap;
+    const auto t = model.timing(k, 1.0);
+    EXPECT_GE(cap.count(Invariant::Plausibility), 1u);
+    expectFinite(t);
+}
+
+TEST(PlausibilityClean, HealthyCostModelReportsNothing)
+{
+    ScopedCapture cap;
+    const gpu::KernelCostModel model(soc::orinNano());
+    const gpu::KernelDesc k = healthyKernel();
+
+    for (double f : {0.25, 0.5, 0.75, 1.0}) {
+        const auto t = model.timing(k, f);
+        expectFinite(t);
+        EXPECT_LE(t.sm_active, 1.0);
+        EXPECT_LE(t.bw_util, 1.0);
+    }
+    EXPECT_EQ(cap.total(), 0u);
+}
+
+TEST(PlausibilityClean, DvfsGovernorStaysInTable)
+{
+    // Run the governor for a while under load: the in-table frequency
+    // invariant (component soc.dvfs) must never fire.
+    ScopedCapture cap;
+    sim::EventQueue eq;
+    soc::Board board(soc::orinNano(), eq);
+    board.start();
+    board.setGpuState(true, 0.9, 0.4, 0.5, 0.6);
+    eq.runUntil(sim::msec(200));
+    board.setGpuState(false, 0, 0, 0, 0);
+    eq.runUntil(sim::msec(400));
+
+    EXPECT_GT(board.governor().freqGhz(), 0.0);
+    EXPECT_EQ(cap.total(), 0u);
+}
+
+} // namespace
+} // namespace jetsim

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# jetsim CI entry point: one script, three passes.
+#
+#   1. plain     - default build + full ctest suite
+#   2. sanitized - ASan+UBSan (-Werror) build + full suite + the
+#                  simcheck determinism replay
+#   3. tidy      - clang-tidy over src/ and tools/ (skipped with a
+#                  warning when clang-tidy is not installed)
+#
+# Usage: tools/ci.sh [--tsan] [--skip-plain] [--skip-sanitized]
+#                    [--skip-tidy]
+#
+# --tsan swaps the sanitized pass to ThreadSanitizer (the simulator
+# is single-threaded today; this flavour exists for when workers
+# arrive).
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+san_flavor=address
+run_plain=1
+run_san=1
+run_tidy=1
+
+for arg in "$@"; do
+    case "$arg" in
+      --tsan) san_flavor=thread ;;
+      --skip-plain) run_plain=0 ;;
+      --skip-sanitized) run_san=0 ;;
+      --skip-tidy) run_tidy=0 ;;
+      *) echo "ci.sh: unknown flag '$arg'" >&2; exit 2 ;;
+    esac
+done
+
+banner() { printf '\n=== %s ===\n' "$*"; }
+
+build_and_test() {
+    local dir="$1"; shift
+    cmake -B "$dir" -S "$repo" "$@" >/dev/null
+    cmake --build "$dir" -j "$jobs"
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+if [ "$run_plain" = 1 ]; then
+    banner "pass 1: plain build + tests"
+    build_and_test "$repo/build-ci/plain"
+fi
+
+if [ "$run_san" = 1 ]; then
+    banner "pass 2: sanitized build ($san_flavor) + tests"
+    build_and_test "$repo/build-ci/$san_flavor" \
+        -DJETSIM_SANITIZE="$san_flavor"
+    banner "pass 2b: determinism replay (simcheck)"
+    "$repo/build-ci/$san_flavor/tools/simcheck" \
+        --duration 0.3 --warmup 0.1 --seeds 1,2,3
+fi
+
+if [ "$run_tidy" = 1 ]; then
+    banner "pass 3: clang-tidy"
+    if command -v clang-tidy >/dev/null 2>&1; then
+        # Reuse the plain tree's compile_commands.json.
+        cdb="$repo/build-ci/plain"
+        [ -f "$cdb/compile_commands.json" ] ||
+            cmake -B "$cdb" -S "$repo" >/dev/null
+        mapfile -t sources < <(find "$repo/src" "$repo/tools" \
+                                    -name '*.cc' -o -name '*.cpp')
+        clang-tidy -p "$cdb" --quiet "${sources[@]}"
+    else
+        echo "ci.sh: clang-tidy not installed; skipping pass 3" >&2
+    fi
+fi
+
+banner "ci.sh: all requested passes completed"

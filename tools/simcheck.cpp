@@ -1,0 +1,137 @@
+/**
+ * @file
+ * simcheck: the JetSan replay harness.
+ *
+ * Runs one experiment spec several times from scratch and compares
+ * the bit-exact result digests — the executable form of the
+ * determinism invariant (same seed ⇒ identical prof metrics). Any
+ * divergence is reported as a JetSan determinism violation and the
+ * tool exits non-zero, making it suitable as a CI gate
+ * (tools/ci.sh runs it after the sanitized test pass).
+ *
+ *   simcheck --model=yolov8n --precision=int8 --procs=2 --runs=3
+ *   simcheck --seeds=1,2,3        # distinct seeds must all differ? no:
+ *                                 # each seed is replayed --runs times
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "argparse.hh"
+#include "check/reporter.hh"
+#include "core/digest.hh"
+#include "core/profiler.hh"
+#include "sim/logging.hh"
+
+using namespace jetsim;
+
+namespace {
+
+std::vector<std::uint64_t>
+parseSeeds(const std::string &csv)
+{
+    std::vector<std::uint64_t> seeds;
+    std::string cur;
+    for (const char c : csv + ",") {
+        if (c == ',') {
+            if (!cur.empty()) {
+                for (const char d : cur) {
+                    if (!std::isdigit(static_cast<unsigned char>(d)))
+                        sim::fatal("--seeds: '%s' is not a number",
+                                   cur.c_str());
+                }
+                seeds.push_back(std::stoull(cur));
+            }
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (seeds.empty())
+        sim::fatal("--seeds: no seeds given");
+    return seeds;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tools::ArgParser args("simcheck",
+                          "replay an experiment and verify bit-exact "
+                          "determinism (JetSan)");
+    args.add("device", "orin-nano", "orin-nano | nano | a40");
+    args.add("model", "resnet50", "model name from the zoo");
+    args.add("precision", "fp16", "fp32 | tf32 | fp16 | int8");
+    args.add("batch", "1", "batch size");
+    args.add("procs", "2", "concurrent processes");
+    args.add("phase", "light", "light | deep");
+    args.add("warmup", "100", "warm-up in ms");
+    args.add("duration", "0.5", "measured window in s");
+    args.add("runs", "2", "replays per seed (>= 2)");
+    args.add("seeds", "1", "comma-separated seeds to replay");
+    if (!args.parse(argc, argv))
+        return 2;
+
+    // Report-and-continue: this tool's job is to observe divergence,
+    // not to abort on the first violation.
+    check::Reporter::instance().setMode(check::Reporter::Mode::Log);
+
+    core::ExperimentSpec spec;
+    spec.device = args.str("device");
+    spec.model = args.str("model");
+    spec.precision = soc::precisionFromName(args.str("precision"));
+    spec.batch = args.intval("batch");
+    spec.processes = args.intval("procs");
+    spec.phase = args.str("phase") == "deep" ? core::Phase::Deep
+                                             : core::Phase::Light;
+    spec.warmup = sim::msec(args.intval("warmup"));
+    spec.duration = sim::sec(args.dbl("duration"));
+
+    const int runs = std::max(2, args.intval("runs"));
+    const auto seeds = parseSeeds(args.str("seeds"));
+
+    int failures = 0;
+    for (const std::uint64_t seed : seeds) {
+        spec.seed = seed;
+        std::uint64_t reference = 0;
+        bool diverged = false;
+        for (int i = 0; i < runs; ++i) {
+            const auto digest =
+                core::resultDigest(core::runExperiment(spec));
+            if (i == 0) {
+                reference = digest;
+            } else if (digest != reference) {
+                diverged = true;
+                check::Reporter::instance().report(
+                    check::Severity::Error,
+                    check::Invariant::Determinism, "tools.simcheck",
+                    check::kTimeUnknown,
+                    "seed %llu run %d digest %016llx != reference "
+                    "%016llx",
+                    static_cast<unsigned long long>(seed), i,
+                    static_cast<unsigned long long>(digest),
+                    static_cast<unsigned long long>(reference));
+            }
+        }
+        std::printf("seed %llu: %s (digest %016llx, %d runs)\n",
+                    static_cast<unsigned long long>(seed),
+                    diverged ? "DIVERGED" : "ok",
+                    static_cast<unsigned long long>(reference), runs);
+        if (diverged)
+            ++failures;
+    }
+
+    if (failures) {
+        std::fprintf(stderr,
+                     "simcheck: %d of %zu seeds failed to replay "
+                     "bit-identically\n",
+                     failures, seeds.size());
+        return 1;
+    }
+    std::printf("simcheck: all %zu seed(s) replay bit-identically\n",
+                seeds.size());
+    return 0;
+}
