@@ -27,6 +27,7 @@ invariantName(Invariant i)
       case Invariant::StreamHazard: return "stream-hazard";
       case Invariant::Plausibility: return "plausibility";
       case Invariant::Determinism: return "determinism";
+      case Invariant::StaticLint: return "static-lint";
     }
     return "?";
 }

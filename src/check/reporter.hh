@@ -89,7 +89,7 @@ class Reporter
 
     Mode mode_ = Mode::Abort;
     std::uint64_t total_ = 0;
-    std::uint64_t by_invariant_[5] = {};
+    std::uint64_t by_invariant_[kInvariantCount] = {};
     std::vector<Violation> violations_;
 };
 

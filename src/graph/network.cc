@@ -106,6 +106,9 @@ Layer::tensorCoreEligible() const
 Network::Network(std::string name, Shape input)
     : name_(std::move(name))
 {
+    JETSIM_ASSERT(input.c > 0 && input.h > 0 && input.w > 0,
+                  "input shape %dx%dx%d has a non-positive dimension",
+                  input.c, input.h, input.w);
     Layer l;
     l.name = "input";
     l.kind = OpKind::Input;
@@ -143,6 +146,9 @@ Network::addConv(const std::string &name, int input, int out_channels,
                  int kernel, int stride, int padding, int dilation,
                  int groups, bool bias)
 {
+    JETSIM_ASSERT(out_channels > 0 && kernel > 0 && stride > 0 &&
+                      padding >= 0 && dilation >= 1 && groups >= 1,
+                  "conv '%s' has impossible parameters", name.c_str());
     Layer l;
     l.name = name;
     l.kind = OpKind::Conv;
@@ -196,6 +202,8 @@ Network::addPool(const std::string &name, int input, OpKind kind,
                  int kernel, int stride, int padding)
 {
     JETSIM_ASSERT(kind == OpKind::MaxPool || kind == OpKind::AvgPool);
+    JETSIM_ASSERT(kernel > 0 && stride > 0 && padding >= 0,
+                  "pool '%s' has impossible parameters", name.c_str());
     Layer l;
     l.name = name;
     l.kind = kind;
@@ -240,6 +248,9 @@ int
 Network::addLinear(const std::string &name, int input,
                    std::int64_t out_features, bool bias)
 {
+    JETSIM_ASSERT(out_features > 0,
+                  "linear '%s' has non-positive out_features",
+                  name.c_str());
     Layer l;
     l.name = name;
     l.kind = OpKind::Linear;

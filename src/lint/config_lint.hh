@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Experiment/sweep configuration linter.
+ *
+ * lintExperiment() is the whole jetlint pipeline for one measurement
+ * cell: validate the spec's names and numbers against the board
+ * catalogue and the paper's Table 1 grid (Cxxx rules), then build
+ * the model graph, compile the engine for the target device and run
+ * the graph (Gxxx), plan (Pxxx) and deployment-footprint (Dxxx)
+ * passes over the result. A config that would OOM at deploy() time —
+ * the paper's over-deployed FCN_ResNet50 on the Nano — comes back
+ * with a D001 error without running a single simulated tick.
+ */
+
+#ifndef JETSIM_LINT_CONFIG_LINT_HH
+#define JETSIM_LINT_CONFIG_LINT_HH
+
+#include "core/experiment.hh"
+#include "lint/finding.hh"
+
+namespace jetsim::lint {
+
+/** Lint one homogeneous experiment cell (config + graph + plan +
+ * deployment). */
+void lintExperiment(const core::ExperimentSpec &spec, Report &rep);
+
+/** Lint a heterogeneous (multi-tenant) experiment. */
+void lintExperiment(const core::MixedExperimentSpec &spec, Report &rep);
+
+} // namespace jetsim::lint
+
+#endif // JETSIM_LINT_CONFIG_LINT_HH

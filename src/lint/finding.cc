@@ -1,0 +1,144 @@
+#include "lint/finding.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "check/reporter.hh"
+
+namespace jetsim::lint {
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslashes, control). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+Finding::str() const
+{
+    const RuleInfo &info = ruleInfo(rule);
+    std::string out = std::string(check::severityName(severity)) +
+                      " [" + info.id + "] " + component;
+    if (!location.empty())
+        out += " " + location;
+    out += ": " + message;
+    if (!hint.empty())
+        out += " (fix: " + hint + ")";
+    return out;
+}
+
+void
+Report::add(Rule rule, std::string component, std::string location,
+            std::string message, std::string hint)
+{
+    add(rule, ruleInfo(rule).severity, std::move(component),
+        std::move(location), std::move(message), std::move(hint));
+}
+
+void
+Report::add(Rule rule, check::Severity severity, std::string component,
+            std::string location, std::string message, std::string hint)
+{
+    Finding f;
+    f.rule = rule;
+    f.severity = severity;
+    f.component = std::move(component);
+    f.location = std::move(location);
+    f.message = std::move(message);
+    f.hint = std::move(hint);
+    findings_.push_back(std::move(f));
+}
+
+int
+Report::count(check::Severity s) const
+{
+    int n = 0;
+    for (const auto &f : findings_)
+        if (f.severity == s)
+            ++n;
+    return n;
+}
+
+std::vector<Finding>
+Report::byRule(Rule r) const
+{
+    std::vector<Finding> out;
+    for (const auto &f : findings_)
+        if (f.rule == r)
+            out.push_back(f);
+    return out;
+}
+
+std::string
+Report::text() const
+{
+    std::string out;
+    for (const auto &f : findings_)
+        out += f.str() + "\n";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "jetlint: %d error(s), %d warning(s), %d info\n",
+                  errors(), warnings(),
+                  count(check::Severity::Info));
+    out += buf;
+    return out;
+}
+
+std::string
+Report::json() const
+{
+    std::ostringstream os;
+    os << "{\"findings\":[";
+    bool first = true;
+    for (const auto &f : findings_) {
+        if (!first)
+            os << ",";
+        first = false;
+        const RuleInfo &info = ruleInfo(f.rule);
+        os << "{\"rule\":\"" << info.id << "\",\"title\":\""
+           << info.title << "\",\"severity\":\""
+           << check::severityName(f.severity) << "\",\"component\":\""
+           << jsonEscape(f.component) << "\",\"location\":\""
+           << jsonEscape(f.location) << "\",\"message\":\""
+           << jsonEscape(f.message) << "\",\"hint\":\""
+           << jsonEscape(f.hint) << "\"}";
+    }
+    os << "],\"errors\":" << errors() << ",\"warnings\":" << warnings()
+       << ",\"infos\":" << count(check::Severity::Info) << "}";
+    return os.str();
+}
+
+void
+Report::toReporter() const
+{
+    auto &rep = check::Reporter::instance();
+    for (const auto &f : findings_)
+        rep.report(f.severity, check::Invariant::StaticLint,
+                   f.component.c_str(), check::kTimeUnknown, "[%s] %s",
+                   ruleInfo(f.rule).id, f.message.c_str());
+}
+
+} // namespace jetsim::lint

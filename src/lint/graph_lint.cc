@@ -1,0 +1,369 @@
+#include "lint/graph_lint.hh"
+
+#include <cstdio>
+
+namespace jetsim::lint {
+
+namespace {
+
+using graph::Layer;
+using graph::OpKind;
+using graph::Shape;
+
+std::string
+layerLoc(const Layer &l, int id)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "layer %d (%s %s)", id,
+                  opName(l.kind),
+                  l.name.empty() ? "?" : l.name.c_str());
+    return buf;
+}
+
+std::string
+shapeStr(const Shape &s)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%dx%dx%d", s.c, s.h, s.w);
+    return buf;
+}
+
+bool
+validRef(int ref, std::size_t n)
+{
+    return ref >= 0 && ref < static_cast<int>(n);
+}
+
+/**
+ * Iterative three-colour DFS over input edges; reports each back
+ * edge's cycle entry point once.
+ */
+void
+checkCycles(const std::string &comp,
+            const std::vector<Layer> &layers, Report &rep)
+{
+    enum { White, Grey, Black };
+    const std::size_t n = layers.size();
+    std::vector<int> colour(n, White);
+
+    for (std::size_t root = 0; root < n; ++root) {
+        if (colour[root] != White)
+            continue;
+        // Stack of (node, next-input-index).
+        std::vector<std::pair<int, std::size_t>> stack;
+        stack.emplace_back(static_cast<int>(root), 0);
+        colour[root] = Grey;
+        while (!stack.empty()) {
+            auto &[id, next] = stack.back();
+            const auto &ins =
+                layers[static_cast<std::size_t>(id)].inputs;
+            bool descended = false;
+            while (next < ins.size()) {
+                const int in = ins[next++];
+                if (!validRef(in, n))
+                    continue; // reported separately under G002
+                if (colour[in] == Grey) {
+                    rep.add(Rule::GraphCycle, comp,
+                            layerLoc(layers[static_cast<std::size_t>(
+                                         id)],
+                                     id),
+                            "depends on layer " + std::to_string(in) +
+                                " which transitively depends back on "
+                                "it",
+                            "break the cycle; inference graphs must "
+                            "be DAGs");
+                } else if (colour[in] == White) {
+                    colour[in] = Grey;
+                    stack.emplace_back(in, 0);
+                    descended = true;
+                    break;
+                }
+            }
+            if (!descended && next >= ins.size()) {
+                colour[id] = Black;
+                stack.pop_back();
+            }
+        }
+    }
+}
+
+/** Reverse-reachability from the output over valid input edges. */
+std::vector<bool>
+reachableFromOutput(const std::vector<Layer> &layers, int output)
+{
+    const std::size_t n = layers.size();
+    std::vector<bool> seen(n, false);
+    if (!validRef(output, n))
+        return seen;
+    std::vector<int> stack = {output};
+    seen[static_cast<std::size_t>(output)] = true;
+    while (!stack.empty()) {
+        const int id = stack.back();
+        stack.pop_back();
+        for (const int in : layers[static_cast<std::size_t>(id)].inputs)
+            if (validRef(in, n) &&
+                !seen[static_cast<std::size_t>(in)]) {
+                seen[static_cast<std::size_t>(in)] = true;
+                stack.push_back(in);
+            }
+    }
+    return seen;
+}
+
+void
+checkShapes(const std::string &comp, const Layer &l, int id,
+            const std::vector<Layer> &layers, Report &rep)
+{
+    const std::size_t n = layers.size();
+    const auto loc = layerLoc(l, id);
+
+    // Recorded input shape must match the first producer's output.
+    if (!l.inputs.empty() && validRef(l.inputs[0], n)) {
+        const Shape &prod =
+            layers[static_cast<std::size_t>(l.inputs[0])].out;
+        if (!(l.in == prod))
+            rep.add(Rule::GraphShapeMismatch, comp, loc,
+                    "recorded input shape " + shapeStr(l.in) +
+                        " != producer output " + shapeStr(prod),
+                    "rebuild the layer against the producer's actual "
+                    "output shape");
+    }
+
+    switch (l.kind) {
+      case OpKind::Add:
+        // Elementwise sum needs identical operand shapes.
+        if (l.inputs.size() == 2 && validRef(l.inputs[0], n) &&
+            validRef(l.inputs[1], n)) {
+            const Shape &a =
+                layers[static_cast<std::size_t>(l.inputs[0])].out;
+            const Shape &b =
+                layers[static_cast<std::size_t>(l.inputs[1])].out;
+            if (!(a == b))
+                rep.add(Rule::GraphShapeMismatch, comp, loc,
+                        "Add operands disagree: " + shapeStr(a) +
+                            " vs " + shapeStr(b),
+                        "insert a projection so both operands match");
+        }
+        break;
+      case OpKind::Concat: {
+        // Same spatial dims; output channels = sum of inputs.
+        int c = 0;
+        bool refs_ok = !l.inputs.empty();
+        for (const int in : l.inputs) {
+            if (!validRef(in, n)) {
+                refs_ok = false;
+                break;
+            }
+            const Shape &s = layers[static_cast<std::size_t>(in)].out;
+            if (s.h != l.out.h || s.w != l.out.w)
+                rep.add(Rule::GraphShapeMismatch, comp, loc,
+                        "concat input " + std::to_string(in) +
+                            " spatial dims " + shapeStr(s) +
+                            " != output " + shapeStr(l.out));
+            c += s.c;
+        }
+        if (refs_ok && c != l.out.c)
+            rep.add(Rule::GraphShapeMismatch, comp, loc,
+                    "concat output channels " +
+                        std::to_string(l.out.c) +
+                        " != sum of inputs " + std::to_string(c));
+        break;
+      }
+      case OpKind::Slice:
+        if (l.out.c != l.slice_to - l.slice_from)
+            rep.add(Rule::GraphShapeMismatch, comp, loc,
+                    "slice output channels " +
+                        std::to_string(l.out.c) + " != range width " +
+                        std::to_string(l.slice_to - l.slice_from));
+        break;
+      case OpKind::Upsample:
+        if (l.factor >= 1 &&
+            (l.out.h != l.in.h * l.factor ||
+             l.out.w != l.in.w * l.factor || l.out.c != l.in.c))
+            rep.add(Rule::GraphShapeMismatch, comp, loc,
+                    "upsample x" + std::to_string(l.factor) +
+                        " output " + shapeStr(l.out) +
+                        " inconsistent with input " + shapeStr(l.in));
+        break;
+      case OpKind::Conv:
+      case OpKind::MaxPool:
+      case OpKind::AvgPool:
+        if (l.kernel > 0 && l.stride > 0) {
+            const int eff_k = l.kind == OpKind::Conv
+                                  ? l.dilation * (l.kernel - 1) + 1
+                                  : l.kernel;
+            const int h =
+                (l.in.h + 2 * l.padding - eff_k) / l.stride + 1;
+            const int w =
+                (l.in.w + 2 * l.padding - eff_k) / l.stride + 1;
+            if (l.out.h != h || l.out.w != w)
+                rep.add(Rule::GraphShapeMismatch, comp, loc,
+                        "window arithmetic gives " +
+                            std::to_string(h) + "x" +
+                            std::to_string(w) + " but layer records " +
+                            std::to_string(l.out.h) + "x" +
+                            std::to_string(l.out.w));
+        }
+        break;
+      case OpKind::BatchNorm:
+      case OpKind::Relu:
+      case OpKind::Silu:
+      case OpKind::Sigmoid:
+        if (!(l.out == l.in))
+            rep.add(Rule::GraphShapeMismatch, comp, loc,
+                    "elementwise op changes shape: " + shapeStr(l.in) +
+                        " -> " + shapeStr(l.out));
+        break;
+      default:
+        break;
+    }
+}
+
+void
+checkOpParams(const std::string &comp, const Layer &l, int id,
+              Report &rep)
+{
+    const auto loc = layerLoc(l, id);
+    switch (l.kind) {
+      case OpKind::Conv:
+        if (l.kernel <= 0 || l.stride <= 0 || l.padding < 0 ||
+            l.dilation < 1 || l.groups < 1 || l.out_channels <= 0)
+            rep.add(Rule::GraphBadOpParams, comp, loc,
+                    "conv with kernel=" + std::to_string(l.kernel) +
+                        " stride=" + std::to_string(l.stride) +
+                        " padding=" + std::to_string(l.padding) +
+                        " dilation=" + std::to_string(l.dilation) +
+                        " groups=" + std::to_string(l.groups) +
+                        " out_channels=" +
+                        std::to_string(l.out_channels));
+        else if (l.in.c % l.groups != 0)
+            rep.add(Rule::GraphBadOpParams, comp, loc,
+                    "groups=" + std::to_string(l.groups) +
+                        " does not divide input channels " +
+                        std::to_string(l.in.c));
+        break;
+      case OpKind::MaxPool:
+      case OpKind::AvgPool:
+        if (l.kernel <= 0 || l.stride <= 0 || l.padding < 0)
+            rep.add(Rule::GraphBadOpParams, comp, loc,
+                    "pool with kernel=" + std::to_string(l.kernel) +
+                        " stride=" + std::to_string(l.stride) +
+                        " padding=" + std::to_string(l.padding));
+        break;
+      case OpKind::Linear:
+        if (l.out_features <= 0 || l.in_features <= 0)
+            rep.add(Rule::GraphBadOpParams, comp, loc,
+                    "linear with in_features=" +
+                        std::to_string(l.in_features) +
+                        " out_features=" +
+                        std::to_string(l.out_features));
+        break;
+      case OpKind::Upsample:
+        if (l.factor < 2)
+            rep.add(Rule::GraphBadOpParams, comp, loc,
+                    "upsample factor " + std::to_string(l.factor) +
+                        " (must be >= 2)");
+        break;
+      case OpKind::Slice:
+        if (l.slice_from < 0 || l.slice_to <= l.slice_from ||
+            l.slice_to > l.in.c)
+            rep.add(Rule::GraphBadOpParams, comp, loc,
+                    "slice range [" + std::to_string(l.slice_from) +
+                        ", " + std::to_string(l.slice_to) +
+                        ") over " + std::to_string(l.in.c) +
+                        " channels");
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace
+
+void
+lintLayers(const std::string &name,
+           const std::vector<graph::Layer> &layers, int output,
+           Report &rep)
+{
+    const std::string comp = "graph." + name;
+    const std::size_t n = layers.size();
+
+    if (layers.empty()) {
+        rep.add(Rule::GraphMissingInput, comp, "",
+                "graph has no layers");
+        return;
+    }
+    if (layers.front().kind != OpKind::Input)
+        rep.add(Rule::GraphMissingInput, comp,
+                layerLoc(layers.front(), 0),
+                "first layer is not an Input layer");
+    if (!validRef(output, n))
+        rep.add(Rule::GraphDanglingInput, comp, "",
+                "output id " + std::to_string(output) +
+                    " is outside the graph (size " +
+                    std::to_string(n) + ")");
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Layer &l = layers[i];
+        const int id = static_cast<int>(i);
+        const auto loc = layerLoc(l, id);
+
+        if (l.id != id)
+            rep.add(Rule::GraphDanglingInput, comp, loc,
+                    "embedded id " + std::to_string(l.id) +
+                        " does not match position " +
+                        std::to_string(id));
+        for (const int in : l.inputs)
+            if (!validRef(in, n))
+                rep.add(Rule::GraphDanglingInput, comp, loc,
+                        "references non-existent producer " +
+                            std::to_string(in),
+                        "producer ids must be in [0, " +
+                            std::to_string(n) + ")");
+            else if (in == id)
+                rep.add(Rule::GraphCycle, comp, loc,
+                        "layer consumes its own output");
+
+        if (l.kind == OpKind::Input && !l.inputs.empty())
+            rep.add(Rule::GraphMissingInput, comp, loc,
+                    "Input layer has producers");
+        if (l.kind != OpKind::Input && l.inputs.empty())
+            rep.add(Rule::GraphMissingInput, comp, loc,
+                    "non-input layer has no producers",
+                    "every operator must consume at least one "
+                    "tensor");
+
+        if (l.out.c <= 0 || l.out.h <= 0 || l.out.w <= 0)
+            rep.add(Rule::GraphBadDims, comp, loc,
+                    "output shape " + shapeStr(l.out) +
+                        " has a non-positive dimension",
+                    "check stride/padding against the input "
+                    "resolution");
+        if (l.kind != OpKind::Input &&
+            (l.in.c <= 0 || l.in.h <= 0 || l.in.w <= 0))
+            rep.add(Rule::GraphBadDims, comp, loc,
+                    "input shape " + shapeStr(l.in) +
+                        " has a non-positive dimension");
+
+        checkOpParams(comp, l, id, rep);
+        checkShapes(comp, l, id, layers, rep);
+    }
+
+    checkCycles(comp, layers, rep);
+
+    const auto live = reachableFromOutput(layers, output);
+    for (std::size_t i = 0; i < n; ++i)
+        if (!live[i])
+            rep.add(Rule::GraphDeadLayer, comp,
+                    layerLoc(layers[i], static_cast<int>(i)),
+                    "does not contribute to the network output",
+                    "remove the layer or rewire the output");
+}
+
+void
+lintNetwork(const graph::Network &net, Report &rep)
+{
+    lintLayers(net.name(), net.layers(), net.outputId(), rep);
+}
+
+} // namespace jetsim::lint

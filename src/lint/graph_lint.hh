@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Static linter over the graph IR.
+ *
+ * Operates on a raw layer list rather than a Network so that
+ * malformed graphs — the thing the linter exists to catch — can be
+ * expressed at all: Network's builder API enforces topological
+ * insertion, but graphs arriving from a deserialised plan, a future
+ * importer, or a fault-injection test have no such guarantee.
+ *
+ * Checks: cycles (G001), dangling layer references (G002),
+ * producer/consumer and operator shape consistency (G003),
+ * non-positive dimensions (G004), dead layers (G005), input-layer
+ * structure (G006) and impossible operator parameters (G007).
+ */
+
+#ifndef JETSIM_LINT_GRAPH_LINT_HH
+#define JETSIM_LINT_GRAPH_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/network.hh"
+#include "lint/finding.hh"
+
+namespace jetsim::lint {
+
+/**
+ * Lint an arbitrary layer list. @p output is the id of the network
+ * output; layer ids are the vector indices (a mismatching embedded
+ * id is itself reported under G002).
+ */
+void lintLayers(const std::string &name,
+                const std::vector<graph::Layer> &layers, int output,
+                Report &rep);
+
+/** Lint a built Network (the common entry point). */
+void lintNetwork(const graph::Network &net, Report &rep);
+
+} // namespace jetsim::lint
+
+#endif // JETSIM_LINT_GRAPH_LINT_HH

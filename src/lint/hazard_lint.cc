@@ -1,0 +1,310 @@
+#include "lint/hazard_lint.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace jetsim::lint {
+
+namespace {
+
+constexpr const char *kComp = "hazard";
+
+using Op = StreamProgram::Op;
+
+/** One component per stream; ordered pointwise. */
+using VectorClock = std::vector<int>;
+
+bool
+happensBefore(const VectorClock &a, const VectorClock &b)
+{
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i] > b[i])
+            return false;
+    return true;
+}
+
+std::string
+opLoc(const StreamProgram &p, const Op &op, int idx)
+{
+    std::string what;
+    switch (op.kind) {
+      case Op::Kind::Launch:
+        what = "launch '" + op.label + "'";
+        break;
+      case Op::Kind::Record:
+        what = "record(" + p.eventName(op.event) + ")";
+        break;
+      case Op::Kind::Wait:
+        what = "wait(" + p.eventName(op.event) + ")";
+        break;
+    }
+    return "op " + std::to_string(idx) + " [" +
+           p.streamName(op.stream) + "] " + what;
+}
+
+} // namespace
+
+int
+StreamProgram::stream(const std::string &name)
+{
+    streams_.push_back(name);
+    return static_cast<int>(streams_.size()) - 1;
+}
+
+int
+StreamProgram::buffer(const std::string &name)
+{
+    buffers_.push_back(name);
+    return static_cast<int>(buffers_.size()) - 1;
+}
+
+int
+StreamProgram::event(const std::string &name)
+{
+    events_.push_back(name);
+    return static_cast<int>(events_.size()) - 1;
+}
+
+void
+StreamProgram::launch(int stream, const std::string &kernel,
+                      std::vector<int> reads, std::vector<int> writes)
+{
+    JETSIM_ASSERT(stream >= 0 &&
+                  stream < static_cast<int>(streams_.size()));
+    for (const int b : reads)
+        JETSIM_ASSERT(b >= 0 && b < static_cast<int>(buffers_.size()));
+    for (const int b : writes)
+        JETSIM_ASSERT(b >= 0 && b < static_cast<int>(buffers_.size()));
+    Op op;
+    op.kind = Op::Kind::Launch;
+    op.stream = stream;
+    op.label = kernel;
+    op.reads = std::move(reads);
+    op.writes = std::move(writes);
+    ops_.push_back(std::move(op));
+}
+
+void
+StreamProgram::record(int stream, int event)
+{
+    JETSIM_ASSERT(stream >= 0 &&
+                  stream < static_cast<int>(streams_.size()));
+    JETSIM_ASSERT(event >= 0 &&
+                  event < static_cast<int>(events_.size()));
+    Op op;
+    op.kind = Op::Kind::Record;
+    op.stream = stream;
+    op.event = event;
+    ops_.push_back(std::move(op));
+}
+
+void
+StreamProgram::wait(int stream, int event)
+{
+    JETSIM_ASSERT(stream >= 0 &&
+                  stream < static_cast<int>(streams_.size()));
+    JETSIM_ASSERT(event >= 0 &&
+                  event < static_cast<int>(events_.size()));
+    Op op;
+    op.kind = Op::Kind::Wait;
+    op.stream = stream;
+    op.event = event;
+    ops_.push_back(std::move(op));
+}
+
+void
+lintHazards(const StreamProgram &p, Report &rep)
+{
+    const auto &ops = p.ops();
+    const int n = static_cast<int>(ops.size());
+    const int ns = p.numStreams();
+
+    // --- Match waits to records ------------------------------------
+    // An event is a single synchronisation point: the first record
+    // defines it; re-records are flagged (H005) and ignored, which
+    // keeps every wait unambiguous.
+    std::vector<int> record_of; // event id -> op index, -1 if none
+    for (int i = 0; i < n; ++i) {
+        const Op &op = ops[static_cast<std::size_t>(i)];
+        if (op.kind != Op::Kind::Record)
+            continue;
+        if (op.event >= static_cast<int>(record_of.size()))
+            record_of.resize(static_cast<std::size_t>(op.event) + 1,
+                             -1);
+        int &slot = record_of[static_cast<std::size_t>(op.event)];
+        if (slot >= 0)
+            rep.add(Rule::HazardReRecord, kComp, opLoc(p, op, i),
+                    "event '" + p.eventName(op.event) +
+                        "' already recorded by " +
+                        opLoc(p, ops[static_cast<std::size_t>(slot)],
+                              slot),
+                    "use one event per synchronisation point");
+        else
+            slot = i;
+    }
+    auto recordOf = [&](int event) {
+        return event < static_cast<int>(record_of.size())
+                   ? record_of[static_cast<std::size_t>(event)]
+                   : -1;
+    };
+
+    // --- Build the happens-before edge list ------------------------
+    // Program order per stream, plus record -> wait edges.
+    std::vector<std::vector<int>> succs(static_cast<std::size_t>(n));
+    std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+    auto addEdge = [&](int from, int to) {
+        succs[static_cast<std::size_t>(from)].push_back(to);
+        ++indeg[static_cast<std::size_t>(to)];
+    };
+
+    std::vector<int> prev_in_stream(static_cast<std::size_t>(ns), -1);
+    for (int i = 0; i < n; ++i) {
+        const Op &op = ops[static_cast<std::size_t>(i)];
+        int &prev = prev_in_stream[static_cast<std::size_t>(op.stream)];
+        if (prev >= 0)
+            addEdge(prev, i);
+        prev = i;
+
+        if (op.kind == Op::Kind::Wait) {
+            const int rec = recordOf(op.event);
+            if (rec < 0)
+                rep.add(Rule::HazardUnrecordedWait, kComp,
+                        opLoc(p, op, i),
+                        "event '" + p.eventName(op.event) +
+                            "' is never recorded; the wait "
+                            "establishes no ordering",
+                        "record the event on the producing stream "
+                        "before this wait");
+            else if (ops[static_cast<std::size_t>(rec)].stream !=
+                     op.stream ||
+                     rec > i)
+                // Same-stream record-before-wait is already covered
+                // by program order; everything else (cross-stream,
+                // or a wait issued before its own stream records the
+                // event — a self-deadlock) gets a real edge.
+                addEdge(rec, i);
+        }
+    }
+
+    // --- Cycle check (deadlock) ------------------------------------
+    // Kahn's algorithm; anything left over sits on a cycle of
+    // record/wait + program-order edges and can never execute.
+    std::vector<int> topo;
+    topo.reserve(static_cast<std::size_t>(n));
+    {
+        std::vector<int> q;
+        std::vector<int> deg = indeg;
+        for (int i = 0; i < n; ++i)
+            if (deg[static_cast<std::size_t>(i)] == 0)
+                q.push_back(i);
+        while (!q.empty()) {
+            const int i = q.back();
+            q.pop_back();
+            topo.push_back(i);
+            for (const int s : succs[static_cast<std::size_t>(i)])
+                if (--deg[static_cast<std::size_t>(s)] == 0)
+                    q.push_back(s);
+        }
+        if (static_cast<int>(topo.size()) != n) {
+            std::string members;
+            for (int i = 0; i < n; ++i)
+                if (deg[static_cast<std::size_t>(i)] > 0) {
+                    if (!members.empty())
+                        members += "; ";
+                    members += opLoc(
+                        p, ops[static_cast<std::size_t>(i)], i);
+                }
+            rep.add(Rule::HazardDeadlock, kComp, "",
+                    "event-wait cycle: {" + members +
+                        "} can never execute",
+                    "a stream must not wait on an event recorded "
+                    "after work that waits on it");
+            return; // clocks are undefined on a cyclic program
+        }
+    }
+
+    // --- Vector clocks over the DAG --------------------------------
+    std::vector<VectorClock> clock(
+        static_cast<std::size_t>(n),
+        VectorClock(static_cast<std::size_t>(ns), 0));
+    {
+        std::vector<VectorClock> incoming(
+            static_cast<std::size_t>(n),
+            VectorClock(static_cast<std::size_t>(ns), 0));
+        for (const int i : topo) {
+            VectorClock &c = clock[static_cast<std::size_t>(i)];
+            c = incoming[static_cast<std::size_t>(i)];
+            ++c[static_cast<std::size_t>(
+                ops[static_cast<std::size_t>(i)].stream)];
+            for (const int s : succs[static_cast<std::size_t>(i)]) {
+                VectorClock &in =
+                    incoming[static_cast<std::size_t>(s)];
+                for (int k = 0; k < ns; ++k)
+                    in[static_cast<std::size_t>(k)] = std::max(
+                        in[static_cast<std::size_t>(k)],
+                        c[static_cast<std::size_t>(k)]);
+            }
+        }
+    }
+
+    // --- Conflicting concurrent accesses ---------------------------
+    struct Access
+    {
+        int op;
+        bool write;
+    };
+    std::vector<std::vector<Access>> by_buffer;
+    for (int i = 0; i < n; ++i) {
+        const Op &op = ops[static_cast<std::size_t>(i)];
+        if (op.kind != Op::Kind::Launch)
+            continue;
+        auto note = [&](int buf, bool write) {
+            if (buf >= static_cast<int>(by_buffer.size()))
+                by_buffer.resize(static_cast<std::size_t>(buf) + 1);
+            by_buffer[static_cast<std::size_t>(buf)].push_back(
+                {i, write});
+        };
+        for (const int b : op.reads)
+            note(b, false);
+        for (const int b : op.writes)
+            note(b, true);
+    }
+
+    for (std::size_t buf = 0; buf < by_buffer.size(); ++buf) {
+        const auto &accesses = by_buffer[buf];
+        for (std::size_t x = 0; x < accesses.size(); ++x) {
+            for (std::size_t y = x + 1; y < accesses.size(); ++y) {
+                const Access &a = accesses[x];
+                const Access &b = accesses[y];
+                if (!a.write && !b.write)
+                    continue;
+                const Op &oa = ops[static_cast<std::size_t>(a.op)];
+                const Op &ob = ops[static_cast<std::size_t>(b.op)];
+                if (oa.stream == ob.stream)
+                    continue; // FIFO order serialises them
+                const VectorClock &ca =
+                    clock[static_cast<std::size_t>(a.op)];
+                const VectorClock &cb =
+                    clock[static_cast<std::size_t>(b.op)];
+                if (happensBefore(ca, cb) || happensBefore(cb, ca))
+                    continue;
+                const Rule rule = a.write && b.write
+                                      ? Rule::HazardWaw
+                                      : Rule::HazardRaw;
+                const char *what = a.write && b.write
+                                       ? "both write"
+                                       : "read/write";
+                rep.add(rule, kComp, opLoc(p, oa, a.op),
+                        std::string(what) + " buffer '" +
+                            p.bufferName(static_cast<int>(buf)) +
+                            "' concurrently with " +
+                            opLoc(p, ob, b.op),
+                        "order the accesses with an event: record "
+                        "after the first, wait before the second");
+            }
+        }
+    }
+}
+
+} // namespace jetsim::lint

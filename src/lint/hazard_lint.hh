@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ahead-of-time happens-before hazard detector for stream programs.
+ *
+ * A StreamProgram is the symbolic form of what a deployment will
+ * submit at runtime: per-stream sequences of kernel launches (each
+ * with read/write sets over named device buffers — the
+ * cuda::DeviceBuffer allocations of the real run), event records and
+ * cross-stream event waits. The detector runs vector clocks over the
+ * happens-before graph that ordering induces:
+ *
+ *  - program order within one stream (channels are FIFOs),
+ *  - record(e) -> wait(e) synchronisation edges.
+ *
+ * Two conflicting accesses (at least one write) to the same buffer
+ * from different streams with incomparable clocks are flagged as
+ * WAW (H001) or RAW/WAR (H002) hazards — the racecheck analysis, but
+ * before a single simulated tick. Cycles through record/wait edges
+ * are deadlocks (H003); waits on never-recorded events are H004.
+ */
+
+#ifndef JETSIM_LINT_HAZARD_LINT_HH
+#define JETSIM_LINT_HAZARD_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "lint/finding.hh"
+
+namespace jetsim::lint {
+
+/** Symbolic model of the work a deployment submits. */
+class StreamProgram
+{
+  public:
+    /** Declare a stream; returns its id. */
+    int stream(const std::string &name);
+
+    /** Declare a device buffer; returns its id. */
+    int buffer(const std::string &name);
+
+    /** Declare an event; returns its id. */
+    int event(const std::string &name);
+
+    /**
+     * Append a kernel launch to @p stream's program, reading the
+     * buffers in @p reads and writing those in @p writes.
+     */
+    void launch(int stream, const std::string &kernel,
+                std::vector<int> reads, std::vector<int> writes);
+
+    /** Append an event record to @p stream's program. */
+    void record(int stream, int event);
+
+    /** Append a cudaStreamWaitEvent to @p stream's program. */
+    void wait(int stream, int event);
+
+    /** @name Introspection (used by the detector)
+     * @{ */
+    struct Op
+    {
+        enum class Kind { Launch, Record, Wait };
+        Kind kind;
+        int stream;
+        std::string label; ///< kernel name; empty for record/wait
+        std::vector<int> reads;
+        std::vector<int> writes;
+        int event = -1;
+    };
+
+    const std::vector<Op> &ops() const { return ops_; }
+    int numStreams() const { return static_cast<int>(streams_.size()); }
+    const std::string &streamName(int id) const { return streams_[static_cast<std::size_t>(id)]; }
+    const std::string &bufferName(int id) const { return buffers_[static_cast<std::size_t>(id)]; }
+    const std::string &eventName(int id) const { return events_[static_cast<std::size_t>(id)]; }
+    /** @} */
+
+  private:
+    std::vector<std::string> streams_;
+    std::vector<std::string> buffers_;
+    std::vector<std::string> events_;
+    std::vector<Op> ops_;
+};
+
+/** Run the happens-before analysis; findings carry rules H001-H005. */
+void lintHazards(const StreamProgram &p, Report &rep);
+
+} // namespace jetsim::lint
+
+#endif // JETSIM_LINT_HAZARD_LINT_HH

@@ -1,0 +1,207 @@
+#include "lint/plan_lint.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace jetsim::lint {
+
+namespace {
+
+std::string
+planComponent(const trt::Engine &e)
+{
+    return "plan." + e.model() + "@" +
+           std::string(soc::name(e.requestedPrecision())) + ".b" +
+           std::to_string(e.batch());
+}
+
+std::string
+kernelLoc(const gpu::KernelDesc &k, std::size_t i)
+{
+    return "kernel " + std::to_string(i) + " (" + k.name + ")";
+}
+
+void
+lintEngineCommon(const trt::Engine &e, const soc::DeviceSpec *spec,
+                 Report &rep)
+{
+    const std::string comp = planComponent(e);
+
+    if (e.batch() <= 0)
+        rep.add(Rule::PlanBadBatch, comp, "",
+                "engine compiled for batch " +
+                    std::to_string(e.batch()),
+                "batch must be >= 1");
+
+    if (e.kernels().empty()) {
+        rep.add(Rule::PlanEmpty, comp, "",
+                "plan contains no kernels",
+                "the builder produced nothing to execute; rebuild "
+                "from a non-empty network");
+        return;
+    }
+
+    const soc::Precision req = e.requestedPrecision();
+    int demoted_kernels = 0;
+    bool any_compute = false;
+    for (std::size_t i = 0; i < e.kernels().size(); ++i) {
+        const auto &k = e.kernels()[i];
+        const auto loc = kernelLoc(k, i);
+
+        // Precision: each kernel runs at the requested precision, on
+        // the fp32 fallback path, or — int8 requests only — on the
+        // fp16 Q/DQ demotion path the builder uses for SiLU ops.
+        // Anything else means the plan was corrupted or compiled for
+        // another request.
+        const bool prec_ok =
+            k.prec == req || k.prec == soc::Precision::Fp32 ||
+            (req == soc::Precision::Int8 &&
+             k.prec == soc::Precision::Fp16);
+        if (!prec_ok)
+            rep.add(Rule::PlanPrecisionMismatch, comp, loc,
+                    std::string("kernel precision ") +
+                        soc::name(k.prec) + " is neither requested " +
+                        soc::name(req) + " nor a fallback path",
+                    "rebuild the engine for the requested precision");
+        if (k.prec != req)
+            ++demoted_kernels;
+        if (k.flops > 0)
+            any_compute = true;
+
+        // Numeric plausibility of the cost-model inputs.
+        if (!std::isfinite(k.flops) || k.flops < 0 ||
+            !std::isfinite(k.bytes) || k.bytes < 0)
+            rep.add(Rule::PlanBadKernelNumbers, comp, loc,
+                    "non-finite or negative work: flops=" +
+                        std::to_string(k.flops) +
+                        " bytes=" + std::to_string(k.bytes));
+        if (!std::isfinite(k.efficiency_scale) ||
+            k.efficiency_scale <= 0)
+            rep.add(Rule::PlanBadKernelNumbers, comp, loc,
+                    "efficiency_scale " +
+                        std::to_string(k.efficiency_scale) +
+                        " outside (0, inf)");
+        if (!std::isfinite(k.issue_intensity) ||
+            k.issue_intensity <= 0 || k.issue_intensity > 1.0)
+            rep.add(Rule::PlanBadKernelNumbers, comp, loc,
+                    "issue_intensity " +
+                        std::to_string(k.issue_intensity) +
+                        " outside (0, 1]");
+        if (!std::isfinite(k.tc_stall_factor) ||
+            k.tc_stall_factor < 1.0)
+            rep.add(Rule::PlanBadKernelNumbers, comp, loc,
+                    "tc_stall_factor " +
+                        std::to_string(k.tc_stall_factor) +
+                        " below 1");
+        if (k.blocks <= 0)
+            rep.add(Rule::PlanBadKernelNumbers, comp, loc,
+                    "launch grid of " + std::to_string(k.blocks) +
+                        " blocks");
+
+        // Tensor-core claims the silicon cannot honour.
+        if (k.tc && k.prec == soc::Precision::Fp32)
+            rep.add(Rule::PlanTcWithoutTc, comp, loc,
+                    "fp32 kernel marked tensor-core (fp32 never maps "
+                    "to TCs)");
+        if (spec && k.tc && !spec->gpu.hasTensorCores())
+            rep.add(Rule::PlanTcWithoutTc, comp, loc,
+                    "tensor-core kernel but " + spec->name +
+                        " has no tensor cores",
+                    "rebuild the plan for this device");
+    }
+
+    // Fallback bookkeeping: the builder increments fallback_ops for
+    // exactly the kernels it moved off the requested precision, so
+    // the recorded count must equal the demoted-kernel count.
+    const int nk = static_cast<int>(e.kernels().size());
+    if (e.fallbackOps() < 0 || e.fallbackOps() > nk)
+        rep.add(Rule::PlanFallbackMismatch, comp, "",
+                "fallback_ops " + std::to_string(e.fallbackOps()) +
+                    " outside [0, " + std::to_string(nk) + "]");
+    else if (req != soc::Precision::Fp32 &&
+             e.fallbackOps() != demoted_kernels)
+        rep.add(Rule::PlanFallbackMismatch, comp, "",
+                "fallback_ops records " +
+                    std::to_string(e.fallbackOps()) + " but " +
+                    std::to_string(demoted_kernels) +
+                    " kernels run off the requested precision");
+
+    if (any_compute && e.weightBytes() == 0)
+        rep.add(Rule::PlanNoWeightMemory, comp, "",
+                "plan has compute kernels but pins no weight bytes",
+                "footprint fields were lost; re-serialize the "
+                "engine");
+}
+
+} // namespace
+
+void
+lintEngine(const trt::Engine &e, Report &rep)
+{
+    lintEngineCommon(e, nullptr, rep);
+}
+
+void
+lintEngine(const trt::Engine &e, const soc::DeviceSpec &spec,
+           Report &rep)
+{
+    lintEngineCommon(e, &spec, rep);
+}
+
+void
+lintDeployment(const std::vector<DeploymentGroup> &groups,
+               const soc::DeviceSpec &spec, Report &rep)
+{
+    sim::Bytes need = 0;
+    std::string what;
+    int total_procs = 0;
+    for (const auto &[engine, procs] : groups) {
+        if (procs <= 0)
+            continue;
+        total_procs += procs;
+        need += static_cast<sim::Bytes>(procs) *
+                (spec.memory.process_runtime_overhead +
+                 engine->deviceBytes());
+        if (!what.empty())
+            what += " + ";
+        what += std::to_string(procs) + "x " + engine->model() + "@" +
+                soc::name(engine->requestedPrecision()) + ".b" +
+                std::to_string(engine->batch());
+    }
+    if (total_procs == 0)
+        return;
+
+    const sim::Bytes avail = spec.availableMemory();
+    const std::string comp = "deploy." + spec.name;
+    char buf[192];
+    if (need > avail) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s needs %.0f MiB but %s has %.0f MiB "
+                      "available (%.0f MiB RAM - %.0f MiB OS)",
+                      what.c_str(), sim::toMiB(need),
+                      spec.name.c_str(), sim::toMiB(avail),
+                      sim::toMiB(spec.memory.total),
+                      sim::toMiB(spec.memory.os_reserved));
+        rep.add(Rule::DeployOverCapacity, comp, "", buf,
+                "reduce processes, batch or precision; the paper "
+                "observed this OOM reboot the Jetson Nano");
+    } else if (10 * (avail - need) < avail) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s uses %.0f of %.0f MiB (%.1f %%); allocator "
+                      "fragmentation or a second tenant will OOM",
+                      what.c_str(), sim::toMiB(need),
+                      sim::toMiB(avail),
+                      100.0 * static_cast<double>(need) /
+                          static_cast<double>(avail));
+        rep.add(Rule::DeployNearCapacity, comp, "", buf);
+    }
+}
+
+void
+lintDeployment(const trt::Engine &e, int processes,
+               const soc::DeviceSpec &spec, Report &rep)
+{
+    lintDeployment({{&e, processes}}, spec, rep);
+}
+
+} // namespace jetsim::lint

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Static linter over compiled engine plans and their deployment
+ * footprint.
+ *
+ * The device-free overload checks internal plan consistency
+ * (precision mix vs. request, kernel number sanity, fallback
+ * bookkeeping). The device-aware overload additionally validates the
+ * plan against the target's execution paths (tensor-core kernels on
+ * TC-less silicon, P004) and is what jetlint runs for a
+ * model/device/precision cell.
+ *
+ * lintDeployment() is the ahead-of-time form of the paper's central
+ * deployment question: does N processes x this engine fit in unified
+ * memory? It reproduces the Nano FCN_ResNet50 over-deployment OOM as
+ * a D001 error before a single simulated tick.
+ */
+
+#ifndef JETSIM_LINT_PLAN_LINT_HH
+#define JETSIM_LINT_PLAN_LINT_HH
+
+#include <utility>
+#include <vector>
+
+#include "lint/finding.hh"
+#include "soc/device_spec.hh"
+#include "trt/engine.hh"
+
+namespace jetsim::lint {
+
+/** Lint a plan's internal consistency. */
+void lintEngine(const trt::Engine &e, Report &rep);
+
+/** Lint a plan against the device it will execute on. */
+void lintEngine(const trt::Engine &e, const soc::DeviceSpec &spec,
+                Report &rep);
+
+/**
+ * One engine replicated over a process group, the unit of the
+ * paper's concurrency sweeps.
+ */
+using DeploymentGroup = std::pair<const trt::Engine *, int>;
+
+/**
+ * Check that a (possibly heterogeneous) deployment fits the
+ * device's unified memory: sum over groups of
+ * processes x (CUDA runtime overhead + engine footprint) against
+ * DeviceSpec::availableMemory().
+ */
+void lintDeployment(const std::vector<DeploymentGroup> &groups,
+                    const soc::DeviceSpec &spec, Report &rep);
+
+/** Single-model convenience (device x model x processes cell). */
+void lintDeployment(const trt::Engine &e, int processes,
+                    const soc::DeviceSpec &spec, Report &rep);
+
+} // namespace jetsim::lint
+
+#endif // JETSIM_LINT_PLAN_LINT_HH

@@ -85,4 +85,19 @@ panic(const char *fmt, ...)
     std::abort();
 }
 
+void
+assertFail(const char *func, const char *cond, const char *fmt, ...)
+{
+    std::string msg =
+        "assertion failed: " + std::string(func) + ": " + cond;
+    if (fmt) {
+        std::va_list ap;
+        va_start(ap, fmt);
+        msg += ": " + vformat(fmt, ap);
+        va_end(ap);
+    }
+    current_sink(LogLevel::Panic, msg);
+    std::abort();
+}
+
 } // namespace jetsim::sim

@@ -50,15 +50,21 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/** JETSIM_ASSERT's slow path; `fmt` adds optional context. */
+[[noreturn]] void assertFail(const char *func, const char *cond,
+                             const char *fmt = nullptr, ...)
+    __attribute__((format(printf, 3, 4)));
+
 /**
  * Assertion that survives NDEBUG builds: panics with a message when
- * the condition is false.
+ * the condition is false. Optional printf-style arguments add
+ * context to the failure report.
  */
 #define JETSIM_ASSERT(cond, ...)                                        \
     do {                                                                \
         if (!(cond))                                                    \
-            ::jetsim::sim::panic("assertion failed: %s: %s",            \
-                                 __func__, #cond);                      \
+            ::jetsim::sim::assertFail(__func__, #cond                   \
+                                          __VA_OPT__(, ) __VA_ARGS__);  \
     } while (0)
 
 } // namespace jetsim::sim

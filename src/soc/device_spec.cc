@@ -248,6 +248,24 @@ cloudA40()
 DeviceSpec
 deviceByName(const std::string &name)
 {
+    if (auto d = findDevice(name))
+        return *std::move(d);
+    sim::fatal("unknown device '%s' (expected orin-nano, "
+               "orin-nano-15w, nano, a40)", name.c_str());
+}
+
+const std::vector<std::string> &
+deviceNames()
+{
+    static const std::vector<std::string> names = {
+        "orin-nano", "orin-nano-15w", "nano", "a40",
+    };
+    return names;
+}
+
+std::optional<DeviceSpec>
+findDevice(const std::string &name)
+{
     if (name == "orin-nano")
         return orinNano();
     if (name == "orin-nano-15w")
@@ -256,8 +274,7 @@ deviceByName(const std::string &name)
         return jetsonNano();
     if (name == "a40")
         return cloudA40();
-    sim::fatal("unknown device '%s' (expected orin-nano, "
-               "orin-nano-15w, nano, a40)", name.c_str());
+    return std::nullopt;
 }
 
 } // namespace jetsim::soc

@@ -20,6 +20,7 @@
 #ifndef JETSIM_SOC_DEVICE_SPEC_HH
 #define JETSIM_SOC_DEVICE_SPEC_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -207,6 +208,12 @@ DeviceSpec cloudA40();
 
 /** Look up a device by name ("orin-nano", "nano", "a40"). */
 DeviceSpec deviceByName(const std::string &name);
+
+/** Every name deviceByName() accepts, in presentation order. */
+const std::vector<std::string> &deviceNames();
+
+/** Non-fatal lookup for validation passes (jetlint). */
+std::optional<DeviceSpec> findDevice(const std::string &name);
 
 } // namespace jetsim::soc
 

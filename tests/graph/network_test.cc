@@ -207,5 +207,64 @@ TEST(Network, ValidatePassesOnWellFormedGraph)
     net.validate(); // must not panic
 }
 
+// Malformed construction must die deterministically — the same
+// assertion fires in every build flavour (NDEBUG included), so a bad
+// model generator can never silently produce a nonsense graph.
+
+TEST(NetworkDeath, ZeroInputDimension)
+{
+    EXPECT_DEATH(Network("n", Shape{3, 0, 224}), "non-positive");
+}
+
+TEST(NetworkDeath, NegativeInputDimension)
+{
+    EXPECT_DEATH(Network("n", Shape{-3, 224, 224}), "non-positive");
+}
+
+TEST(NetworkDeath, OutOfRangeLayerReference)
+{
+    Network net("n", Shape{3, 8, 8});
+    EXPECT_DEATH(net.addConv("c", 7, 4, 3, 1, 1), "assertion failed");
+}
+
+TEST(NetworkDeath, NegativeLayerReference)
+{
+    Network net("n", Shape{3, 8, 8});
+    EXPECT_DEATH(net.addBatchNorm("bn", -1), "assertion failed");
+}
+
+TEST(NetworkDeath, ShapeMismatchedAdd)
+{
+    Network net("n", Shape{3, 8, 8});
+    const int a = net.addConv("a", 0, 4, 3, 1, 1);
+    const int b = net.addConv("b", 0, 4, 3, 2, 1);
+    EXPECT_DEATH(net.addAdd("sum", a, b), "assertion failed");
+}
+
+TEST(NetworkDeath, ZeroConvChannels)
+{
+    Network net("n", Shape{3, 8, 8});
+    EXPECT_DEATH(net.addConv("c", 0, 0, 3, 1, 1), "impossible");
+}
+
+TEST(NetworkDeath, NegativeConvStride)
+{
+    Network net("n", Shape{3, 8, 8});
+    EXPECT_DEATH(net.addConv("c", 0, 4, 3, -1, 1), "impossible");
+}
+
+TEST(NetworkDeath, ZeroPoolKernel)
+{
+    Network net("n", Shape{3, 8, 8});
+    EXPECT_DEATH(net.addPool("p", 0, OpKind::MaxPool, 0, 2, 0),
+                 "impossible");
+}
+
+TEST(NetworkDeath, NonPositiveLinearFeatures)
+{
+    Network net("n", Shape{3, 8, 8});
+    EXPECT_DEATH(net.addLinear("fc", 0, 0), "out_features");
+}
+
 } // namespace
 } // namespace jetsim::graph

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Config lint tests: end-to-end lintExperiment over good and bad
+ * experiment specs, including the paper's over-deployment cell.
+ */
+
+#include "lint/config_lint.hh"
+
+#include <gtest/gtest.h>
+
+namespace jetsim::lint {
+namespace {
+
+core::ExperimentSpec
+goodSpec()
+{
+    core::ExperimentSpec s;
+    s.device = "orin-nano";
+    s.model = "resnet50";
+    s.precision = soc::Precision::Fp16;
+    s.batch = 1;
+    s.processes = 1;
+    return s;
+}
+
+TEST(ConfigLint, DefaultSpecIsClean)
+{
+    Report rep;
+    lintExperiment(goodSpec(), rep);
+    EXPECT_TRUE(rep.clean()) << rep.text();
+}
+
+TEST(ConfigLint, UnknownDeviceIsAnErrorListingTheCatalogue)
+{
+    auto s = goodSpec();
+    s.device = "xavier-nx";
+    Report rep;
+    lintExperiment(s, rep);
+    const auto f = rep.byRule(Rule::ConfigUnknownDevice);
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_NE(f[0].hint.find("orin-nano"), std::string::npos);
+}
+
+TEST(ConfigLint, UnknownModelIsAnError)
+{
+    auto s = goodSpec();
+    s.model = "vgg16";
+    Report rep;
+    lintExperiment(s, rep);
+    EXPECT_FALSE(rep.byRule(Rule::ConfigUnknownModel).empty());
+}
+
+TEST(ConfigLint, NonPositiveBatchAndProcessesAreErrors)
+{
+    auto s = goodSpec();
+    s.batch = 0;
+    s.processes = -2;
+    Report rep;
+    lintExperiment(s, rep);
+    EXPECT_FALSE(rep.byRule(Rule::ConfigBadBatch).empty());
+    EXPECT_FALSE(rep.byRule(Rule::ConfigBadProcesses).empty());
+}
+
+TEST(ConfigLint, BeyondGridBatchIsOnlyAWarning)
+{
+    auto s = goodSpec();
+    s.batch = 64;
+    Report rep;
+    lintExperiment(s, rep);
+    const auto f = rep.byRule(Rule::ConfigBadBatch);
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_EQ(f[0].severity, check::Severity::Warning);
+}
+
+TEST(ConfigLint, NegativeWindowAndPreEnqueueAreErrors)
+{
+    auto s = goodSpec();
+    s.duration = 0;
+    s.pre_enqueue = -1;
+    Report rep;
+    lintExperiment(s, rep);
+    EXPECT_FALSE(rep.byRule(Rule::ConfigBadWindow).empty());
+    EXPECT_FALSE(rep.byRule(Rule::ConfigBadPreEnqueue).empty());
+}
+
+TEST(ConfigLint, SpatialSharingOnAJetsonIsAWarning)
+{
+    auto s = goodSpec();
+    s.spatial_sharing = true;
+    Report rep;
+    lintExperiment(s, rep);
+    EXPECT_FALSE(rep.byRule(Rule::ConfigSpatialSharing).empty());
+
+    s.device = "a40";
+    Report a40;
+    lintExperiment(s, a40);
+    EXPECT_TRUE(a40.byRule(Rule::ConfigSpatialSharing).empty());
+}
+
+TEST(ConfigLint, PartialPrecisionCoverageIsSurfacedAsInfo)
+{
+    // The Nano has no int8 tensor paths; the paper found the int8
+    // request silently running mostly fp32 (S6.1.1).
+    auto s = goodSpec();
+    s.device = "nano";
+    s.precision = soc::Precision::Int8;
+    Report rep;
+    lintExperiment(s, rep);
+    EXPECT_FALSE(rep.byRule(Rule::ConfigPrecisionCoverage).empty());
+    EXPECT_TRUE(rep.clean()) << rep.text();
+}
+
+TEST(ConfigLint, OverDeployedCellComesBackWithD001)
+{
+    // The full pipeline reproduces the paper's Nano OOM from the
+    // spec alone: 4x FCN_ResNet50 never fits in 4 GiB.
+    auto s = goodSpec();
+    s.device = "nano";
+    s.model = "fcn_resnet50";
+    s.processes = 4;
+    Report rep;
+    lintExperiment(s, rep);
+    EXPECT_FALSE(rep.byRule(Rule::DeployOverCapacity).empty());
+}
+
+TEST(ConfigLint, MixedSpecSumsGroupFootprints)
+{
+    core::MixedExperimentSpec s;
+    s.device = "nano";
+    s.workloads = {
+        core::WorkloadSpec{"fcn_resnet50", soc::Precision::Fp16, 1, 3},
+        core::WorkloadSpec{"mobilenet_v2", soc::Precision::Fp16, 1, 2},
+    };
+    Report rep;
+    lintExperiment(s, rep);
+    EXPECT_FALSE(rep.byRule(Rule::DeployOverCapacity).empty());
+}
+
+TEST(ConfigLint, MixedSpecWithNoWorkloadsIsAnError)
+{
+    core::MixedExperimentSpec s;
+    s.device = "orin-nano";
+    Report rep;
+    lintExperiment(s, rep);
+    EXPECT_FALSE(rep.clean());
+}
+
+} // namespace
+} // namespace jetsim::lint

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Graph-lint tests: seeded malformed layer lists (cycles, dangling
+ * references, bad shapes) that the Network builder API cannot
+ * express, plus the shipped zoo models which must lint error-free.
+ */
+
+#include "lint/graph_lint.hh"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.hh"
+
+namespace jetsim::lint {
+namespace {
+
+using graph::Layer;
+using graph::OpKind;
+using graph::Shape;
+
+Layer
+inputLayer(Shape s)
+{
+    Layer l;
+    l.id = 0;
+    l.name = "input";
+    l.kind = OpKind::Input;
+    l.in = s;
+    l.out = s;
+    return l;
+}
+
+Layer
+reluLayer(int id, std::vector<int> inputs, Shape s)
+{
+    Layer l;
+    l.id = id;
+    l.name = "relu" + std::to_string(id);
+    l.kind = OpKind::Relu;
+    l.inputs = std::move(inputs);
+    l.in = s;
+    l.out = s;
+    return l;
+}
+
+TEST(GraphLint, WellFormedChainIsClean)
+{
+    graph::Network net("n", Shape{3, 8, 8});
+    const int c = net.addConv("c", 0, 4, 3, 1, 1);
+    net.addActivation("r", c, OpKind::Relu);
+    Report rep;
+    lintNetwork(net, rep);
+    EXPECT_TRUE(rep.clean());
+    EXPECT_EQ(rep.warnings(), 0);
+}
+
+TEST(GraphLint, SeededCycleIsFlagged)
+{
+    const Shape s{3, 8, 8};
+    std::vector<Layer> layers = {
+        inputLayer(s),
+        reluLayer(1, {2}, s), // 1 <- 2
+        reluLayer(2, {1}, s), // 2 <- 1: a cycle the builder API
+                              // could never produce
+    };
+    Report rep;
+    lintLayers("cyclic", layers, 2, rep);
+    EXPECT_FALSE(rep.byRule(Rule::GraphCycle).empty());
+    EXPECT_FALSE(rep.clean());
+}
+
+TEST(GraphLint, SelfLoopIsACycle)
+{
+    const Shape s{3, 8, 8};
+    std::vector<Layer> layers = {inputLayer(s),
+                                 reluLayer(1, {1}, s)};
+    Report rep;
+    lintLayers("selfloop", layers, 1, rep);
+    EXPECT_FALSE(rep.byRule(Rule::GraphCycle).empty());
+}
+
+TEST(GraphLint, DanglingProducerReferenceIsFlagged)
+{
+    const Shape s{3, 8, 8};
+    std::vector<Layer> layers = {inputLayer(s),
+                                 reluLayer(1, {5}, s)};
+    Report rep;
+    lintLayers("dangling", layers, 1, rep);
+    EXPECT_FALSE(rep.byRule(Rule::GraphDanglingInput).empty());
+}
+
+TEST(GraphLint, ShapeMismatchBetweenProducerAndConsumer)
+{
+    std::vector<Layer> layers = {inputLayer(Shape{3, 8, 8}),
+                                 reluLayer(1, {0}, Shape{3, 4, 4})};
+    Report rep;
+    lintLayers("mismatch", layers, 1, rep);
+    EXPECT_FALSE(rep.byRule(Rule::GraphShapeMismatch).empty());
+}
+
+TEST(GraphLint, NonPositiveDimensionIsFlagged)
+{
+    std::vector<Layer> layers = {inputLayer(Shape{3, 8, 8}),
+                                 reluLayer(1, {0}, Shape{3, 8, 8})};
+    layers[1].out = Shape{3, 0, 8};
+    Report rep;
+    lintLayers("baddims", layers, 1, rep);
+    EXPECT_FALSE(rep.byRule(Rule::GraphBadDims).empty());
+}
+
+TEST(GraphLint, DeadBranchIsAWarningNotAnError)
+{
+    const Shape s{3, 8, 8};
+    std::vector<Layer> layers = {
+        inputLayer(s),
+        reluLayer(1, {0}, s),
+        reluLayer(2, {0}, s), // never consumed, not the output
+    };
+    Report rep;
+    lintLayers("deadbranch", layers, 1, rep);
+    const auto dead = rep.byRule(Rule::GraphDeadLayer);
+    ASSERT_EQ(dead.size(), 1u);
+    EXPECT_EQ(dead[0].severity, check::Severity::Warning);
+    EXPECT_TRUE(rep.clean());
+}
+
+TEST(GraphLint, ImpossibleConvParamsAreFlagged)
+{
+    std::vector<Layer> layers = {inputLayer(Shape{3, 8, 8})};
+    Layer conv;
+    conv.id = 1;
+    conv.name = "badconv";
+    conv.kind = OpKind::Conv;
+    conv.inputs = {0};
+    conv.in = Shape{3, 8, 8};
+    conv.out = Shape{4, 8, 8};
+    conv.out_channels = 4;
+    conv.kernel = 0; // impossible
+    layers.push_back(conv);
+    Report rep;
+    lintLayers("badconv", layers, 1, rep);
+    EXPECT_FALSE(rep.byRule(Rule::GraphBadOpParams).empty());
+}
+
+TEST(GraphLint, EveryZooModelLintsErrorFree)
+{
+    for (const auto &name : models::allModelNames()) {
+        Report rep;
+        lintNetwork(models::modelByName(name), rep);
+        EXPECT_TRUE(rep.clean()) << name << ":\n" << rep.text();
+    }
+}
+
+} // namespace
+} // namespace jetsim::lint

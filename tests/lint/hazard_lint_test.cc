@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Happens-before hazard detector tests: unsynchronized cross-stream
+ * WAW/RAW hazards, event-edge synchronization making them vanish,
+ * event-wait deadlock cycles, and misuse warnings.
+ */
+
+#include "lint/hazard_lint.hh"
+
+#include <gtest/gtest.h>
+
+namespace jetsim::lint {
+namespace {
+
+TEST(HazardLint, UnsynchronizedCrossStreamWawIsFlagged)
+{
+    StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int s1 = p.stream("s1");
+    const int buf = p.buffer("activations");
+    p.launch(s0, "writerA", {}, {buf});
+    p.launch(s1, "writerB", {}, {buf});
+    Report rep;
+    lintHazards(p, rep);
+    const auto waw = rep.byRule(Rule::HazardWaw);
+    ASSERT_EQ(waw.size(), 1u);
+    EXPECT_NE(waw[0].message.find("activations"), std::string::npos);
+    EXPECT_FALSE(rep.clean());
+}
+
+TEST(HazardLint, UnsynchronizedCrossStreamRawIsFlagged)
+{
+    StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int s1 = p.stream("s1");
+    const int buf = p.buffer("weights");
+    p.launch(s0, "producer", {}, {buf});
+    p.launch(s1, "consumer", {buf}, {});
+    Report rep;
+    lintHazards(p, rep);
+    EXPECT_EQ(rep.byRule(Rule::HazardRaw).size(), 1u);
+    EXPECT_TRUE(rep.byRule(Rule::HazardWaw).empty());
+}
+
+TEST(HazardLint, RecordWaitEdgeSynchronizesTheStreams)
+{
+    StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int s1 = p.stream("s1");
+    const int buf = p.buffer("activations");
+    const int ev = p.event("done");
+    p.launch(s0, "producer", {}, {buf});
+    p.record(s0, ev);
+    p.wait(s1, ev);
+    p.launch(s1, "consumer", {buf}, {});
+    Report rep;
+    lintHazards(p, rep);
+    EXPECT_TRUE(rep.findings().empty()) << rep.text();
+}
+
+TEST(HazardLint, SameStreamAccessesNeverConflict)
+{
+    StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int buf = p.buffer("io");
+    p.launch(s0, "a", {}, {buf});
+    p.launch(s0, "b", {buf}, {buf});
+    Report rep;
+    lintHazards(p, rep);
+    EXPECT_TRUE(rep.findings().empty()) << rep.text();
+}
+
+TEST(HazardLint, ReadersNeedNoOrdering)
+{
+    StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int s1 = p.stream("s1");
+    const int buf = p.buffer("weights");
+    p.launch(s0, "readerA", {buf}, {});
+    p.launch(s1, "readerB", {buf}, {});
+    Report rep;
+    lintHazards(p, rep);
+    EXPECT_TRUE(rep.findings().empty()) << rep.text();
+}
+
+TEST(HazardLint, CrossStreamWaitCycleIsADeadlock)
+{
+    StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int s1 = p.stream("s1");
+    const int e0 = p.event("e0");
+    const int e1 = p.event("e1");
+    // s0 waits for e1 before recording e0; s1 waits for e0 before
+    // recording e1: neither record can ever execute.
+    p.wait(s0, e1);
+    p.record(s0, e0);
+    p.wait(s1, e0);
+    p.record(s1, e1);
+    Report rep;
+    lintHazards(p, rep);
+    EXPECT_FALSE(rep.byRule(Rule::HazardDeadlock).empty());
+    EXPECT_FALSE(rep.clean());
+}
+
+TEST(HazardLint, WaitOnNeverRecordedEventIsAWarning)
+{
+    StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int ev = p.event("phantom");
+    p.wait(s0, ev);
+    Report rep;
+    lintHazards(p, rep);
+    const auto w = rep.byRule(Rule::HazardUnrecordedWait);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0].severity, check::Severity::Warning);
+    EXPECT_TRUE(rep.clean());
+}
+
+TEST(HazardLint, ReRecordedEventIsAWarning)
+{
+    StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int s1 = p.stream("s1");
+    const int ev = p.event("reused");
+    p.record(s0, ev);
+    p.record(s1, ev);
+    Report rep;
+    lintHazards(p, rep);
+    EXPECT_FALSE(rep.byRule(Rule::HazardReRecord).empty());
+}
+
+TEST(HazardLint, TransitiveSynchronizationCarriesAcrossStreams)
+{
+    // s0 -> s1 -> s2 via two event edges: s2's consumer is ordered
+    // after s0's producer even though they never synchronize
+    // directly.
+    StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int s1 = p.stream("s1");
+    const int s2 = p.stream("s2");
+    const int buf = p.buffer("activations");
+    const int e0 = p.event("e0");
+    const int e1 = p.event("e1");
+    p.launch(s0, "producer", {}, {buf});
+    p.record(s0, e0);
+    p.wait(s1, e0);
+    p.record(s1, e1);
+    p.wait(s2, e1);
+    p.launch(s2, "consumer", {buf}, {});
+    Report rep;
+    lintHazards(p, rep);
+    EXPECT_TRUE(rep.findings().empty()) << rep.text();
+}
+
+} // namespace
+} // namespace jetsim::lint

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # jetsim CI entry point: one script, three passes.
 #
-#   1. plain     - default build + full ctest suite
+#   1. plain     - default build + full ctest suite, then the jetlint
+#                  static pass (every zoo model at all precisions on
+#                  every board, plus the shipped example configs; any
+#                  error-severity finding fails CI)
 #   2. sanitized - ASan+UBSan (-Werror) build + full suite + the
 #                  simcheck determinism replay
-#   3. tidy      - clang-tidy over src/ and tools/ (skipped with a
-#                  warning when clang-tidy is not installed)
+#   3. tidy      - clang-tidy over src/, tools/ and tests/ (skipped
+#                  with a warning when clang-tidy is not installed)
 #
 # Usage: tools/ci.sh [--tsan] [--skip-plain] [--skip-sanitized]
 #                    [--skip-tidy]
@@ -45,6 +48,10 @@ build_and_test() {
 if [ "$run_plain" = 1 ]; then
     banner "pass 1: plain build + tests"
     build_and_test "$repo/build-ci/plain"
+    banner "pass 1b: jetlint static analysis"
+    jetlint="$repo/build-ci/plain/tools/jetlint"
+    "$jetlint" --zoo --device=all --precision=all | tail -1
+    "$jetlint" --examples | tail -1
 fi
 
 if [ "$run_san" = 1 ]; then
@@ -64,6 +71,7 @@ if [ "$run_tidy" = 1 ]; then
         [ -f "$cdb/compile_commands.json" ] ||
             cmake -B "$cdb" -S "$repo" >/dev/null
         mapfile -t sources < <(find "$repo/src" "$repo/tools" \
+                                    "$repo/tests" \
                                     -name '*.cc' -o -name '*.cpp')
         clang-tidy -p "$cdb" --quiet "${sources[@]}"
     else

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * jetlint: ahead-of-time linter for jetsim models, plans and
+ * experiment configs.
+ *
+ * The paper's costliest mistakes happen before the first inference:
+ * deploying more FCN_ResNet50 processes than the Nano's memory holds,
+ * requesting int8 on a board without int8 kernels, or sweeping a grid
+ * the hardware cannot run. jetlint catches those at config time, in
+ * milliseconds, without simulating a single tick.
+ *
+ *   jetlint                                   # lint one cell (flags)
+ *   jetlint --model=fcn_resnet50 --device=nano --procs=4
+ *   jetlint --zoo --device=all                # every model x precision
+ *   jetlint --examples                        # shipped example configs
+ *   jetlint --plan=resnet50.plan              # serialized engine file
+ *   jetlint --list-rules
+ *
+ * Exit status: 0 clean, 1 error findings (or warnings under
+ * --werror), 2 usage/IO trouble. CI runs the --zoo and --examples
+ * modes and gates on the exit status.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "argparse.hh"
+#include "lint/lint.hh"
+#include "models/zoo.hh"
+#include "soc/device_spec.hh"
+#include "trt/builder.hh"
+
+using namespace jetsim;
+
+namespace {
+
+void
+listRules()
+{
+    std::printf("%-6s %-8s %-34s %s\n", "rule", "severity", "title",
+                "description");
+    for (const auto rule : lint::allRules()) {
+        const auto &info = lint::ruleInfo(rule);
+        std::printf("%-6s %-8s %-34s %s\n", info.id,
+                    check::severityName(info.severity), info.title,
+                    info.description);
+    }
+}
+
+std::vector<std::string>
+deviceList(const std::string &flag)
+{
+    if (flag == "all")
+        return soc::deviceNames();
+    return {flag};
+}
+
+std::vector<soc::Precision>
+precisionList(const std::string &flag)
+{
+    if (flag == "all")
+        return {soc::kAllPrecisions.begin(), soc::kAllPrecisions.end()};
+    return {soc::precisionFromName(flag)};
+}
+
+/** Lint every zoo model at every requested precision on every
+ * requested board: the CI sweep. */
+void
+lintZoo(const std::vector<std::string> &devices,
+        const std::vector<soc::Precision> &precisions, int batch,
+        int procs, lint::Report &rep)
+{
+    for (const auto &model : models::allModelNames()) {
+        const auto net = models::modelByName(model);
+        lint::lintNetwork(net, rep);
+        for (const auto &dev_name : devices) {
+            const auto dev = soc::findDevice(dev_name);
+            if (!dev) {
+                rep.add(lint::Rule::ConfigUnknownDevice, "config", "",
+                        "unknown device '" + dev_name + "'");
+                continue;
+            }
+            trt::Builder builder(*dev);
+            for (const auto prec : precisions) {
+                trt::BuilderConfig cfg;
+                cfg.precision = prec;
+                cfg.batch = batch;
+                const auto engine = builder.build(net, cfg);
+                lint::lintEngine(engine, *dev, rep);
+                lint::lintDeployment(engine, procs, *dev, rep);
+            }
+        }
+    }
+}
+
+/** The shipped examples' specs, kept in lockstep with examples/ so
+ * CI proves the documented entry points lint clean. */
+void
+lintExamples(lint::Report &rep)
+{
+    // examples/quickstart.cpp defaults.
+    core::ExperimentSpec quickstart;
+    quickstart.device = "orin-nano";
+    quickstart.model = "resnet50";
+    quickstart.precision = soc::Precision::Int8;
+    lint::lintExperiment(quickstart, rep);
+
+    // examples/edge_cloud_offload.cpp per-placement cell.
+    for (const auto &dev_name : soc::deviceNames()) {
+        core::ExperimentSpec s;
+        s.device = dev_name;
+        s.model = "yolov8n";
+        s.precision = soc::Precision::Fp16;
+        s.batch = 4;
+        s.warmup = sim::msec(250);
+        s.duration = sim::sec(2);
+        lint::lintExperiment(s, rep);
+    }
+
+    // examples/precision_explorer.cpp sweep.
+    for (const auto prec : soc::kAllPrecisions) {
+        core::ExperimentSpec s;
+        s.model = "resnet50";
+        s.precision = prec;
+        s.warmup = sim::msec(250);
+        s.duration = sim::sec(2);
+        lint::lintExperiment(s, rep);
+    }
+
+    // examples/mixed_tenancy.cpp multi-tenant mix.
+    core::MixedExperimentSpec mix;
+    mix.device = "orin-nano";
+    mix.workloads = {
+        core::WorkloadSpec{"resnet50", soc::Precision::Int8, 1, 2},
+        core::WorkloadSpec{"yolov8n", soc::Precision::Fp16, 2, 1},
+        core::WorkloadSpec{"mobilenet_v2", soc::Precision::Int8, 1, 1},
+    };
+    mix.warmup = sim::msec(300);
+    mix.duration = sim::sec(2);
+    lint::lintExperiment(mix, rep);
+}
+
+/** Lint a serialized engine plan file (netinfo/trtexec_sim output). */
+bool
+lintPlanFile(const std::string &path, const std::string &device,
+             lint::Report &rep)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "jetlint: cannot read plan '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto engine = trt::Engine::deserialize(text.str());
+    if (const auto dev = soc::findDevice(device))
+        lint::lintEngine(engine, *dev, rep);
+    else
+        lint::lintEngine(engine, rep);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tools::ArgParser args("jetlint",
+                          "static model/plan/config linter");
+    args.add("model", "resnet50", "zoo model name");
+    args.add("device", "orin-nano", "target device, or 'all'");
+    args.add("precision", "fp16", "engine precision, or 'all'");
+    args.add("batch", "1", "engine batch size");
+    args.add("procs", "1", "concurrent process count");
+    args.add("zoo", "false", "lint every zoo model");
+    args.add("examples", "false", "lint the shipped example configs");
+    args.add("plan", "", "lint a serialized engine plan file");
+    args.add("json", "false", "emit findings as JSON");
+    args.add("werror", "false", "treat warnings as errors");
+    args.add("list-rules", "false", "print the rule catalogue");
+    if (!args.parse(argc, argv))
+        return 2;
+
+    if (args.boolean("list-rules")) {
+        listRules();
+        return 0;
+    }
+
+    lint::Report rep;
+    if (args.boolean("zoo")) {
+        lintZoo(deviceList(args.str("device")),
+                precisionList(args.str("precision")),
+                args.intval("batch"), args.intval("procs"), rep);
+    } else if (args.boolean("examples")) {
+        lintExamples(rep);
+    } else if (args.given("plan")) {
+        if (!lintPlanFile(args.str("plan"), args.str("device"), rep))
+            return 2;
+    } else {
+        core::ExperimentSpec spec;
+        spec.device = args.str("device");
+        spec.model = args.str("model");
+        spec.precision = soc::precisionFromName(args.str("precision"));
+        spec.batch = args.intval("batch");
+        spec.processes = args.intval("procs");
+        lint::lintExperiment(spec, rep);
+    }
+
+    if (args.boolean("json"))
+        std::fputs(rep.json().c_str(), stdout);
+    else
+        std::fputs(rep.text().c_str(), stdout);
+
+    if (rep.errors() > 0)
+        return 1;
+    if (args.boolean("werror") && rep.warnings() > 0)
+        return 1;
+    return 0;
+}

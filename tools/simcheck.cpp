@@ -9,6 +9,12 @@
  * tool exits non-zero, making it suitable as a CI gate
  * (tools/ci.sh runs it after the sanitized test pass).
  *
+ * Before the replays it also checks the plan round trip: the spec's
+ * engine is serialized, deserialized and "run" through the
+ * deterministic kernel cost model; the plan text and the timing
+ * digest must be bit-identical on both sides, so a plan file can be
+ * built once and deployed many times without drift.
+ *
  *   simcheck --model=yolov8n --precision=int8 --procs=2 --runs=3
  *   simcheck --seeds=1,2,3        # distinct seeds must all differ? no:
  *                                 # each seed is replayed --runs times
@@ -20,10 +26,14 @@
 #include <vector>
 
 #include "argparse.hh"
+#include "check/digest.hh"
 #include "check/reporter.hh"
 #include "core/digest.hh"
 #include "core/profiler.hh"
+#include "gpu/cost_model.hh"
+#include "models/zoo.hh"
 #include "sim/logging.hh"
+#include "trt/builder.hh"
 
 using namespace jetsim;
 
@@ -52,6 +62,78 @@ parseSeeds(const std::string &csv)
     if (seeds.empty())
         sim::fatal("--seeds: no seeds given");
     return seeds;
+}
+
+/** Digest of a deterministic dry run: every kernel through the cost
+ * model at full frequency with the jitter source disabled. */
+std::uint64_t
+dryRunDigest(const trt::Engine &e, const soc::DeviceSpec &spec)
+{
+    const gpu::KernelCostModel cost(spec);
+    check::Digest d;
+    for (const auto &k : e.kernels()) {
+        const auto t = cost.timing(k, 1.0, nullptr);
+        d.add(k.name);
+        d.add(static_cast<std::int64_t>(t.duration));
+        d.add(t.sm_active);
+        d.add(t.issue_slot);
+        d.add(t.tc_util);
+        d.add(t.bw_util);
+        d.add(t.compute_frac);
+    }
+    return d.value();
+}
+
+/**
+ * serialize → deserialize → run must be invisible: identical plan
+ * text on re-serialization and an identical dry-run timing digest.
+ * Returns false (and reports Determinism violations) on divergence.
+ */
+bool
+planRoundTripCheck(const core::ExperimentSpec &spec)
+{
+    const auto dev = soc::deviceByName(spec.device);
+    trt::Builder builder(dev);
+    trt::BuilderConfig cfg;
+    cfg.precision = spec.precision;
+    cfg.batch = spec.batch;
+    const auto built =
+        builder.build(models::modelByName(spec.model), cfg);
+
+    const auto plan = built.serialize();
+    const auto restored = trt::Engine::deserialize(plan);
+    auto &rep = check::Reporter::instance();
+
+    bool ok = true;
+    if (restored.serialize() != plan) {
+        ok = false;
+        rep.report(check::Severity::Error,
+                   check::Invariant::Determinism, "tools.simcheck",
+                   check::kTimeUnknown,
+                   "%s plan text not stable across a "
+                   "serialize/deserialize round trip",
+                   spec.model.c_str());
+    }
+
+    const auto before = dryRunDigest(built, dev);
+    const auto after = dryRunDigest(restored, dev);
+    if (before != after) {
+        ok = false;
+        rep.report(check::Severity::Error,
+                   check::Invariant::Determinism, "tools.simcheck",
+                   check::kTimeUnknown,
+                   "%s dry-run digest %016llx != %016llx after plan "
+                   "round trip",
+                   spec.model.c_str(),
+                   static_cast<unsigned long long>(before),
+                   static_cast<unsigned long long>(after));
+    }
+
+    std::printf("plan round trip: %s (digest %016llx, %zu kernels)\n",
+                ok ? "ok" : "DIVERGED",
+                static_cast<unsigned long long>(before),
+                built.kernels().size());
+    return ok;
 }
 
 } // namespace
@@ -94,6 +176,8 @@ main(int argc, char **argv)
     const auto seeds = parseSeeds(args.str("seeds"));
 
     int failures = 0;
+    if (!planRoundTripCheck(spec))
+        ++failures;
     for (const std::uint64_t seed : seeds) {
         spec.seed = seed;
         std::uint64_t reference = 0;
@@ -126,12 +210,13 @@ main(int argc, char **argv)
 
     if (failures) {
         std::fprintf(stderr,
-                     "simcheck: %d of %zu seeds failed to replay "
+                     "simcheck: %d of %zu checks failed to replay "
                      "bit-identically\n",
-                     failures, seeds.size());
+                     failures, seeds.size() + 1);
         return 1;
     }
-    std::printf("simcheck: all %zu seed(s) replay bit-identically\n",
+    std::printf("simcheck: plan round trip and all %zu seed(s) "
+                "replay bit-identically\n",
                 seeds.size());
     return 0;
 }
