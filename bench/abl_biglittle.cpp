@@ -20,6 +20,7 @@ main()
                        "resnet50 int8, b1)");
     prof::Table t({"procs", "partition", "T/P (img/s)",
                    "blocking (ms/EC)", "EC (ms)"});
+    std::vector<core::ExperimentSpec> specs;
     for (int procs : {2, 4, 6, 8}) {
         for (bool part : {true, false}) {
             core::ExperimentSpec s;
@@ -29,15 +30,15 @@ main()
             s.processes = procs;
             s.biglittle = part;
             bench::applyBenchTiming(s);
-            bench::progress()(s.label());
-            const auto r = core::runExperiment(s);
-            t.addRow({std::to_string(procs),
-                      part ? "3 big cores" : "all 6 cores",
-                      prof::fmt(r.throughput_per_process, 1),
-                      prof::fmt(r.mean.blocking_ms_per_ec),
-                      prof::fmt(r.mean.ec_ms)});
+            specs.push_back(s);
         }
     }
+    for (const auto &r : bench::runParallel(specs))
+        t.addRow({std::to_string(r.spec.processes),
+                  r.spec.biglittle ? "3 big cores" : "all 6 cores",
+                  prof::fmt(r.throughput_per_process, 1),
+                  prof::fmt(r.mean.blocking_ms_per_ec),
+                  prof::fmt(r.mean.ec_ms)});
     t.print(std::cout);
     return 0;
 }

@@ -21,6 +21,7 @@ main()
     prof::Table t({"procs", "dvfs", "throughput (img/s)",
                    "avg power (W)", "max power (W)", "final freq",
                    "throttle events"});
+    std::vector<core::ExperimentSpec> specs;
     for (int procs : {1, 2, 4}) {
         for (bool dvfs : {true, false}) {
             core::ExperimentSpec s;
@@ -31,16 +32,17 @@ main()
             s.processes = procs;
             s.dvfs = dvfs;
             bench::applyBenchTiming(s);
-            bench::progress()(s.label());
-            const auto r = core::runExperiment(s);
-            t.addRow({std::to_string(procs), dvfs ? "on" : "off",
-                      prof::fmt(r.total_throughput, 1),
-                      prof::fmt(r.avg_power_w),
-                      prof::fmt(r.max_power_w),
-                      prof::fmt(r.final_freq_frac),
-                      std::to_string(r.dvfs_throttle_events)});
+            specs.push_back(s);
         }
     }
+    for (const auto &r : bench::runParallel(specs))
+        t.addRow({std::to_string(r.spec.processes),
+                  r.spec.dvfs ? "on" : "off",
+                  prof::fmt(r.total_throughput, 1),
+                  prof::fmt(r.avg_power_w),
+                  prof::fmt(r.max_power_w),
+                  prof::fmt(r.final_freq_frac),
+                  std::to_string(r.dvfs_throttle_events)});
     t.print(std::cout);
     std::printf("\nwith DVFS off the 7 W budget is not enforced; "
                 "with it on, power stays capped at the cost of "

@@ -20,6 +20,7 @@ main()
                        "MPS (orin-nano, yolov8n int8, b1)");
     prof::Table t({"procs", "sharing", "dvfs", "T/P (img/s)",
                    "total (img/s)", "power max (W)", "final freq"});
+    std::vector<core::ExperimentSpec> specs;
     for (int procs : {1, 2, 4, 8}) {
         for (bool spatial : {false, true}) {
             for (bool dvfs : {true, false}) {
@@ -31,19 +32,19 @@ main()
                 s.spatial_sharing = spatial;
                 s.dvfs = dvfs;
                 bench::applyBenchTiming(s);
-                bench::progress()(s.label());
-                const auto r = core::runExperiment(s);
-                t.addRow({std::to_string(procs),
-                          spatial ? "spatial (MPS)"
-                                  : "time-mux (Jetson)",
-                          dvfs ? "on" : "off",
-                          prof::fmt(r.throughput_per_process, 1),
-                          prof::fmt(r.total_throughput, 1),
-                          prof::fmt(r.max_power_w),
-                          prof::fmt(r.final_freq_frac)});
+                specs.push_back(s);
             }
         }
     }
+    for (const auto &r : bench::runParallel(specs))
+        t.addRow({std::to_string(r.spec.processes),
+                  r.spec.spatial_sharing ? "spatial (MPS)"
+                                         : "time-mux (Jetson)",
+                  r.spec.dvfs ? "on" : "off",
+                  prof::fmt(r.throughput_per_process, 1),
+                  prof::fmt(r.total_throughput, 1),
+                  prof::fmt(r.max_power_w),
+                  prof::fmt(r.final_freq_frac)});
     t.print(std::cout);
     std::printf(
         "\nat equal clocks (dvfs off) spatial sharing removes the\n"

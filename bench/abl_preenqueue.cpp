@@ -22,8 +22,8 @@ main()
                        "(orin-nano, int8, b1, 1 process)");
     prof::Table t({"model", "pre-enqueue", "throughput (img/s)",
                    "gpu util (%)"});
+    std::vector<core::ExperimentSpec> specs;
     for (const auto &model : models::paperModelNames()) {
-        double base = 0;
         for (int depth : {0, 1, 2}) {
             core::ExperimentSpec s;
             s.device = "orin-nano";
@@ -31,16 +31,13 @@ main()
             s.precision = soc::Precision::Int8;
             s.pre_enqueue = depth;
             bench::applyBenchTiming(s);
-            bench::progress()(s.label());
-            const auto r = core::runExperiment(s);
-            if (depth == 1)
-                base = r.total_throughput;
-            t.addRow({model, std::to_string(depth),
-                      prof::fmt(r.total_throughput, 1),
-                      prof::fmt(r.gpu_util_pct, 1)});
+            specs.push_back(s);
         }
-        (void)base;
     }
+    for (const auto &r : bench::runParallel(specs))
+        t.addRow({r.spec.model, std::to_string(r.spec.pre_enqueue),
+                  prof::fmt(r.total_throughput, 1),
+                  prof::fmt(r.gpu_util_pct, 1)});
     t.print(std::cout);
     std::printf("\npre-enqueue=0 is the synchronous loop; >=1 is the "
                 "trtexec upper-bound methodology.\n");

@@ -17,6 +17,7 @@
 
 #include "core/bottleneck.hh"
 #include "core/profiler.hh"
+#include "core/runner.hh"
 #include "core/sweep.hh"
 #include "prof/report.hh"
 #include "soc/device_spec.hh"
@@ -30,6 +31,34 @@ progress()
     return [](const std::string &label) {
         std::fprintf(stderr, "  running %s\n", label.c_str());
     };
+}
+
+/**
+ * Run an explicit cell list through the parallel runner (auto thread
+ * count via JETSIM_THREADS, result cache via JETSIM_CACHE_DIR), with
+ * the standard per-cell progress line. Results come back in
+ * submission order and bit-identical to a serial loop, so callers
+ * index them exactly as they built the spec list.
+ */
+inline std::vector<core::ExperimentResult>
+runParallel(const std::vector<core::ExperimentSpec> &specs)
+{
+    core::Runner runner;
+    auto results = runner.run(specs, progress());
+    const auto stats = runner.cacheStats();
+    if (stats.hits > 0)
+        std::fprintf(stderr, "  (%llu of %zu cells from cache)\n",
+                     static_cast<unsigned long long>(stats.hits),
+                     specs.size());
+    return results;
+}
+
+/** Heterogeneous counterpart of runParallel(). */
+inline std::vector<core::MixedExperimentResult>
+runParallelMixed(const std::vector<core::MixedExperimentSpec> &specs)
+{
+    core::Runner runner;
+    return runner.runMixed(specs, progress());
 }
 
 /**

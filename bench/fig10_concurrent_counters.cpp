@@ -25,8 +25,7 @@ main()
                        "counter CDFs vs process count [percent]");
     prof::Table t({"model", "procs", "counter", "p10", "p50", "p90",
                    "max"});
-    std::vector<core::ExperimentResult> all;
-
+    std::vector<core::ExperimentSpec> specs;
     for (const auto &model : models::paperModelNames()) {
         for (int procs : {1, 2, 4, 8}) {
             core::ExperimentSpec s;
@@ -36,23 +35,25 @@ main()
             s.processes = procs;
             s.phase = core::Phase::Deep;
             bench::applyBenchTiming(s);
-            bench::progress()(s.label());
-            auto r = core::runExperiment(s);
-
-            auto row = [&](const char *counter, const prof::Cdf &c) {
-                if (c.empty())
-                    return;
-                t.addRow({model, std::to_string(procs), counter,
-                          prof::fmt(c.quantile(0.10), 1),
-                          prof::fmt(c.median(), 1),
-                          prof::fmt(c.quantile(0.90), 1),
-                          prof::fmt(c.max(), 1)});
-            };
-            row("sm_active", r.sm_active);
-            row("issue_slot", r.issue_slot);
-            row("tc_util", r.tc_util);
-            all.push_back(std::move(r));
+            specs.push_back(s);
         }
+    }
+    auto all = bench::runParallel(specs);
+
+    for (const auto &r : all) {
+        auto row = [&](const char *counter, const prof::Cdf &c) {
+            if (c.empty())
+                return;
+            t.addRow({r.spec.model,
+                      std::to_string(r.spec.processes), counter,
+                      prof::fmt(c.quantile(0.10), 1),
+                      prof::fmt(c.median(), 1),
+                      prof::fmt(c.quantile(0.90), 1),
+                      prof::fmt(c.max(), 1)});
+        };
+        row("sm_active", r.sm_active);
+        row("issue_slot", r.issue_slot);
+        row("tc_util", r.tc_util);
     }
     t.print(std::cout);
 

@@ -64,13 +64,13 @@ main()
     prof::printHeading(std::cout,
                        "Fig 11 right (orin-nano, resnet50 int8): "
                        "events vs process count (batch 1)");
-    std::vector<core::ExperimentResult> by_procs;
+    std::vector<core::ExperimentSpec> proc_specs;
     for (int p : {1, 2, 4, 8}) {
         auto s = base;
         s.processes = p;
-        bench::progress()(s.label());
-        by_procs.push_back(core::runExperiment(s));
+        proc_specs.push_back(s);
     }
+    const auto by_procs = bench::runParallel(proc_specs);
     printDecomposition(by_procs, "procs");
 
     bench::printObservations(by_procs);

@@ -63,13 +63,13 @@ main()
     prof::printHeading(std::cout,
                        "Fig 12 right (nano, resnet50 fp16): events "
                        "vs process count (batch 1)");
-    std::vector<core::ExperimentResult> by_procs;
+    std::vector<core::ExperimentSpec> proc_specs;
     for (int p : {1, 2, 4}) {
         auto s = base;
         s.processes = p;
-        bench::progress()(s.label());
-        by_procs.push_back(core::runExperiment(s));
+        proc_specs.push_back(s);
     }
+    const auto by_procs = bench::runParallel(proc_specs);
     printDecomposition(by_procs, false);
 
     // The S7 threshold statement, checked inline.

@@ -22,6 +22,7 @@
 #include <optional>
 
 #include "core/profiler.hh"
+#include "core/runner.hh"
 #include "prof/report.hh"
 
 using namespace jetsim;
@@ -55,6 +56,11 @@ main(int argc, char **argv)
                    "feasible"});
     std::optional<Plan> best;
 
+    // The full offline sweep is embarrassingly parallel: build every
+    // (precision, batch, processes) cell up front and hand the list
+    // to the Runner. Results come back in submission order, so the
+    // table reads exactly as the old serial triple loop printed it.
+    std::vector<core::ExperimentSpec> specs;
     for (auto prec : soc::kAllPrecisions) {
         for (int batch : {1, 2, 4, 8}) {
             for (int procs : {1, 2, 4, 8}) {
@@ -66,38 +72,45 @@ main(int argc, char **argv)
                 s.processes = procs;
                 s.warmup = sim::msec(250);
                 s.duration = sim::msec(1500);
-                std::fprintf(stderr, "  evaluating %s\n",
-                             s.label().c_str());
-                auto r = core::runExperiment(s);
-
-                if (!r.all_deployed) {
-                    t.addRow({soc::name(prec), std::to_string(batch),
-                              std::to_string(procs), "-", "-", "-",
-                              "-", "OOM"});
-                    continue;
-                }
-                Plan p{std::move(r), 0, 0};
-                p.stream_fps = p.result.throughput_per_process;
-                p.latency_ms = p.result.mean.pipeline_ms;
-                const bool ok = p.latency_ms <= max_latency_ms &&
-                                p.stream_fps >= min_fps;
-                t.addRow({soc::name(prec), std::to_string(batch),
-                          std::to_string(procs),
-                          prof::fmt(p.stream_fps, 1),
-                          prof::fmt(p.latency_ms, 1),
-                          prof::fmt(p.result.avg_power_w),
-                          prof::fmt(p.result.workload_mem_mb, 0),
-                          ok ? "yes" : "no"});
-                if (ok &&
-                    (!best ||
-                     p.result.spec.processes >
-                         best->result.spec.processes ||
-                     (p.result.spec.processes ==
-                          best->result.spec.processes &&
-                      p.stream_fps > best->stream_fps)))
-                    best = std::move(p);
+                specs.push_back(s);
             }
         }
+    }
+    core::Runner runner; // JETSIM_THREADS / JETSIM_CACHE_DIR aware
+    auto results =
+        runner.run(specs, [](const std::string &label) {
+            std::fprintf(stderr, "  evaluating %s\n", label.c_str());
+        });
+
+    for (auto &r : results) {
+        const auto prec = r.spec.precision;
+        const int batch = r.spec.batch;
+        const int procs = r.spec.processes;
+        if (!r.all_deployed) {
+            t.addRow({soc::name(prec), std::to_string(batch),
+                      std::to_string(procs), "-", "-", "-", "-",
+                      "OOM"});
+            continue;
+        }
+        Plan p{std::move(r), 0, 0};
+        p.stream_fps = p.result.throughput_per_process;
+        p.latency_ms = p.result.mean.pipeline_ms;
+        const bool ok = p.latency_ms <= max_latency_ms &&
+                        p.stream_fps >= min_fps;
+        t.addRow({soc::name(prec), std::to_string(batch),
+                  std::to_string(procs),
+                  prof::fmt(p.stream_fps, 1),
+                  prof::fmt(p.latency_ms, 1),
+                  prof::fmt(p.result.avg_power_w),
+                  prof::fmt(p.result.workload_mem_mb, 0),
+                  ok ? "yes" : "no"});
+        if (ok &&
+            (!best ||
+             p.result.spec.processes > best->result.spec.processes ||
+             (p.result.spec.processes ==
+                  best->result.spec.processes &&
+              p.stream_fps > best->stream_fps)))
+            best = std::move(p);
     }
 
     prof::printHeading(std::cout, "Sweep");

@@ -68,20 +68,37 @@ Reporter::instance()
 Reporter::Mode
 Reporter::setMode(Mode m)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     const Mode prev = mode_;
     mode_ = m;
     return prev;
 }
 
+Reporter::Mode
+Reporter::mode() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return mode_;
+}
+
+std::uint64_t
+Reporter::total() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+}
+
 std::uint64_t
 Reporter::count(Invariant inv) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     return by_invariant_[static_cast<int>(inv)];
 }
 
 void
 Reporter::clear()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     total_ = 0;
     for (auto &c : by_invariant_)
         c = 0;
@@ -105,6 +122,7 @@ Reporter::report(Severity sev, Invariant inv, const char *component,
     v.sim_time = sim_time;
     v.message = buf;
 
+    std::lock_guard<std::mutex> lock(mu_);
     ++total_;
     ++by_invariant_[static_cast<int>(inv)];
     if (violations_.size() < kMaxRecorded)

@@ -24,6 +24,7 @@
 #define JETSIM_CHECK_REPORTER_HH
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -65,15 +66,20 @@ class Reporter
     /** Replace the mode; returns the previous one. */
     Mode setMode(Mode m);
 
-    Mode mode() const { return mode_; }
+    Mode mode() const;
 
     /** Total violations reported since construction / clear(). */
-    std::uint64_t total() const { return total_; }
+    std::uint64_t total() const;
 
     /** Violations reported for one invariant class. */
     std::uint64_t count(Invariant inv) const;
 
-    /** Most recent violations (bounded history). */
+    /**
+     * Most recent violations (bounded history). The reference is to
+     * internal storage: inspect it only from a quiescent point (no
+     * concurrent simulations reporting), e.g. after a Runner batch
+     * has joined.
+     */
     const std::vector<Violation> &violations() const
     {
         return violations_;
@@ -87,6 +93,9 @@ class Reporter
 
     static constexpr std::size_t kMaxRecorded = 64;
 
+    /** Guards every member: parallel Runner cells report through the
+     * one process-wide instance. */
+    mutable std::mutex mu_;
     Mode mode_ = Mode::Abort;
     std::uint64_t total_ = 0;
     std::uint64_t by_invariant_[kInvariantCount] = {};

@@ -1,17 +1,15 @@
 #include "core/sweep.hh"
 
-#include "core/profiler.hh"
-
 namespace jetsim::core {
 
 namespace {
 
-ExperimentResult
-runCell(const ExperimentSpec &spec, const ProgressFn &progress)
+std::vector<ExperimentResult>
+runSpecs(const std::vector<ExperimentSpec> &specs,
+         const ProgressFn &progress)
 {
-    if (progress)
-        progress(spec.label());
-    return runExperiment(spec);
+    Runner runner; // auto threads + env cache (see runner.hh)
+    return runner.run(specs, progress);
 }
 
 } // namespace
@@ -21,42 +19,42 @@ sweepPrecision(ExperimentSpec base,
                const std::vector<soc::Precision> &precisions,
                const ProgressFn &progress)
 {
-    std::vector<ExperimentResult> out;
-    out.reserve(precisions.size());
+    std::vector<ExperimentSpec> specs;
+    specs.reserve(precisions.size());
     for (const auto p : precisions) {
         base.precision = p;
-        out.push_back(runCell(base, progress));
+        specs.push_back(base);
     }
-    return out;
+    return runSpecs(specs, progress);
 }
 
 std::vector<ExperimentResult>
 sweepBatch(ExperimentSpec base, const std::vector<int> &batches,
            const ProgressFn &progress)
 {
-    std::vector<ExperimentResult> out;
-    out.reserve(batches.size());
+    std::vector<ExperimentSpec> specs;
+    specs.reserve(batches.size());
     for (const int b : batches) {
         base.batch = b;
-        out.push_back(runCell(base, progress));
+        specs.push_back(base);
     }
-    return out;
+    return runSpecs(specs, progress);
 }
 
 std::vector<ExperimentResult>
 sweepGrid(ExperimentSpec base, const std::vector<int> &batches,
           const std::vector<int> &processes, const ProgressFn &progress)
 {
-    std::vector<ExperimentResult> out;
-    out.reserve(batches.size() * processes.size());
+    std::vector<ExperimentSpec> specs;
+    specs.reserve(batches.size() * processes.size());
     for (const int p : processes) {
         base.processes = p;
         for (const int b : batches) {
             base.batch = b;
-            out.push_back(runCell(base, progress));
+            specs.push_back(base);
         }
     }
-    return out;
+    return runSpecs(specs, progress);
 }
 
 } // namespace jetsim::core

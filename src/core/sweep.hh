@@ -2,20 +2,23 @@
  * @file
  * Sweep helpers: run grids of experiments the way the paper's
  * evaluation does (precision sweeps, batch x process grids).
+ *
+ * Since the Runner landed these are thin wrappers that expand the
+ * grid into a spec list and hand it to a default-configured
+ * core::Runner: parallel across cells (JETSIM_THREADS override,
+ * JETSIM_THREADS=1 forces the old serial path) and served from the
+ * result cache when JETSIM_CACHE_DIR is set. Results are always in
+ * grid order and bit-identical to a serial run.
  */
 
 #ifndef JETSIM_CORE_SWEEP_HH
 #define JETSIM_CORE_SWEEP_HH
 
-#include <functional>
 #include <vector>
 
-#include "core/experiment.hh"
+#include "core/runner.hh"
 
 namespace jetsim::core {
-
-/** Optional progress callback (label of the cell about to run). */
-using ProgressFn = std::function<void(const std::string &)>;
 
 /** Run @p base once per precision in @p precisions. */
 std::vector<ExperimentResult>

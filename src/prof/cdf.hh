@@ -48,6 +48,14 @@ class Cdf
      */
     std::string summary() const;
 
+    /**
+     * Raw samples in their current order (sorted iff a quantile-style
+     * query already ran). Exposed so the result cache can serialise a
+     * CDF losslessly; quantiles over the round-tripped samples are
+     * bit-identical to the original's.
+     */
+    const std::vector<double> &samples() const { return samples_; }
+
   private:
     void ensureSorted() const;
 

@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -21,16 +22,23 @@ defaultSink(LogLevel level, const std::string &msg)
     std::fprintf(stderr, "jetsim: %s: %s\n", tag, msg.c_str());
 }
 
-LogSink current_sink = &defaultSink;
+// Atomic: core::Runner workers log concurrently, and a plain global
+// here was the first race the pool exposed.
+std::atomic<LogSink> current_sink{&defaultSink};
+
+LogSink
+sink()
+{
+    return current_sink.load(std::memory_order_acquire);
+}
 
 } // namespace
 
 LogSink
-setLogSink(LogSink sink)
+setLogSink(LogSink new_sink)
 {
-    LogSink prev = current_sink;
-    current_sink = sink ? sink : &defaultSink;
-    return prev;
+    return current_sink.exchange(new_sink ? new_sink : &defaultSink,
+                                 std::memory_order_acq_rel);
 }
 
 std::string
@@ -52,7 +60,7 @@ inform(const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
-    current_sink(LogLevel::Info, vformat(fmt, ap));
+    sink()(LogLevel::Info, vformat(fmt, ap));
     va_end(ap);
 }
 
@@ -61,7 +69,7 @@ warn(const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
-    current_sink(LogLevel::Warn, vformat(fmt, ap));
+    sink()(LogLevel::Warn, vformat(fmt, ap));
     va_end(ap);
 }
 
@@ -70,7 +78,7 @@ fatal(const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
-    current_sink(LogLevel::Fatal, vformat(fmt, ap));
+    sink()(LogLevel::Fatal, vformat(fmt, ap));
     va_end(ap);
     std::exit(1);
 }
@@ -80,7 +88,7 @@ panic(const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
-    current_sink(LogLevel::Panic, vformat(fmt, ap));
+    sink()(LogLevel::Panic, vformat(fmt, ap));
     va_end(ap);
     std::abort();
 }
@@ -96,7 +104,7 @@ assertFail(const char *func, const char *cond, const char *fmt, ...)
         msg += ": " + vformat(fmt, ap);
         va_end(ap);
     }
-    current_sink(LogLevel::Panic, msg);
+    sink()(LogLevel::Panic, msg);
     std::abort();
 }
 

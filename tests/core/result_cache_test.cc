@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Result-cache tests: digest-keyed hit/miss behaviour, bit-exact
+ * round-trip fidelity (a cached ExperimentResult equals the fresh one
+ * field by field, CDFs included), cache invalidation when *any* spec
+ * field changes, and tolerance of corrupted cache files (fall back to
+ * a re-run, never crash).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/digest.hh"
+#include "core/profiler.hh"
+#include "core/result_cache.hh"
+#include "core/runner.hh"
+
+namespace jetsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ResultCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = fs::path(::testing::TempDir()) /
+               ("jetsim_cache_" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        fs::remove_all(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string dir() const { return dir_.string(); }
+
+    fs::path dir_;
+};
+
+core::ExperimentSpec
+smallSpec()
+{
+    core::ExperimentSpec s;
+    s.device = "orin-nano";
+    s.model = "resnet50";
+    s.precision = soc::Precision::Fp16;
+    s.batch = 2;
+    s.processes = 2;
+    s.phase = core::Phase::Deep; // non-empty CDFs + kernel spans
+    s.warmup = sim::msec(50);
+    s.duration = sim::msec(200);
+    s.seed = 99;
+    return s;
+}
+
+void
+expectProcEq(const core::ProcessMetrics &a,
+             const core::ProcessMetrics &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.deployed, b.deployed);
+    EXPECT_EQ(a.throughput, b.throughput);
+    EXPECT_EQ(a.ec_ms, b.ec_ms);
+    EXPECT_EQ(a.pipeline_ms, b.pipeline_ms);
+    EXPECT_EQ(a.enqueue_ms, b.enqueue_ms);
+    EXPECT_EQ(a.launch_ms_per_ec, b.launch_ms_per_ec);
+    EXPECT_EQ(a.sync_ms, b.sync_ms);
+    EXPECT_EQ(a.blocking_ms_per_ec, b.blocking_ms_per_ec);
+    EXPECT_EQ(a.resched_ms_per_ec, b.resched_ms_per_ec);
+    EXPECT_EQ(a.cpu_ms_per_ec, b.cpu_ms_per_ec);
+    EXPECT_EQ(a.cache_ms_per_ec, b.cache_ms_per_ec);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    EXPECT_EQ(a.ecs, b.ecs);
+}
+
+void
+expectCdfEq(const prof::Cdf &a, const prof::Cdf &b)
+{
+    ASSERT_EQ(a.count(), b.count());
+    if (a.empty())
+        return;
+    EXPECT_EQ(a.mean(), b.mean());
+    for (const double q : {0.0, 0.25, 0.5, 0.9, 1.0})
+        EXPECT_EQ(a.quantile(q), b.quantile(q));
+}
+
+TEST_F(ResultCacheTest, MissOnEmptyThenHitAfterStore)
+{
+    core::ResultCache cache(dir());
+    const auto spec = smallSpec();
+    EXPECT_FALSE(cache.load(spec).has_value());
+
+    const auto fresh = core::runExperiment(spec);
+    cache.store(fresh);
+    EXPECT_TRUE(fs::exists(cache.pathFor(spec)));
+    EXPECT_TRUE(cache.load(spec).has_value());
+}
+
+TEST_F(ResultCacheTest, RoundTripIsBitExactFieldByField)
+{
+    core::ResultCache cache(dir());
+    const auto spec = smallSpec();
+    const auto fresh = core::runExperiment(spec);
+    cache.store(fresh);
+
+    const auto cached = cache.load(spec);
+    ASSERT_TRUE(cached.has_value());
+
+    EXPECT_EQ(cached->spec.label(), fresh.spec.label());
+    EXPECT_EQ(cached->all_deployed, fresh.all_deployed);
+    EXPECT_EQ(cached->deployed_count, fresh.deployed_count);
+    EXPECT_EQ(cached->total_throughput, fresh.total_throughput);
+    EXPECT_EQ(cached->throughput_per_process,
+              fresh.throughput_per_process);
+    EXPECT_EQ(cached->avg_power_w, fresh.avg_power_w);
+    EXPECT_EQ(cached->max_power_w, fresh.max_power_w);
+    EXPECT_EQ(cached->gpu_util_pct, fresh.gpu_util_pct);
+    EXPECT_EQ(cached->mem_pct, fresh.mem_pct);
+    EXPECT_EQ(cached->workload_mem_mb, fresh.workload_mem_mb);
+    EXPECT_EQ(cached->dvfs_throttle_events,
+              fresh.dvfs_throttle_events);
+    EXPECT_EQ(cached->final_freq_frac, fresh.final_freq_frac);
+    EXPECT_EQ(cached->kernel_us_mean, fresh.kernel_us_mean);
+    EXPECT_EQ(cached->kernels, fresh.kernels);
+
+    ASSERT_GT(fresh.sm_active.count(), 0u); // deep phase has CDFs
+    expectCdfEq(cached->sm_active, fresh.sm_active);
+    expectCdfEq(cached->issue_slot, fresh.issue_slot);
+    expectCdfEq(cached->tc_util, fresh.tc_util);
+
+    ASSERT_EQ(cached->procs.size(), fresh.procs.size());
+    for (std::size_t i = 0; i < fresh.procs.size(); ++i)
+        expectProcEq(cached->procs[i], fresh.procs[i]);
+    expectProcEq(cached->mean, fresh.mean);
+
+    // The one-integer summary of all of the above.
+    EXPECT_EQ(core::resultDigest(*cached), core::resultDigest(fresh));
+}
+
+TEST_F(ResultCacheTest, MixedRoundTripIsBitExact)
+{
+    core::MixedExperimentSpec spec;
+    spec.device = "orin-nano";
+    spec.workloads = {
+        {"resnet50", soc::Precision::Int8, 1, 2},
+        {"yolov8n", soc::Precision::Fp16, 2, 1},
+    };
+    spec.phase = core::Phase::Deep;
+    spec.warmup = sim::msec(50);
+    spec.duration = sim::msec(200);
+    spec.seed = 4;
+
+    core::ResultCache cache(dir());
+    const auto fresh = core::runMixedExperiment(spec);
+    cache.store(fresh);
+    const auto cached = cache.load(spec);
+    ASSERT_TRUE(cached.has_value());
+    ASSERT_EQ(cached->throughput_by_workload.size(),
+              fresh.throughput_by_workload.size());
+    for (std::size_t i = 0; i < fresh.throughput_by_workload.size();
+         ++i)
+        EXPECT_EQ(cached->throughput_by_workload[i],
+                  fresh.throughput_by_workload[i]);
+    EXPECT_EQ(core::resultDigest(*cached), core::resultDigest(fresh));
+}
+
+TEST_F(ResultCacheTest, AnySpecFieldChangeChangesTheKey)
+{
+    const auto base = smallSpec();
+    const auto key = core::ResultCache::specKey(base);
+
+    auto mutated = [&](auto mutate) {
+        auto s = base;
+        mutate(s);
+        return core::ResultCache::specKey(s);
+    };
+
+    using Spec = core::ExperimentSpec;
+    EXPECT_NE(key, mutated([](Spec &s) { s.device = "nano"; }));
+    EXPECT_NE(key, mutated([](Spec &s) { s.model = "yolov8n"; }));
+    EXPECT_NE(key, mutated([](Spec &s) {
+        s.precision = soc::Precision::Int8;
+    }));
+    EXPECT_NE(key, mutated([](Spec &s) { s.batch = 1; }));
+    EXPECT_NE(key, mutated([](Spec &s) { s.processes = 4; }));
+    EXPECT_NE(key, mutated([](Spec &s) {
+        s.phase = core::Phase::Light;
+    }));
+    EXPECT_NE(key, mutated([](Spec &s) { s.warmup += 1; }));
+    EXPECT_NE(key, mutated([](Spec &s) { s.duration += 1; }));
+    EXPECT_NE(key, mutated([](Spec &s) { s.pre_enqueue = 0; }));
+    EXPECT_NE(key, mutated([](Spec &s) { s.dvfs = false; }));
+    EXPECT_NE(key, mutated([](Spec &s) { s.biglittle = false; }));
+    EXPECT_NE(key, mutated([](Spec &s) {
+        s.spatial_sharing = true;
+    }));
+    EXPECT_NE(key, mutated([](Spec &s) { s.seed += 1; }));
+}
+
+TEST_F(ResultCacheTest, MixedKeyCoversWorkloadsAndKind)
+{
+    core::MixedExperimentSpec m;
+    m.device = "orin-nano";
+    m.workloads = {{"resnet50", soc::Precision::Fp16, 1, 1}};
+    m.seed = 7;
+    const auto key = core::ResultCache::specKey(m);
+
+    auto w2 = m;
+    w2.workloads.push_back({"yolov8n", soc::Precision::Int8, 2, 1});
+    EXPECT_NE(key, core::ResultCache::specKey(w2));
+
+    auto batch = m;
+    batch.workloads[0].batch = 2;
+    EXPECT_NE(key, core::ResultCache::specKey(batch));
+
+    // A single-workload mixed spec must never alias the equivalent
+    // plain ExperimentSpec (distinct key kinds).
+    core::ExperimentSpec flat;
+    flat.device = m.device;
+    flat.model = "resnet50";
+    flat.precision = soc::Precision::Fp16;
+    flat.seed = 7;
+    EXPECT_NE(core::ResultCache::specKey(m),
+              core::ResultCache::specKey(flat));
+}
+
+TEST_F(ResultCacheTest, CorruptedFilesFallBackToMiss)
+{
+    core::ResultCache cache(dir());
+    const auto spec = smallSpec();
+    const auto fresh = core::runExperiment(spec);
+    cache.store(fresh);
+    const auto path = cache.pathFor(spec);
+
+    const std::vector<std::string> corruptions = {
+        "",                          // empty file
+        "not json at all",           // garbage
+        "{\"version\":",             // truncated mid-token
+        "{\"version\": 999999, \"key\": 1, \"result\": {}}", // version
+        "[1, 2, 3]",                 // wrong shape
+        "{}",                        // missing everything
+    };
+    for (const auto &bad : corruptions) {
+        std::ofstream(path, std::ios::trunc) << bad;
+        EXPECT_FALSE(cache.load(spec).has_value())
+            << "accepted corrupted content: " << bad;
+    }
+
+    // Truncated-but-valid-prefix of the real file.
+    {
+        cache.store(fresh);
+        std::ifstream in(path);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        std::ofstream(path, std::ios::trunc)
+            << text.substr(0, text.size() / 2);
+    }
+    EXPECT_FALSE(cache.load(spec).has_value());
+
+    // A Runner pointed at the poisoned cache must transparently
+    // re-run and produce the bit-identical result.
+    std::ofstream(path, std::ios::trunc) << "garbage";
+    core::Runner runner(2, dir());
+    const auto results = runner.run({spec});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(core::resultDigest(results[0]),
+              core::resultDigest(fresh));
+    EXPECT_EQ(runner.cacheStats().hits, 0u);
+    EXPECT_EQ(runner.cacheStats().misses, 1u);
+    EXPECT_EQ(runner.cacheStats().stores, 1u);
+    // The re-run repaired the entry.
+    EXPECT_TRUE(cache.load(spec).has_value());
+}
+
+TEST_F(ResultCacheTest, RunnerServesRepeatsFromCache)
+{
+    const auto specs = [] {
+        std::vector<core::ExperimentSpec> v;
+        for (const int batch : {1, 2, 4}) {
+            auto s = smallSpec();
+            s.phase = core::Phase::Light;
+            s.batch = batch;
+            v.push_back(s);
+        }
+        return v;
+    }();
+
+    core::Runner cold(2, dir());
+    const auto first = cold.run(specs);
+    EXPECT_EQ(cold.cacheStats().hits, 0u);
+    EXPECT_EQ(cold.cacheStats().misses, specs.size());
+    EXPECT_EQ(cold.cacheStats().stores, specs.size());
+
+    core::Runner warm(2, dir());
+    const auto second = warm.run(specs);
+    EXPECT_EQ(warm.cacheStats().hits, specs.size());
+    EXPECT_EQ(warm.cacheStats().misses, 0u);
+
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(core::resultDigest(first[i]),
+                  core::resultDigest(second[i]));
+}
+
+TEST_F(ResultCacheTest, EnvVarEnablesCaching)
+{
+    ::setenv("JETSIM_CACHE_DIR", dir().c_str(), 1);
+    {
+        core::Runner runner(1);
+        EXPECT_TRUE(runner.cacheEnabled());
+        auto s = smallSpec();
+        s.phase = core::Phase::Light;
+        runner.run({s});
+        EXPECT_EQ(runner.cacheStats().stores, 1u);
+    }
+    ::unsetenv("JETSIM_CACHE_DIR");
+    core::Runner off(1);
+    EXPECT_FALSE(off.cacheEnabled());
+}
+
+} // namespace
+} // namespace jetsim

@@ -13,9 +13,12 @@
 # Usage: tools/ci.sh [--tsan] [--skip-plain] [--skip-sanitized]
 #                    [--skip-tidy]
 #
-# --tsan swaps the sanitized pass to ThreadSanitizer (the simulator
-# is single-threaded today; this flavour exists for when workers
-# arrive).
+# --tsan swaps the sanitized pass to ThreadSanitizer and is the
+# gate for the parallel sweep runner (core::Runner): the pass rings
+# the runner_stress_tests binary (oversubscribed work-stealing pool
+# plus the global-state regression tests) and the simcheck replay
+# through the parallel path, so data races in the concurrent cell
+# executor fail CI rather than lurk.
 
 set -euo pipefail
 
@@ -58,9 +61,15 @@ if [ "$run_san" = 1 ]; then
     banner "pass 2: sanitized build ($san_flavor) + tests"
     build_and_test "$repo/build-ci/$san_flavor" \
         -DJETSIM_SANITIZE="$san_flavor"
-    banner "pass 2b: determinism replay (simcheck)"
+    banner "pass 2b: determinism replay (simcheck, parallel path)"
     "$repo/build-ci/$san_flavor/tools/simcheck" \
-        --duration 0.3 --warmup 0.1 --seeds 1,2,3
+        --duration 0.3 --warmup 0.1 --seeds 1,2,3 --threads 4
+    banner "pass 2c: runner concurrency stress ($san_flavor)"
+    # ctest already ran this binary once; run it again explicitly
+    # with the pool oversubscribed well past the host core count so
+    # the sanitizer sees maximum interleaving.
+    JETSIM_THREADS=16 \
+        "$repo/build-ci/$san_flavor/tests/runner_stress_tests"
 fi
 
 if [ "$run_tidy" = 1 ]; then

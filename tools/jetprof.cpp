@@ -16,6 +16,7 @@
 #include "core/bottleneck.hh"
 #include "core/profiler.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 #include "core/sweep.hh"
 #include "prof/metrics.hh"
 #include "prof/report.hh"
@@ -96,10 +97,30 @@ runSweep(const tools::ArgParser &args)
     const auto procs = args.intlist("procs-list");
     const bool csv = args.boolean("csv");
 
-    const auto results = core::sweepGrid(
-        base, batches, procs, [](const std::string &label) {
+    // Same grid order as core::sweepGrid (row-major over processes),
+    // but through an explicitly configured Runner so --threads and
+    // --cache override the JETSIM_THREADS / JETSIM_CACHE_DIR env.
+    std::vector<core::ExperimentSpec> specs;
+    specs.reserve(batches.size() * procs.size());
+    for (const int p : procs) {
+        base.processes = p;
+        for (const int b : batches) {
+            base.batch = b;
+            specs.push_back(base);
+        }
+    }
+    core::Runner runner(args.intval("threads"), args.str("cache"));
+    const auto results =
+        runner.run(specs, [](const std::string &label) {
             std::fprintf(stderr, "  running %s\n", label.c_str());
         });
+    const auto cs = runner.cacheStats();
+    if (cs.hits + cs.misses > 0)
+        std::fprintf(stderr,
+                     "cache: %llu hits, %llu misses (%d threads)\n",
+                     static_cast<unsigned long long>(cs.hits),
+                     static_cast<unsigned long long>(cs.misses),
+                     runner.threads());
 
     prof::Table t({"batch", "procs", "tput", "t/p", "power_w",
                    "mem_mib", "ec_ms", "block_ms", "status"});
@@ -160,6 +181,10 @@ main(int argc, char **argv)
     args.add("dvfs", "true", "enable the DVFS governor");
     args.add("seed", "1", "simulation seed");
     args.add("csv", "false", "CSV output (sweep mode)");
+    args.add("threads", "0",
+             "sweep worker threads (0 = auto / JETSIM_THREADS)");
+    args.add("cache", "",
+             "result-cache directory (default JETSIM_CACHE_DIR)");
     if (!args.parse(argc, argv))
         return 1;
 

@@ -30,6 +30,7 @@
 #include "check/reporter.hh"
 #include "core/digest.hh"
 #include "core/profiler.hh"
+#include "core/runner.hh"
 #include "gpu/cost_model.hh"
 #include "models/zoo.hh"
 #include "sim/logging.hh"
@@ -154,6 +155,9 @@ main(int argc, char **argv)
     args.add("duration", "0.5", "measured window in s");
     args.add("runs", "2", "replays per seed (>= 2)");
     args.add("seeds", "1", "comma-separated seeds to replay");
+    args.add("threads", "0",
+             "replay worker threads (0 = auto / JETSIM_THREADS); "
+             "replays run through core::Runner either way");
     if (!args.parse(argc, argv))
         return 2;
 
@@ -178,13 +182,25 @@ main(int argc, char **argv)
     int failures = 0;
     if (!planRoundTripCheck(spec))
         ++failures;
+
+    // The replays for one seed are identical specs, so running them
+    // as a parallel Runner batch checks two invariants at once: the
+    // simulator replays bit-identically, and the parallel path itself
+    // introduces no divergence (cells race in wall time but must not
+    // in simulated time). Never cache here — a cache hit would echo
+    // run 0's result back instead of re-simulating.
+    core::Runner runner(args.intval("threads"), "",
+                        /*env_cache=*/false);
+    std::printf("replaying on %d worker thread(s)\n",
+                runner.threads());
     for (const std::uint64_t seed : seeds) {
         spec.seed = seed;
+        const std::vector<core::ExperimentSpec> batch(runs, spec);
+        const auto results = runner.run(batch);
         std::uint64_t reference = 0;
         bool diverged = false;
         for (int i = 0; i < runs; ++i) {
-            const auto digest =
-                core::resultDigest(core::runExperiment(spec));
+            const auto digest = core::resultDigest(results[i]);
             if (i == 0) {
                 reference = digest;
             } else if (digest != reference) {
