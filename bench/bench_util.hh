@@ -24,6 +24,15 @@
 
 namespace jetsim::bench {
 
+/**
+ * Hardware baseline shared by every committed BENCH_*.json: numbers
+ * recorded on different host classes are not comparable, so each
+ * emitter stamps this note into its output.
+ */
+inline constexpr const char *kHostNote =
+    "1-core Intel Xeon @ 2.10GHz container; shared host, min over "
+    "repetitions; RelWithDebInfo (-O2)";
+
 /** Progress callback for sweeps: one stderr line per cell. */
 inline core::ProgressFn
 progress()

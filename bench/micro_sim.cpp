@@ -5,9 +5,23 @@
  * evaluation, engine building, and a full experiment cell. These
  * guard the framework's own performance (a profiling tool must be
  * cheap enough to sweep grids).
+ *
+ * Invoked with `--json[=path]` the binary instead runs the simcore
+ * measurements with plain chrono timing (min over repetitions) and
+ * writes BENCH_simcore.json — the committed before/after record for
+ * the pooled event core (see EXPERIMENTS.md).
  */
 
 #include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/profiler.hh"
 #include "cpu/scheduler.hh"
@@ -33,16 +47,44 @@ BM_EventQueueScheduleRun(benchmark::State &state)
 BENCHMARK(BM_EventQueueScheduleRun);
 
 static void
+BM_EventQueueCancelHeavy(benchmark::State &state)
+{
+    // Half the scheduled events are cancelled before the run: the
+    // queue must skip them cheaply (lazy deletion at pop).
+    std::vector<sim::EventQueue::Handle> handles;
+    handles.reserve(500);
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        handles.clear();
+        for (int i = 0; i < 1000; ++i) {
+            auto h = eq.schedule(i, [] {});
+            if (i % 2 == 0)
+                handles.push_back(std::move(h));
+        }
+        for (auto &h : handles)
+            h.cancel();
+        benchmark::DoNotOptimize(eq.runAll());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+static void
 BM_SchedulerContention(benchmark::State &state)
 {
     const int threads = static_cast<int>(state.range(0));
+    // Intern the thread names once: the measured loop should time
+    // scheduling, not std::string temporaries.
+    std::vector<sim::NameId> ids;
+    ids.reserve(threads);
+    for (int i = 0; i < threads; ++i)
+        ids.push_back(sim::internName("t" + std::to_string(i)));
     for (auto _ : state) {
         sim::EventQueue eq;
         soc::Board board(soc::orinNano(), eq);
         cpu::OsScheduler sched(board);
         for (int i = 0; i < threads; ++i)
-            sched.createThread("t" + std::to_string(i))
-                ->exec(sim::msec(5), nullptr);
+            sched.createThread(ids[i])->exec(sim::msec(5), nullptr);
         eq.runAll();
         benchmark::DoNotOptimize(eq.executed());
     }
@@ -100,4 +142,155 @@ BM_FullExperimentCell(benchmark::State &state)
 BENCHMARK(BM_FullExperimentCell)->Arg(1)->Arg(4)->Unit(
     benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// --------------------------------------------------- --json emitter
+
+namespace {
+
+/** Wall time of one @p fn call, minimised over @p reps runs. The
+ * minimum is the standard noise-robust estimator on a shared host. */
+template <typename Fn>
+double
+minSeconds(int reps, Fn &&fn)
+{
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+double
+scheduleRunEventsPerSec(int reps)
+{
+    const double s = minSeconds(reps, [] {
+        sim::EventQueue eq;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(i, [] {});
+        benchmark::DoNotOptimize(eq.runAll());
+    });
+    return 1000.0 / s;
+}
+
+double
+cancelHeavyEventsPerSec(int reps)
+{
+    std::vector<sim::EventQueue::Handle> handles;
+    handles.reserve(500);
+    const double s = minSeconds(reps, [&handles] {
+        sim::EventQueue eq;
+        handles.clear();
+        for (int i = 0; i < 1000; ++i) {
+            auto h = eq.schedule(i, [] {});
+            if (i % 2 == 0)
+                handles.push_back(std::move(h));
+        }
+        for (auto &h : handles)
+            h.cancel();
+        benchmark::DoNotOptimize(eq.runAll());
+    });
+    return 1000.0 / s;
+}
+
+double
+fullCellMs(int processes, int reps)
+{
+    core::ExperimentSpec spec;
+    spec.model = "resnet50";
+    spec.precision = soc::Precision::Int8;
+    spec.processes = processes;
+    spec.warmup = sim::msec(100);
+    spec.duration = sim::msec(400);
+    return 1e3 * minSeconds(reps, [&spec] {
+               benchmark::DoNotOptimize(core::runExperiment(spec));
+           });
+}
+
+/**
+ * Seed-commit baselines, measured with this same emitter method
+ * (min over repetitions) on the shared reference host below before
+ * the pooled event core landed. Committed so the "speedup" fields
+ * stay meaningful without rebuilding the seed.
+ */
+constexpr double kSeedScheduleRunEvPerSec = 7.97e6;
+constexpr double kSeedCancelHeavyEvPerSec = 7.30e6;
+constexpr double kSeedFullCell1Ms = 9.00;
+constexpr double kSeedFullCell4Ms = 10.6;
+/** bench::kHostNote plus the cross-reference to the seed numbers. */
+const std::string kHostNote = std::string(bench::kHostNote) +
+    "; same flags and host class as the seed baselines and "
+    "BENCH_runner.json";
+
+int
+emitJson(const std::string &path)
+{
+    std::fprintf(stderr, "measuring simcore benchmarks...\n");
+    const double sched = scheduleRunEventsPerSec(400);
+    const double cancel = cancelHeavyEventsPerSec(400);
+    const double cell1 = fullCellMs(1, 6);
+    const double cell4 = fullCellMs(4, 6);
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"host\": \"%s\",\n", kHostNote.c_str());
+    std::fprintf(f, "  \"event_queue_schedule_run\": {\n");
+    std::fprintf(f, "    \"events_per_sec\": %.3e,\n", sched);
+    std::fprintf(f, "    \"seed_events_per_sec\": %.3e,\n",
+                 kSeedScheduleRunEvPerSec);
+    std::fprintf(f, "    \"speedup\": %.2f\n", sched / kSeedScheduleRunEvPerSec);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"event_queue_cancel_heavy\": {\n");
+    std::fprintf(f, "    \"events_per_sec\": %.3e,\n", cancel);
+    std::fprintf(f, "    \"seed_events_per_sec\": %.3e,\n",
+                 kSeedCancelHeavyEvPerSec);
+    std::fprintf(f, "    \"speedup\": %.2f\n",
+                 cancel / kSeedCancelHeavyEvPerSec);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"full_cell_resnet50_int8\": {\n");
+    std::fprintf(f, "    \"procs1_ms\": %.2f,\n", cell1);
+    std::fprintf(f, "    \"seed_procs1_ms\": %.2f,\n", kSeedFullCell1Ms);
+    std::fprintf(f, "    \"procs1_speedup\": %.2f,\n",
+                 kSeedFullCell1Ms / cell1);
+    std::fprintf(f, "    \"procs4_ms\": %.2f,\n", cell4);
+    std::fprintf(f, "    \"seed_procs4_ms\": %.2f,\n", kSeedFullCell4Ms);
+    std::fprintf(f, "    \"procs4_speedup\": %.2f\n",
+                 kSeedFullCell4Ms / cell4);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"inline_fn_heap_fallbacks\": %llu\n",
+                 static_cast<unsigned long long>(
+                     sim::InlineFn::heapFallbackCount()));
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+            std::string path = "BENCH_simcore.json";
+            if (const auto eq = arg.find('=');
+                eq != std::string_view::npos)
+                path = std::string(arg.substr(eq + 1));
+            return emitJson(path);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -9,7 +9,7 @@ namespace jetsim::cpu {
 // ---------------------------------------------------------------- Thread
 
 void
-Thread::exec(sim::Tick work, std::function<void()> done)
+Thread::exec(sim::Tick work, sim::InlineFn done)
 {
     JETSIM_ASSERT(work >= 0);
     queue_.push_back(WorkItem{work, std::move(done)});
@@ -45,8 +45,14 @@ OsScheduler::OsScheduler(soc::Board &board)
 Thread *
 OsScheduler::createThread(const std::string &name, bool big)
 {
+    return createThread(sim::internName(name), big);
+}
+
+Thread *
+OsScheduler::createThread(sim::NameId name_id, bool big)
+{
     threads_.push_back(
-        std::unique_ptr<Thread>(new Thread(name, big, *this)));
+        std::unique_ptr<Thread>(new Thread(name_id, big, *this)));
     return threads_.back().get();
 }
 

@@ -44,8 +44,13 @@ class OsScheduler
      * Create a thread with affinity to the big (heavy-load) cluster
      * when @p big, otherwise to the LITTLE cluster. The scheduler
      * owns the Thread; the pointer stays valid for its lifetime.
+     * Interns @p name and delegates to the NameId overload.
      */
     Thread *createThread(const std::string &name, bool big = true);
+
+    /** As above with an already-interned name — callers creating
+     * threads in a loop intern once instead of per call. */
+    Thread *createThread(sim::NameId name_id, bool big = true);
 
     /** Threads currently in state Runnable (queued, not running). */
     int runnableCount(bool big) const;

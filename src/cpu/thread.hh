@@ -21,9 +21,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
+#include "sim/inline_fn.hh"
+#include "sim/name_registry.hh"
 #include "sim/types.hh"
 
 namespace jetsim::cpu {
@@ -42,9 +43,13 @@ class Thread
      * work completes (from scheduler context). If the thread was
      * idle it becomes runnable. Items execute FIFO.
      */
-    void exec(sim::Tick work, std::function<void()> done);
+    void exec(sim::Tick work, sim::InlineFn done);
 
-    const std::string &name() const { return name_; }
+    /** Display name, resolved from the interned id. */
+    const std::string &name() const { return sim::nameOf(name_id_); }
+
+    /** Interned id of the thread's name. */
+    sim::NameId nameId() const { return name_id_; }
     State state() const { return state_; }
     bool big() const { return big_; }
 
@@ -66,17 +71,17 @@ class Thread
   private:
     friend class OsScheduler;
 
-    Thread(std::string name, bool big, OsScheduler &sched)
-        : name_(std::move(name)), big_(big), sched_(sched)
+    Thread(sim::NameId name_id, bool big, OsScheduler &sched)
+        : name_id_(name_id), big_(big), sched_(sched)
     {}
 
     struct WorkItem
     {
         sim::Tick remaining;
-        std::function<void()> done;
+        sim::InlineFn done;
     };
 
-    std::string name_;
+    sim::NameId name_id_;
     bool big_;
     OsScheduler &sched_;
 

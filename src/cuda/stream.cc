@@ -33,7 +33,7 @@ Stream::kernelDone()
 }
 
 void
-Stream::onComplete(std::uint64_t target, std::function<void()> cb)
+Stream::onComplete(std::uint64_t target, sim::InlineFn cb)
 {
     if (completed_ >= target) {
         cb();
@@ -60,7 +60,7 @@ Event::query() const
 }
 
 void
-Event::wait(std::function<void()> cb)
+Event::wait(sim::InlineFn cb)
 {
     JETSIM_ASSERT(stream_ != nullptr);
     stream_->onComplete(target_, std::move(cb));

@@ -14,10 +14,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "gpu/engine.hh"
+#include "sim/inline_fn.hh"
 
 namespace jetsim::cuda {
 
@@ -61,7 +61,7 @@ class Stream
      * Invoke @p cb as soon as completed() >= @p target. Fires
      * immediately (synchronously) when already satisfied.
      */
-    void onComplete(std::uint64_t target, std::function<void()> cb);
+    void onComplete(std::uint64_t target, sim::InlineFn cb);
 
     /** The engine channel backing this stream. */
     int channel() const { return channel_; }
@@ -77,7 +77,7 @@ class Stream
     struct Waiter
     {
         std::uint64_t target;
-        std::function<void()> cb;
+        sim::InlineFn cb;
     };
     std::deque<Waiter> waiters_; // sorted by target (FIFO submit order)
 };
@@ -99,7 +99,7 @@ class Event
      * Invoke @p cb when the recorded position completes (immediately
      * if already done). record() must have been called.
      */
-    void wait(std::function<void()> cb);
+    void wait(sim::InlineFn cb);
 
   private:
     Stream *stream_ = nullptr;

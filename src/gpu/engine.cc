@@ -21,7 +21,7 @@ GpuEngine::GpuEngine(soc::Board &board)
 int
 GpuEngine::createChannel(const std::string &name)
 {
-    channels_.push_back(Channel{name, {}, false, {}, true});
+    channels_.push_back(Channel{name, {}, false, true});
     return static_cast<int>(channels_.size()) - 1;
 }
 
@@ -36,7 +36,6 @@ GpuEngine::destroyChannel(int channel)
     // destroyed stream. The in-flight kernel (if any) is skipped at
     // completion via the alive flag.
     ch.queue.clear();
-    ch.submit_ticks.clear();
 }
 
 bool
@@ -63,8 +62,7 @@ GpuEngine::submit(int channel, const KernelDesc *k, Callback done)
                          k->name.c_str(), channel, ch.name.c_str());
         return; // drop: the owning stream no longer exists
     }
-    ch.queue.emplace_back(k, std::move(done));
-    ch.submit_ticks.push_back(eq_.now());
+    ch.queue.push_back(Queued{k, std::move(done), eq_.now()});
 
     if (spatial_) {
         if (!ch.executing)
@@ -146,11 +144,10 @@ GpuEngine::scheduleNext()
     }
 
     auto &ch = channels_[pick];
-    const KernelDesc *k = ch.queue.front().first;
-    Callback done = std::move(ch.queue.front().second);
-    const sim::Tick submit_tick = ch.submit_ticks.front();
+    const KernelDesc *k = ch.queue.front().desc;
+    Callback done = std::move(ch.queue.front().done);
+    const sim::Tick submit_tick = ch.queue.front().submit;
     ch.queue.pop_front();
-    ch.submit_ticks.pop_front();
 
     const KernelTiming timing =
         cost_.timing(*k, board_.gpuFreqFrac(), &rng_);
@@ -164,13 +161,17 @@ GpuEngine::scheduleNext()
     busy_ = true;
     dispatch_wait_.sample(static_cast<double>(start - submit_tick));
 
-    KernelRecord rec;
-    rec.channel = pick;
-    rec.desc = k;
-    rec.submit = submit_tick;
-    rec.start = start;
-    rec.end = end;
-    rec.timing = timing;
+    // The in-flight record and completion live on the engine, not in
+    // the event captures: both events below capture only `this`
+    // (valid because busy_ serialises the time-mux path) and stay on
+    // the event queue's inline (no-allocation) path.
+    inflight_rec_.channel = pick;
+    inflight_rec_.desc = k;
+    inflight_rec_.submit = submit_tick;
+    inflight_rec_.start = start;
+    inflight_rec_.end = end;
+    inflight_rec_.timing = timing;
+    inflight_done_ = std::move(done);
 
     if (start > eq_.now()) {
         // Channel switches keep warps resident (SM-active, nothing
@@ -180,23 +181,21 @@ GpuEngine::scheduleNext()
             board_.setGpuState(true, 1.0, 0.0, 0.0, 0.0);
         else
             board_.setGpuState(false, 0, 0, 0, 0);
-        eq_.schedule(start, [this, timing] {
-            board_.setGpuState(true, timing.sm_active, timing.issue_slot,
-                               timing.tc_util, timing.bw_util);
+        eq_.schedule(start, [this] {
+            const KernelTiming &t = inflight_rec_.timing;
+            board_.setGpuState(true, t.sm_active, t.issue_slot,
+                               t.tc_util, t.bw_util);
         });
     } else {
         board_.setGpuState(true, timing.sm_active, timing.issue_slot,
                            timing.tc_util, timing.bw_util);
     }
 
-    eq_.schedule(end,
-                 [this, pick, rec, done = std::move(done)]() mutable {
-                     finishKernel(pick, rec, std::move(done));
-                 });
+    eq_.schedule(end, [this] { finishMux(); });
 }
 
 void
-GpuEngine::finishKernel(int channel, KernelRecord rec, Callback done)
+GpuEngine::finishMux()
 {
     // Exactly one kernel may occupy the time-multiplexed GPU; a
     // second completion without a matching start means occupancy
@@ -205,11 +204,16 @@ GpuEngine::finishKernel(int channel, KernelRecord rec, Callback done)
                  check::Invariant::StreamHazard, kComponent, eq_.now(),
                  "kernel completion on channel %d without exclusive "
                  "occupancy (overlap or double finish)",
-                 channel);
+                 inflight_rec_.channel);
     ++kernels_executed_;
     busy_ = false;
+    // Move the in-flight state out first: the completion may submit,
+    // which starts the next kernel and overwrites the members.
+    const KernelRecord rec = inflight_rec_;
+    Callback done = std::move(inflight_done_);
+    inflight_done_ = nullptr;
     board_.setGpuState(false, 0, 0, 0, 0);
-    if (channels_[channel].alive) {
+    if (channels_[rec.channel].alive) {
         if (trace_)
             trace_(rec);
         if (done)
@@ -230,11 +234,10 @@ GpuEngine::spatialStart(int channel)
 
     Exec e;
     e.channel = channel;
-    e.desc = ch.queue.front().first;
-    e.done = std::move(ch.queue.front().second);
-    e.submit = ch.submit_ticks.front();
+    e.desc = ch.queue.front().desc;
+    e.done = std::move(ch.queue.front().done);
+    e.submit = ch.queue.front().submit;
     ch.queue.pop_front();
-    ch.submit_ticks.pop_front();
 
     e.start = eq_.now();
     e.timing = cost_.timing(*e.desc, board_.gpuFreqFrac(), &rng_);
@@ -279,8 +282,10 @@ GpuEngine::spatialReschedule()
     spatial_event_ = eq_.scheduleIn(delay, [this] {
         spatialAdvance();
 
-        // Collect everything that finished at this instant.
-        std::vector<Exec> finished;
+        // Collect everything that finished at this instant into the
+        // reused member scratch (no per-fire allocation).
+        auto &finished = finished_scratch_;
+        finished.clear();
         for (auto it = execs_.begin(); it != execs_.end();) {
             if (it->remaining_ns <= 1.0) {
                 finished.push_back(std::move(*it));

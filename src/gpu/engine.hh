@@ -35,7 +35,9 @@ namespace jetsim::gpu {
 class GpuEngine
 {
   public:
-    using Callback = std::function<void()>;
+    /** Completion callbacks ride the event queue's SBO type: a submit
+     * never heap-allocates for captures <= InlineFn::kInlineSize. */
+    using Callback = sim::InlineFn;
     using TraceHook = std::function<void(const KernelRecord &)>;
 
     explicit GpuEngine(soc::Board &board);
@@ -96,13 +98,21 @@ class GpuEngine
     /** @} */
 
   private:
+    /** One queued kernel: descriptor, completion, submit tick —
+     * a single deque node instead of two parallel deques. */
+    struct Queued
+    {
+        const KernelDesc *desc;
+        Callback done;
+        sim::Tick submit;
+    };
+
     struct Channel
     {
         std::string name;
-        std::deque<std::pair<const KernelDesc *, Callback>> queue;
-        bool executing = false;              // spatial mode only
-        std::deque<sim::Tick> submit_ticks;  // parallel to queue
-        bool alive = true;                   // owning stream exists
+        std::deque<Queued> queue;
+        bool executing = false; // spatial mode only
+        bool alive = true;      // owning stream exists
     };
 
     /** One in-flight kernel under spatial sharing. */
@@ -119,7 +129,7 @@ class GpuEngine
 
     // --- time-multiplexed path
     void scheduleNext();
-    void finishKernel(int channel, KernelRecord rec, Callback done);
+    void finishMux();
 
     // --- spatial path
     void spatialStart(int channel);
@@ -135,17 +145,25 @@ class GpuEngine
     sim::Rng rng_;
     TraceHook trace_;
 
-    std::vector<Channel> channels_;
+    // deque: grows without relocation, which a vector would do via
+    // Channel's copy constructor (Queued is move-only).
+    std::deque<Channel> channels_;
     bool spatial_ = false;
     sim::Tick extra_overhead_ = 0;
 
-    // time-mux state
+    // time-mux state. Exactly one kernel is in flight (busy_), so its
+    // record and completion live here instead of inside the end
+    // event's capture — the event captures only `this` and stays on
+    // the queue's 48-byte inline path.
     bool busy_ = false;
     int active_channel_ = -1;
     sim::Tick quantum_start_ = 0;
+    KernelRecord inflight_rec_;
+    Callback inflight_done_;
 
     // spatial state
     std::vector<Exec> execs_;
+    std::vector<Exec> finished_scratch_; ///< reused across fires
     sim::Tick last_advance_ = 0;
     sim::EventQueue::Handle spatial_event_;
 

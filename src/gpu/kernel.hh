@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "sim/name_registry.hh"
 #include "sim/types.hh"
 #include "soc/precision.hh"
 
@@ -25,6 +26,16 @@ namespace jetsim::gpu {
 struct KernelDesc
 {
     std::string name;           ///< e.g. "layer1.0.conv1+bn+relu"
+
+    /**
+     * Interned id of @ref name, assigned when the builder (or plan
+     * deserialisation) creates the descriptor. Profiling hooks key
+     * their per-kernel accumulators on this id — a dense vector index
+     * — instead of hashing/comparing the string on every record.
+     * Hand-built descriptors may leave it invalid; consumers intern
+     * lazily on first sight.
+     */
+    sim::NameId name_id = sim::kInvalidNameId;
 
     /** Numeric operations (FLOPs, or 8-bit MAC-equivalents for int8). */
     double flops = 0.0;

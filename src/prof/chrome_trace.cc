@@ -23,9 +23,11 @@ ChromeTraceExporter::attach()
         return;
     attached_ = true;
     engine_.setTraceHook([this](const gpu::KernelRecord &rec) {
-        events_.push_back(Event{rec.desc->name, rec.channel,
-                                rec.start, rec.end, rec.desc->prec,
-                                rec.desc->tc});
+        NameId id = rec.desc->name_id;
+        if (id == kInvalidNameId)
+            id = internName(rec.desc->name); // hand-built descriptor
+        events_.push_back(Event{id, rec.channel, rec.start, rec.end,
+                                rec.desc->prec, rec.desc->tc});
     });
 }
 
@@ -50,7 +52,7 @@ ChromeTraceExporter::json() const
         first = false;
         // Kernel names contain only [A-Za-z0-9._+/-]; no escaping
         // needed for JSON strings.
-        os << "{\"name\":\"" << e.name << "\",\"ph\":\"X\""
+        os << "{\"name\":\"" << nameOf(e.name_id) << "\",\"ph\":\"X\""
            << ",\"ts\":" << sim::toUsec(e.start)
            << ",\"dur\":" << sim::toUsec(e.end - e.start)
            << ",\"pid\":0,\"tid\":" << e.channel

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "gpu/engine.hh"
+#include "prof/name_id.hh"
 
 namespace jetsim::prof {
 
@@ -54,7 +55,8 @@ class ChromeTraceExporter
   private:
     struct Event
     {
-        std::string name;
+        /** Interned kernel name; resolved to a string in json(). */
+        NameId name_id;
         int channel;
         sim::Tick start;
         sim::Tick end;

@@ -48,7 +48,12 @@ void
 KernelSummary::record(const gpu::KernelRecord &rec)
 {
     const double us = sim::toUsec(rec.end - rec.start);
-    auto &acc = by_name_[rec.desc->name];
+    NameId id = rec.desc->name_id;
+    if (id == kInvalidNameId)
+        id = internName(rec.desc->name); // hand-built descriptor
+    if (id >= by_id_.size())
+        by_id_.resize(id + 1);
+    auto &acc = by_id_[id];
     ++acc.calls;
     acc.total_us += us;
     acc.compute_frac_sum += rec.timing.compute_frac;
@@ -64,7 +69,7 @@ KernelSummary::record(const gpu::KernelRecord &rec)
 void
 KernelSummary::clear()
 {
-    by_name_.clear();
+    by_id_.clear();
     total_calls_ = 0;
     total_us_ = 0;
 }
@@ -73,10 +78,13 @@ std::vector<KernelStats>
 KernelSummary::table(std::size_t top) const
 {
     std::vector<KernelStats> rows;
-    rows.reserve(by_name_.size());
-    for (const auto &[name, acc] : by_name_) {
+    rows.reserve(by_id_.size());
+    for (NameId id = 0; id < by_id_.size(); ++id) {
+        const Acc &acc = by_id_[id];
+        if (acc.calls == 0)
+            continue; // id interned by someone else, never recorded
         KernelStats s;
-        s.name = name;
+        s.name = nameOf(id);
         s.calls = acc.calls;
         s.total_us = acc.total_us;
         s.share_pct =
@@ -93,9 +101,12 @@ KernelSummary::table(std::size_t top) const
             s.bound = KernelBound::Memory;
         rows.push_back(std::move(s));
     }
+    // Name tie-break so the table never depends on interning order.
     std::sort(rows.begin(), rows.end(),
               [](const KernelStats &a, const KernelStats &b) {
-                  return a.total_us > b.total_us;
+                  if (a.total_us != b.total_us)
+                      return a.total_us > b.total_us;
+                  return a.name < b.name;
               });
     if (top > 0 && rows.size() > top)
         rows.resize(top);

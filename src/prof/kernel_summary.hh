@@ -12,11 +12,11 @@
 #ifndef JETSIM_PROF_KERNEL_SUMMARY_HH
 #define JETSIM_PROF_KERNEL_SUMMARY_HH
 
-#include <map>
 #include <string>
 #include <vector>
 
 #include "gpu/engine.hh"
+#include "prof/name_id.hh"
 
 namespace jetsim::prof {
 
@@ -78,7 +78,10 @@ class KernelSummary
 
     gpu::GpuEngine &engine_;
     bool attached_ = false;
-    std::map<std::string, Acc> by_name_;
+    /** Dense accumulators indexed by interned NameId: the record hot
+     * path is an array index, never a string hash or compare. Strings
+     * are resolved only in table(). */
+    std::vector<Acc> by_id_;
     std::uint64_t total_calls_ = 0;
     double total_us_ = 0;
 };

@@ -1,0 +1,84 @@
+#include "sim/event_pool.hh"
+
+#include "sim/logging.hh"
+
+namespace jetsim::sim {
+
+EventPool::~EventPool()
+{
+    // The owning queue frees every allocated slot before releasing
+    // its pool reference; a pool dying with live slots would leak the
+    // callbacks' captured state.
+    JETSIM_ASSERT(allocatedCount() == 0);
+#ifdef JETSIM_POOL_ASAN
+    for (auto &slab : slabs_)
+        for (auto &e : slab->events)
+            unpoisonCb(e);
+#endif
+}
+
+void
+EventPool::grow()
+{
+    // Geometric: double the slab count each time so a deep queue pays
+    // O(log n) grow calls (and meta_ reallocation copies), not O(n).
+    const std::size_t add = slabs_.empty() ? 1 : slabs_.size();
+    meta_.reserve((slabs_.size() + add) * kSlabEvents);
+    for (std::size_t s = 0; s < add; ++s) {
+        // Default-init (not make_unique's value-init): slab memory is
+        // deliberately left untouched until a callback lands in a
+        // slot.
+        slabs_.emplace_back(new Slab);
+        const auto base = static_cast<Index>(meta_.size());
+        meta_.resize(meta_.size() + kSlabEvents);
+        if (gen_floor_ != 0)
+            for (std::uint32_t i = 0; i < kSlabEvents; ++i)
+                meta_[base + i].gen = gen_floor_;
+#ifdef JETSIM_POOL_ASAN
+        for (auto &e : slabs_.back()->events)
+            poisonCb(e);
+#endif
+    }
+}
+
+void
+EventPool::cancel(Index idx, std::uint32_t gen)
+{
+    if (!isPending(idx, gen))
+        return;
+    meta_[idx].cancelled = true;
+    --live_;
+    ++cancels_;
+}
+
+void
+EventPool::releaseAll(bool handles_outstanding)
+{
+    JETSIM_ASSERT(allocatedCount() == 0);
+#ifdef JETSIM_POOL_ASAN
+    for (auto &slab : slabs_)
+        for (auto &e : slab->events)
+            unpoisonCb(e);
+#endif
+    if (handles_outstanding && bump_ > 0) {
+        // Raise the generation floor past every generation ever
+        // handed out, so a recycled (index, generation) pair can
+        // never match a pre-release handle. Scanned here (cold)
+        // rather than tracked on every free (hot); slots past bump_
+        // were never handed out and still sit at the old floor.
+        std::uint32_t max_gen = gen_floor_;
+        for (Index i = 0; i < bump_; ++i)
+            if (meta_[i].gen > max_gen)
+                max_gen = meta_[i].gen;
+        gen_floor_ = max_gen + 1;
+    }
+    slabs_.clear();
+    slabs_.shrink_to_fit();
+    meta_.clear();
+    meta_.shrink_to_fit();
+    free_.clear();
+    free_.shrink_to_fit();
+    bump_ = 0;
+}
+
+} // namespace jetsim::sim

@@ -1,167 +1,85 @@
 #include "sim/event_queue.hh"
 
-#include "check/check.hh"
 #include "sim/logging.hh"
 
 namespace jetsim::sim {
 
-namespace {
-constexpr const char *kComponent = "sim.event_queue";
+EventQueue::EventQueue()
+    : life_(new detail::PoolLife{&pool_, 1})
+{
+    // One slab's worth up front: a fresh queue reaches steady state
+    // without a cascade of doubling reallocations.
+    heap_keys_.reserve(EventPool::kSlabEvents);
+    heap_idx_.reserve(EventPool::kSlabEvents);
 }
 
-bool
-EventQueue::Handle::pending() const
+EventQueue::~EventQueue()
 {
-    auto e = entry_.lock();
-    return e && !e->cancelled;
+    // Free every queued slot (destroying the callbacks' captured
+    // state) and drop the slabs, then detach the liveness block so
+    // outstanding handles go inert; the last handle deletes it.
+    for (const Index idx : heap_idx_)
+        pool_.free(idx);
+    heap_keys_.clear();
+    heap_idx_.clear();
+    pool_.releaseAll(life_->refs > 1);
+    life_->pool = nullptr;
+    if (--life_->refs == 0)
+        delete life_;
 }
 
-void
-EventQueue::Handle::cancel()
+EventQueue::Stats
+EventQueue::stats() const
 {
-    auto e = entry_.lock();
-    if (e && !e->cancelled) {
-        e->cancelled = true;
-        --e->owner->live_;
-    }
-}
-
-EventQueue::Handle
-EventQueue::schedule(Tick when, Callback cb, int priority)
-{
-    if (when < now_) {
-        JETSIM_VIOLATION(check::Severity::Error,
-                         check::Invariant::Causality, kComponent, now_,
-                         "event scheduled into the past (when=%lld < "
-                         "now=%lld)",
-                         static_cast<long long>(when),
-                         static_cast<long long>(now_));
-        when = now_; // sanitise so Log mode can continue
-    }
-    JETSIM_ASSERT(cb != nullptr);
-    auto entry = std::make_shared<Handle::Entry>();
-    entry->owner = this;
-    entry->when = when;
-    entry->priority = priority;
-    entry->seq = seq_++;
-    entry->cb = std::move(cb);
-    heap_.push(entry);
-    ++live_;
-    return Handle(entry);
-}
-
-EventQueue::Handle
-EventQueue::scheduleIn(Tick delay, Callback cb, int priority)
-{
-    JETSIM_CHECK(delay >= 0, check::Severity::Error,
-                 check::Invariant::Causality, kComponent, now_,
-                 "negative delay %lld", static_cast<long long>(delay));
-    if (delay < 0)
-        delay = 0;
-    // Saturate instead of overflowing past kTickMax (UB on int64).
-    const Tick when =
-        delay > kTickMax - now_ ? kTickMax : now_ + delay;
-    return schedule(when, std::move(cb), priority);
-}
-
-EventQueue::EntryPtr
-EventQueue::popLive()
-{
-    while (!heap_.empty()) {
-        EntryPtr e = heap_.top();
-        heap_.pop();
-        if (e->cancelled)
-            continue;
-        --live_;
-        return e;
-    }
-    return nullptr;
+    checkPlausible();
+    Stats s;
+    s.pending = pool_.liveCount();
+    s.peak_pending = peak_pending_;
+    s.executed = executed_;
+    s.cancelled = pool_.cancelCount();
+    s.pool_slabs = pool_.slabCount();
+    s.pool_capacity = pool_.capacity();
+    s.heap_capacity = heap_keys_.capacity();
+    s.sbo_misses = sbo_misses_;
+    s.shrinks = shrinks_;
+    return s;
 }
 
 void
-EventQueue::checkDispatch(const Handle::Entry &e)
+EventQueue::checkPlausible() const
 {
-    // Time must never run backwards, and same-tick events must leave
-    // the heap in (priority, insertion-order) order — the strict-
-    // weak-ordering contract of the comparator.
-    JETSIM_CHECK(e.when >= now_, check::Severity::Error,
-                 check::Invariant::Causality, kComponent, now_,
-                 "dispatch went backwards in time (event at %lld)",
-                 static_cast<long long>(e.when));
-    if (e.when == last_when_) {
-        // An event with a lower seq than the previous dispatch was
-        // already in the heap back then; at equal-or-lower priority
-        // the comparator should have popped it first. (A *higher*
-        // priority value is fine: it legitimately runs later.)
-        const bool ordered =
-            !(e.seq < last_seq_ && e.priority <= last_priority_);
-        JETSIM_CHECK(ordered, check::Severity::Error,
-                     check::Invariant::Causality, kComponent, now_,
-                     "same-tick dispatch out of order (pri=%d seq=%llu "
-                     "after pri=%d seq=%llu)",
-                     e.priority,
-                     static_cast<unsigned long long>(e.seq),
-                     last_priority_,
-                     static_cast<unsigned long long>(last_seq_));
-    }
-    last_when_ = e.when;
-    last_priority_ = e.priority;
-    last_seq_ = e.seq;
+    JETSIM_CHECK(pool_.liveCount() <= pool_.allocatedCount(),
+                 check::Severity::Error,
+                 check::Invariant::Plausibility, detail::kEqComponent,
+                 now_, "live events (%llu) exceed allocated slots (%llu)",
+                 static_cast<unsigned long long>(pool_.liveCount()),
+                 static_cast<unsigned long long>(
+                     pool_.allocatedCount()));
+    JETSIM_CHECK(pool_.allocatedCount() <= pool_.capacity(),
+                 check::Severity::Error,
+                 check::Invariant::Plausibility, detail::kEqComponent,
+                 now_, "allocated slots (%llu) exceed pool capacity (%zu)",
+                 static_cast<unsigned long long>(
+                     pool_.allocatedCount()),
+                 pool_.capacity());
+    JETSIM_CHECK(pool_.liveCount() <= peak_pending_,
+                 check::Severity::Error,
+                 check::Invariant::Plausibility, detail::kEqComponent,
+                 now_,
+                 "pending (%llu) above recorded high-water mark (%llu)",
+                 static_cast<unsigned long long>(pool_.liveCount()),
+                 static_cast<unsigned long long>(peak_pending_));
 }
 
-bool
-EventQueue::runOne()
+void
+EventQueue::shrink()
 {
-    EntryPtr e = popLive();
-    if (!e)
-        return false;
-    checkDispatch(*e);
-    now_ = e->when;
-    ++executed_;
-    // Mark consumed so a Handle held by the callback's owner reports
-    // !pending() during and after execution.
-    e->cancelled = true;
-    e->cb();
-    return true;
-}
-
-std::uint64_t
-EventQueue::runUntil(Tick horizon)
-{
-    JETSIM_CHECK(horizon >= now_, check::Severity::Error,
-                 check::Invariant::Causality, kComponent, now_,
-                 "runUntil horizon %lld is in the past",
-                 static_cast<long long>(horizon));
-    std::uint64_t n = 0;
-    while (true) {
-        EntryPtr e = popLive();
-        if (!e)
-            break;
-        if (e->when > horizon) {
-            // Put it back: not yet due.
-            heap_.push(e);
-            ++live_;
-            break;
-        }
-        checkDispatch(*e);
-        now_ = e->when;
-        ++executed_;
-        ++n;
-        e->cancelled = true;
-        e->cb();
-    }
-    if (horizon > now_)
-        now_ = horizon;
-    return n;
-}
-
-std::uint64_t
-EventQueue::runAll(std::uint64_t max_events)
-{
-    std::uint64_t n = 0;
-    while (n < max_events && runOne())
-        ++n;
-    return n;
+    checkPlausible();
+    ++shrinks_;
+    heap_keys_.shrink_to_fit();
+    heap_idx_.shrink_to_fit();
+    if (heap_keys_.empty() && pool_.allocatedCount() == 0)
+        pool_.releaseAll(life_->refs > 1);
 }
 
 } // namespace jetsim::sim

@@ -5,20 +5,58 @@
  * Events are callbacks scheduled at an absolute Tick. Events at the
  * same tick execute in (priority, insertion-order) order so that
  * component interactions are fully deterministic.
+ *
+ * The implementation is a pooled, intrusive event core built for the
+ * per-cell hot path (the sweep loop schedules millions of events per
+ * experiment cell):
+ *  - callback state lives in a slab/freelist EventPool — no per-event
+ *    heap allocation, no shared_ptr refcounting;
+ *  - the ordering keys (when, priority, seq) are packed into one
+ *    128-bit integer per heap node, so a heap compare is a single
+ *    scalar `<` on a dense array and never dereferences the pool;
+ *  - handles carry (index, generation) pairs plus a non-atomic
+ *    liveness block, so cancel()/pending() stay safe across slot
+ *    reuse and even across queue destruction — without any per-event
+ *    atomic refcount traffic;
+ *  - callbacks are sim::InlineFn: captures up to 48 bytes never
+ *    allocate (stats() counts the fallbacks).
+ * Dispatch order — (when, priority, seq) — is bit-identical to the
+ * previous shared_ptr implementation; the golden determinism tests
+ * and the JetSan monotonic-dispatch invariant are the proof.
  */
 
 #ifndef JETSIM_SIM_EVENT_QUEUE_HH
 #define JETSIM_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "check/check.hh"
+#include "sim/event_pool.hh"
+#include "sim/inline_fn.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace jetsim::sim {
+
+namespace detail {
+
+inline constexpr const char *kEqComponent = "sim.event_queue";
+
+/**
+ * Shared liveness block between a queue's pool and its handles.
+ * The refcount is deliberately non-atomic: a queue and every handle
+ * it issues belong to one simulation cell, which runs on one thread
+ * (the parallel sweep runner gives each worker its own queues).
+ */
+struct PoolLife
+{
+    EventPool *pool = nullptr;
+    std::uint64_t refs = 0;
+};
+
+} // namespace detail
 
 /**
  * Time-ordered queue of callbacks with deterministic tie-breaking.
@@ -30,7 +68,7 @@ namespace jetsim::sim {
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineFn;
 
     /** Priorities for same-tick ordering; lower runs first. */
     static constexpr int kPriDefault = 0;
@@ -40,27 +78,113 @@ class EventQueue
     /**
      * Cancellation handle for a scheduled event. Default-constructed
      * handles are inert. Cancelling an already-executed or already-
-     * cancelled event is a no-op.
+     * cancelled event is a no-op, and a handle may safely outlive the
+     * queue (the shared liveness block outlives the pool; the event
+     * storage itself does not). A handle whose slot was recycled is
+     * inert: the generation check rejects the new occupant. Handles
+     * are not thread-safe — they belong to their queue's cell.
      */
     class Handle
     {
       public:
         Handle() = default;
 
+        Handle(const Handle &o)
+            : life_(o.life_), idx_(o.idx_), gen_(o.gen_)
+        {
+            if (life_)
+                ++life_->refs;
+        }
+
+        Handle(Handle &&o) noexcept
+            : life_(o.life_), idx_(o.idx_), gen_(o.gen_)
+        {
+            o.life_ = nullptr;
+        }
+
+        Handle &
+        operator=(const Handle &o)
+        {
+            if (this != &o) {
+                release();
+                life_ = o.life_;
+                idx_ = o.idx_;
+                gen_ = o.gen_;
+                if (life_)
+                    ++life_->refs;
+            }
+            return *this;
+        }
+
+        Handle &
+        operator=(Handle &&o) noexcept
+        {
+            if (this != &o) {
+                release();
+                life_ = o.life_;
+                idx_ = o.idx_;
+                gen_ = o.gen_;
+                o.life_ = nullptr;
+            }
+            return *this;
+        }
+
+        ~Handle() { release(); }
+
         /** True while the event is still pending. */
-        bool pending() const;
+        bool
+        pending() const
+        {
+            return life_ && life_->pool &&
+                   life_->pool->isPending(idx_, gen_);
+        }
 
         /** Prevent the event from running; idempotent. */
-        void cancel();
+        void
+        cancel()
+        {
+            if (life_ && life_->pool)
+                life_->pool->cancel(idx_, gen_);
+        }
 
       private:
         friend class EventQueue;
-        struct Entry;
-        explicit Handle(std::weak_ptr<Entry> e) : entry_(std::move(e)) {}
-        std::weak_ptr<Entry> entry_;
+        Handle(detail::PoolLife *life, EventPool::Index idx,
+               std::uint32_t gen)
+            : life_(life), idx_(idx), gen_(gen)
+        {
+            ++life_->refs;
+        }
+
+        void
+        release()
+        {
+            if (life_ && --life_->refs == 0)
+                delete life_;
+            life_ = nullptr;
+        }
+
+        detail::PoolLife *life_ = nullptr;
+        EventPool::Index idx_ = EventPool::kInvalidIndex;
+        std::uint32_t gen_ = 0;
     };
 
-    EventQueue() = default;
+    /** Memory / hot-path health counters (see stats()). */
+    struct Stats
+    {
+        std::uint64_t pending = 0;       ///< live (non-cancelled) events
+        std::uint64_t peak_pending = 0;  ///< high-water mark of pending
+        std::uint64_t executed = 0;      ///< lifetime dispatch count
+        std::uint64_t cancelled = 0;     ///< lifetime handle cancels
+        std::size_t pool_slabs = 0;      ///< slabs currently held
+        std::size_t pool_capacity = 0;   ///< event slots currently held
+        std::size_t heap_capacity = 0;   ///< heap array capacity (slots)
+        std::uint64_t sbo_misses = 0;    ///< callbacks that heap-allocated
+        std::uint64_t shrinks = 0;       ///< shrink() invocations
+    };
+
+    EventQueue();
+    ~EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -74,10 +198,10 @@ class EventQueue
     Handle scheduleIn(Tick delay, Callback cb, int priority = kPriDefault);
 
     /** True when no pending (non-cancelled) events remain. */
-    bool empty() const { return live_ == 0; }
+    bool empty() const { return pool_.liveCount() == 0; }
 
     /** Number of pending (non-cancelled) events. */
-    std::uint64_t pending() const { return live_; }
+    std::uint64_t pending() const { return pool_.liveCount(); }
 
     /**
      * Execute the single next event, advancing time to it.
@@ -98,49 +222,323 @@ class EventQueue
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * Snapshot of pool / heap / SBO health. peak_pending is the
+     * high-water mark long sweeps can compare against the retained
+     * pool_capacity; sbo_misses counts scheduled callbacks whose
+     * captures exceeded InlineFn::kInlineSize (each one is a heap
+     * allocation on the hot path).
+     */
+    Stats stats() const;
+
+    /**
+     * Release retained capacity back to the allocator: shrinks the
+     * heap array and, when no events are queued at all, drops every
+     * pool slab. Outstanding handles remain safe (generation floor).
+     * Call between sweep cells so long runs don't hold peak memory.
+     */
+    void shrink();
+
   private:
-    struct Handle::Entry
-    {
-        EventQueue *owner = nullptr;
-        Tick when;
-        int priority;
-        std::uint64_t seq;
-        Callback cb;
-        bool cancelled = false;
-    };
-    using EntryPtr = std::shared_ptr<Handle::Entry>;
+    using Index = EventPool::Index;
 
-    struct Later
-    {
-        bool
-        operator()(const EntryPtr &a, const EntryPtr &b) const
-        {
-            if (a->when != b->when)
-                return a->when > b->when;
-            if (a->priority != b->priority)
-                return a->priority > b->priority;
-            return a->seq > b->seq;
-        }
-    };
+    /** Heap arity: flatter tree, fewer cache-missing compares. */
+    /**
+     * The dispatch key (when, priority, seq) packed into one 128-bit
+     * integer — when in the top 64 bits, the bias-shifted priority in
+     * the next 16, seq in the low 48 — so a heap comparison is a
+     * single scalar `<`. seq is unique per event, making the order
+     * total: the dispatch sequence is exactly the sorted key order,
+     * independent of heap internals. Priorities are clamped (with a
+     * JetSan check) to the 16-bit lane; seq wrapping at 2^48 would
+     * need ~281 T events through one queue.
+     */
+    using HeapKey = unsigned __int128;
 
-    /** Pop the next live entry; nullptr when drained. */
-    EntryPtr popLive();
+    static constexpr int kPriPackMin = -32768;
+    static constexpr int kPriPackMax = 32767;
+    static constexpr std::uint64_t kSeqMask = (1ull << 48) - 1;
+
+    static HeapKey
+    makeKey(Tick when, int priority, std::uint64_t seq)
+    {
+        const auto pri_biased = static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(priority) + 0x8000u) &
+            0xffffu;
+        return (HeapKey(static_cast<std::uint64_t>(when)) << 64) |
+               (pri_biased << 48) | (seq & kSeqMask);
+    }
+
+    static Tick
+    keyWhen(HeapKey k)
+    {
+        return static_cast<Tick>(static_cast<std::uint64_t>(k >> 64));
+    }
+
+    static int
+    keyPriority(HeapKey k)
+    {
+        const auto biased = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(k) >> 48) & 0xffffu);
+        return static_cast<int>(biased) - 0x8000;
+    }
+
+    static std::uint64_t
+    keySeq(HeapKey k)
+    {
+        return static_cast<std::uint64_t>(k) & kSeqMask;
+    }
+
+    void heapPush(HeapKey key, Index idx);
+    void heapPopTop();
+
+    /** Dispatch the already-popped live event (@p key, @p idx). */
+    void dispatch(HeapKey key, Index idx);
 
     /** JetSan: verify dispatch order against the previous event. */
-    void checkDispatch(const Handle::Entry &e);
+    void checkDispatch(HeapKey key);
 
-    std::priority_queue<EntryPtr, std::vector<EntryPtr>, Later> heap_;
+    /** JetSan plausibility: counters must be mutually consistent. */
+    void checkPlausible() const;
+
+    // Direct member (EventQueue is neither copyable nor movable, so
+    // &pool_ is stable for the handles' liveness block): one less
+    // allocation per queue and no pointer chase on the hot path.
+    EventPool pool_;
+    // Shared with handles so they stay safe past queue destruction;
+    // the queue frees all slots (and slabs) in its destructor and
+    // nulls life_->pool, after which stale handles are inert.
+    detail::PoolLife *life_ = nullptr;
+
+    // Binary heap as parallel key/slot arrays: sift compares touch
+    // only the dense key array (16 B per pending event).
+    std::vector<HeapKey> heap_keys_;
+    std::vector<Index> heap_idx_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
-    std::uint64_t live_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t peak_pending_ = 0;
+    std::uint64_t sbo_misses_ = 0;
+    std::uint64_t shrinks_ = 0;
 
     // Key of the most recently dispatched event, for the JetSan
-    // monotonic-dispatch / same-tick-ordering invariant.
-    Tick last_when_ = -1;
-    int last_priority_ = 0;
-    std::uint64_t last_seq_ = 0;
+    // monotonic-dispatch / same-tick-ordering invariant (checked only
+    // once executed_ > 0).
+    HeapKey last_key_ = 0;
 };
+
+// The schedule/dispatch path is defined in the header on purpose:
+// call sites (the engines, the sweep loop) see through the InlineFn
+// type erasure and the sift loops, which is worth a large constant
+// factor per event. Cold paths (construction, stats, shrink) live in
+// event_queue.cc.
+
+inline void
+EventQueue::heapPush(HeapKey key, Index idx)
+{
+    // Hole-based sift-up: parents slide down into the hole and the
+    // new entry is written exactly once.
+    std::size_t i = heap_keys_.size();
+    heap_keys_.push_back(key);
+    heap_idx_.push_back(idx);
+    HeapKey *k = heap_keys_.data();
+    Index *v = heap_idx_.data();
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!(key < k[parent]))
+            break;
+        k[i] = k[parent];
+        v[i] = v[parent];
+        i = parent;
+    }
+    k[i] = key;
+    v[i] = idx;
+}
+
+inline void
+EventQueue::heapPopTop()
+{
+    // Bottom-up pop: the hole runs to the bottom along the min-child
+    // path (one branchless compare per level), then the displaced
+    // back element bubbles up from the hole — usually not at all,
+    // because the back element is among the largest. Fewer compares,
+    // and the child select never mispredicts.
+    const HeapKey key = heap_keys_.back();
+    const Index idx = heap_idx_.back();
+    heap_keys_.pop_back();
+    heap_idx_.pop_back();
+    const std::size_t n = heap_keys_.size();
+    if (n == 0)
+        return;
+    HeapKey *k = heap_keys_.data();
+    Index *v = heap_idx_.data();
+    std::size_t i = 0;
+    while (true) {
+        std::size_t c = 2 * i + 1;
+        if (c >= n)
+            break;
+        if (c + 1 < n)
+            c += static_cast<std::size_t>(k[c + 1] < k[c]);
+        k[i] = k[c];
+        v[i] = v[c];
+        i = c;
+    }
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!(key < k[parent]))
+            break;
+        k[i] = k[parent];
+        v[i] = v[parent];
+        i = parent;
+    }
+    k[i] = key;
+    v[i] = idx;
+}
+
+inline EventQueue::Handle
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    if (when < now_) {
+        JETSIM_VIOLATION(check::Severity::Error,
+                         check::Invariant::Causality,
+                         detail::kEqComponent, now_,
+                         "event scheduled into the past (when=%lld < "
+                         "now=%lld)",
+                         static_cast<long long>(when),
+                         static_cast<long long>(now_));
+        when = now_; // sanitise so Log mode can continue
+    }
+    JETSIM_ASSERT(static_cast<bool>(cb));
+    if (priority < kPriPackMin || priority > kPriPackMax) {
+        JETSIM_VIOLATION(check::Severity::Error,
+                         check::Invariant::Plausibility,
+                         detail::kEqComponent, now_,
+                         "priority %d outside the packable range "
+                         "[%d, %d]; clamping",
+                         priority, kPriPackMin, kPriPackMax);
+        priority = priority < kPriPackMin ? kPriPackMin : kPriPackMax;
+    }
+    if (cb.onHeap())
+        ++sbo_misses_;
+    const Index idx = pool_.alloc(std::move(cb));
+    heapPush(makeKey(when, priority, seq_++), idx);
+    const std::uint64_t live = pool_.liveCount();
+    if (live > peak_pending_)
+        peak_pending_ = live;
+    return Handle(life_, idx, pool_.gen(idx));
+}
+
+inline EventQueue::Handle
+EventQueue::scheduleIn(Tick delay, Callback cb, int priority)
+{
+    JETSIM_CHECK(delay >= 0, check::Severity::Error,
+                 check::Invariant::Causality, detail::kEqComponent,
+                 now_, "negative delay %lld",
+                 static_cast<long long>(delay));
+    if (delay < 0)
+        delay = 0;
+    // Saturate instead of overflowing past kTickMax (UB on int64).
+    const Tick when =
+        delay > kTickMax - now_ ? kTickMax : now_ + delay;
+    return schedule(when, std::move(cb), priority);
+}
+
+inline void
+EventQueue::checkDispatch(HeapKey key)
+{
+    // Dispatch keys are a total order (seq is unique), so "time never
+    // runs backwards" and "same-tick events leave in (priority,
+    // insertion) order" collapse into one invariant: keys must come
+    // out strictly increasing. One compare on the hot path; the
+    // violation path unpacks the key for the report.
+    if (executed_ > 0 && !(key > last_key_)) {
+        JETSIM_VIOLATION(check::Severity::Error,
+                         check::Invariant::Causality,
+                         detail::kEqComponent, now_,
+                         "dispatch out of order (when=%lld pri=%d "
+                         "seq=%llu after when=%lld pri=%d seq=%llu)",
+                         static_cast<long long>(keyWhen(key)),
+                         keyPriority(key),
+                         static_cast<unsigned long long>(keySeq(key)),
+                         static_cast<long long>(keyWhen(last_key_)),
+                         keyPriority(last_key_),
+                         static_cast<unsigned long long>(
+                             keySeq(last_key_)));
+    }
+    last_key_ = key;
+}
+
+inline void
+EventQueue::dispatch(HeapKey key, Index idx)
+{
+    checkDispatch(key);
+    now_ = keyWhen(key);
+    ++executed_;
+    // Mark consumed so a Handle held by the callback's owner reports
+    // !pending() during and after execution. The callback is invoked
+    // in place — slab addresses are stable even if the callback
+    // schedules (growing the pool) — and the slot is recycled after
+    // it returns.
+    pool_.markDispatched(idx);
+    EventPool::Event &e = pool_.at(idx);
+    e.cb()();
+    pool_.recycleDispatched(idx, e);
+}
+
+inline bool
+EventQueue::runOne()
+{
+    while (!heap_keys_.empty()) {
+        const HeapKey key = heap_keys_.front();
+        const Index idx = heap_idx_.front();
+        // Overlap the slot's cache-line fetch with the sift-down.
+        pool_.prefetch(idx);
+        heapPopTop();
+        if (pool_.cancelled(idx)) {
+            pool_.free(idx);
+            continue;
+        }
+        dispatch(key, idx);
+        return true;
+    }
+    return false;
+}
+
+inline std::uint64_t
+EventQueue::runUntil(Tick horizon)
+{
+    JETSIM_CHECK(horizon >= now_, check::Severity::Error,
+                 check::Invariant::Causality, detail::kEqComponent,
+                 now_, "runUntil horizon %lld is in the past",
+                 static_cast<long long>(horizon));
+    std::uint64_t n = 0;
+    while (!heap_keys_.empty()) {
+        const HeapKey key = heap_keys_.front();
+        const Index idx = heap_idx_.front();
+        if (pool_.cancelled(idx)) {
+            heapPopTop();
+            pool_.free(idx);
+            continue;
+        }
+        if (keyWhen(key) > horizon)
+            break; // not yet due; stays queued
+        heapPopTop();
+        dispatch(key, idx);
+        ++n;
+    }
+    if (horizon > now_)
+        now_ = horizon;
+    return n;
+}
+
+inline std::uint64_t
+EventQueue::runAll(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && runOne())
+        ++n;
+    return n;
+}
 
 } // namespace jetsim::sim
 

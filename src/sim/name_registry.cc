@@ -1,0 +1,66 @@
+#include "sim/name_registry.hh"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+
+namespace jetsim::sim {
+
+namespace {
+
+struct Registry
+{
+    std::mutex mu;
+    // deque: stable references for nameOf() across growth.
+    std::deque<std::string> names;
+    std::unordered_map<std::string_view, NameId> ids;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace
+
+NameId
+internName(std::string_view name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.ids.find(name);
+    if (it != r.ids.end())
+        return it->second;
+    const auto id = static_cast<NameId>(r.names.size());
+    JETSIM_ASSERT(id != kInvalidNameId);
+    r.names.emplace_back(name);
+    // Key the map by the deque-owned string: the view stays valid for
+    // the registry's lifetime.
+    r.ids.emplace(r.names.back(), id);
+    return id;
+}
+
+const std::string &
+nameOf(NameId id)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (id >= r.names.size())
+        fatal("name registry: unknown id %u (interned: %zu)", id,
+              r.names.size());
+    return r.names[id];
+}
+
+std::size_t
+internedNameCount()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return r.names.size();
+}
+
+} // namespace jetsim::sim

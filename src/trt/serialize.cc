@@ -103,6 +103,9 @@ Engine::deserialize(const std::string &plan)
             sim::fatal("engine plan: truncated kernel %zu", i);
         k.prec = soc::precisionFromName(prec_name);
         k.tc = tc != 0;
+        // The plan text stores only the display name; intern it so a
+        // deserialised engine profiles as cheaply as a built one.
+        k.name_id = sim::internName(k.name);
         e.total_flops_ += k.flops;
         e.total_bytes_ += k.bytes;
         e.kernels_.push_back(std::move(k));

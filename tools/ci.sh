@@ -10,6 +10,13 @@
 #   3. tidy      - clang-tidy over src/, tools/ and tests/ (skipped
 #                  with a warning when clang-tidy is not installed)
 #
+# Pass 1 also runs a perf smoke (1c): the event-core microbenchmarks
+# at short min-time — not for numbers (CI hosts are noisy) but so a
+# perf-path assert/regression that only triggers at benchmark volume
+# fails CI — plus the golden-digest runner tests, which prove the
+# pooled event core still dispatches in the bit-identical order the
+# committed digests were recorded from.
+#
 # Usage: tools/ci.sh [--tsan] [--skip-plain] [--skip-sanitized]
 #                    [--skip-tidy]
 #
@@ -55,6 +62,20 @@ if [ "$run_plain" = 1 ]; then
     jetlint="$repo/build-ci/plain/tools/jetlint"
     "$jetlint" --zoo --device=all --precision=all | tail -1
     "$jetlint" --examples | tail -1
+    banner "pass 1c: perf smoke + golden digest check"
+    # Short-min-time run of the event-core microbenchmarks: catches
+    # perf-path asserts (pool recycling, SBO fallback, JetSan key
+    # order) that only fire at benchmark volume. Numbers themselves
+    # are not gated — CI hosts are too noisy.
+    "$repo/build-ci/plain/bench/micro_sim" \
+        --benchmark_min_time=0.05 \
+        --benchmark_filter='BM_EventQueue.*|BM_SchedulerContention.*'
+    # Golden digests: the pooled event core must dispatch in the
+    # bit-identical order the committed serial digests encode, on
+    # both boards and across runner thread counts.
+    "$repo/build-ci/plain/tests/runner_tests" \
+        --gtest_filter='BothBoards/RunnerGolden.*' \
+        --gtest_brief=1
 fi
 
 if [ "$run_san" = 1 ]; then
