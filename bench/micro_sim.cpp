@@ -210,6 +210,22 @@ fullCellMs(int processes, int reps)
 }
 
 /**
+ * sbo_misses after the steady-state schedule workload: every hot-path
+ * callback (`this` + small ids) must fit InlineFn's inline buffer, so
+ * the count must be zero. Measured on a fresh queue so the number is
+ * attributable to this workload alone.
+ */
+std::uint64_t
+steadyStateSboMisses()
+{
+    sim::EventQueue eq;
+    for (int i = 0; i < 1000; ++i)
+        eq.schedule(i, [] {});
+    eq.runAll();
+    return eq.stats().sbo_misses;
+}
+
+/**
  * Seed-commit baselines, measured with this same emitter method
  * (min over repetitions) on the shared reference host below before
  * the pooled event core landed. Committed so the "speedup" fields
@@ -263,6 +279,9 @@ emitJson(const std::string &path)
     std::fprintf(f, "    \"procs4_speedup\": %.2f\n",
                  kSeedFullCell4Ms / cell4);
     std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"event_queue_sbo_misses\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     steadyStateSboMisses()));
     std::fprintf(f, "  \"inline_fn_heap_fallbacks\": %llu\n",
                  static_cast<unsigned long long>(
                      sim::InlineFn::heapFallbackCount()));
@@ -279,6 +298,23 @@ main(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
+        if (arg == "--assert-sbo") {
+            // CI probe (tools/ci.sh pass 1c): the steady-state
+            // schedule path must never fall back to the heap.
+            const auto misses = steadyStateSboMisses();
+            if (misses != 0) {
+                std::fprintf(stderr,
+                             "micro_sim: sbo_misses = %llu after the "
+                             "steady-state schedule workload "
+                             "(expected 0): an InlineFn capture "
+                             "outgrew the inline buffer\n",
+                             static_cast<unsigned long long>(misses));
+                return 1;
+            }
+            std::printf("micro_sim: sbo_misses == 0 (steady-state "
+                        "schedule path allocation-free)\n");
+            return 0;
+        }
         if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
             std::string path = "BENCH_simcore.json";
             if (const auto eq = arg.find('=');

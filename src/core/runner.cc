@@ -114,6 +114,8 @@ class OrderedProgress
 std::string
 envCacheDir()
 {
+    // Ambient config read at Runner construction; never on a
+    // simulation path. detlint: allow(getenv)
     const char *dir = std::getenv("JETSIM_CACHE_DIR");
     return dir && *dir ? dir : "";
 }
@@ -125,6 +127,8 @@ Runner::resolveThreads(int requested)
 {
     if (requested > 0)
         return requested;
+    // Worker-count config, resolved once per Runner; thread
+    // count never affects results. detlint: allow(getenv)
     if (const char *env = std::getenv("JETSIM_THREADS")) {
         const int v = std::atoi(env);
         if (v > 0)

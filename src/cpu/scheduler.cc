@@ -105,13 +105,37 @@ OsScheduler::pickCore(Thread *t)
 void
 OsScheduler::dispatchAll()
 {
+    sim::Chooser *chooser = eq_.chooser();
     for (auto *q : {&runq_big_, &runq_little_}) {
         while (!q->empty()) {
-            Thread *t = q->front();
+            std::size_t at = 0;
+            if (chooser && q->size() >= 2) {
+                // Controlled scheduling: the FIFO head is only one
+                // legal pick — a real kernel's vruntime order depends
+                // on timing noise we don't model, so any queued thread
+                // may legally reach the free core first. Offer the
+                // queue in order (head = default alternative 0),
+                // tagged by interned thread name for the checker's
+                // independence relation.
+                std::int64_t actors[sim::kMaxChoiceAlts];
+                const int nc = static_cast<int>(
+                    std::min<std::size_t>(q->size(),
+                                          sim::kMaxChoiceAlts));
+                for (int i = 0; i < nc; ++i)
+                    actors[i] = (*q)[static_cast<std::size_t>(i)]
+                                    ->nameId();
+                const int sel = chooser->choose(
+                    sim::ChoiceKind::CpuRunQueue, actors, nc);
+                JETSIM_ASSERT(sel >= 0 && sel < nc);
+                at = static_cast<std::size_t>(sel);
+            }
+            Thread *t = (*q)[at];
             Core *core = pickCore(t);
             if (!core)
                 break;
-            q->pop_front();
+            q->erase(q->begin() +
+                     static_cast<std::deque<Thread *>::difference_type>(
+                         at));
             dispatch(*core, t);
         }
     }

@@ -116,6 +116,31 @@ GpuEngine::scheduleNext()
         !channels_[active_channel_].queue.empty() &&
         eq_.now() - quantum_start_ < rt.gpu_quantum) {
         pick = active_channel_;
+    } else if (sim::Chooser *chooser = eq_.chooser()) {
+        // Controlled scheduling: at a quantum boundary any runnable
+        // channel is a legal next occupant — real driver arbitration
+        // gives no round-robin guarantee across processes. Offer the
+        // runnable set with the rotation default first (alternative 0
+        // must reproduce uncontrolled scheduling exactly).
+        int cands[sim::kMaxChoiceAlts];
+        std::int64_t actors[sim::kMaxChoiceAlts];
+        int nc = 0;
+        for (int i = 1; i <= n && nc < sim::kMaxChoiceAlts; ++i) {
+            const int c = (active_channel_ + i + n) % n;
+            if (!channels_[c].queue.empty()) {
+                cands[nc] = c;
+                actors[nc] = c;
+                ++nc;
+            }
+        }
+        if (nc == 1) {
+            pick = cands[0];
+        } else if (nc > 1) {
+            const int sel =
+                chooser->choose(sim::ChoiceKind::GpuChannel, actors, nc);
+            JETSIM_ASSERT(sel >= 0 && sel < nc);
+            pick = cands[sel];
+        }
     } else {
         for (int i = 1; i <= n; ++i) {
             const int c = (active_channel_ + i + n) % n;

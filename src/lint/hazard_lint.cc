@@ -307,4 +307,69 @@ lintHazards(const StreamProgram &p, Report &rep)
     }
 }
 
+std::vector<std::pair<int, int>>
+conflictingStreamPairs(const StreamProgram &p)
+{
+    // Per buffer: which streams read it, which write it. The pair
+    // set is tiny (streams ~= processes), so an ns*ns bitmap beats
+    // anything fancier.
+    const int ns = p.numStreams();
+    struct BufUse
+    {
+        std::vector<char> reads, writes;
+    };
+    std::vector<BufUse> use;
+    for (const auto &op : p.ops()) {
+        if (op.kind != StreamProgram::Op::Kind::Launch)
+            continue;
+        auto note = [&](int buf, bool write) {
+            if (buf >= static_cast<int>(use.size()))
+                use.resize(static_cast<std::size_t>(buf) + 1);
+            auto &u = use[static_cast<std::size_t>(buf)];
+            u.reads.resize(static_cast<std::size_t>(ns), 0);
+            u.writes.resize(static_cast<std::size_t>(ns), 0);
+            (write ? u.writes : u.reads)[static_cast<std::size_t>(
+                op.stream)] = 1;
+        };
+        for (const int b : op.reads)
+            note(b, false);
+        for (const int b : op.writes)
+            note(b, true);
+    }
+
+    std::vector<char> conflict(
+        static_cast<std::size_t>(ns) * static_cast<std::size_t>(ns),
+        0);
+    for (const auto &u : use) {
+        if (u.writes.empty())
+            continue;
+        for (int a = 0; a < ns; ++a) {
+            if (!u.reads[static_cast<std::size_t>(a)] &&
+                !u.writes[static_cast<std::size_t>(a)])
+                continue;
+            for (int b = a + 1; b < ns; ++b) {
+                const bool b_touches =
+                    u.reads[static_cast<std::size_t>(b)] ||
+                    u.writes[static_cast<std::size_t>(b)];
+                const bool one_writes =
+                    u.writes[static_cast<std::size_t>(a)] ||
+                    u.writes[static_cast<std::size_t>(b)];
+                if (b_touches && one_writes)
+                    conflict[static_cast<std::size_t>(a) *
+                                 static_cast<std::size_t>(ns) +
+                             static_cast<std::size_t>(b)] = 1;
+            }
+        }
+    }
+
+    std::vector<std::pair<int, int>> pairs;
+    for (int a = 0; a < ns; ++a)
+        for (int b = a + 1; b < ns; ++b)
+            if (conflict[static_cast<std::size_t>(a) *
+                             static_cast<std::size_t>(ns) +
+                         static_cast<std::size_t>(b)])
+                pairs.emplace_back(a, b);
+    return pairs;
+}
+
 } // namespace jetsim::lint

@@ -23,6 +23,7 @@
 #define JETSIM_LINT_HAZARD_LINT_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lint/finding.hh"
@@ -84,6 +85,22 @@ class StreamProgram
 
 /** Run the happens-before analysis; findings carry rules H001-H005. */
 void lintHazards(const StreamProgram &p, Report &rep);
+
+/**
+ * Dependence relation for the model checker (src/mc): every stream
+ * pair (a, b), a < b, whose programs contain at least one conflicting
+ * access — same buffer, at least one write — regardless of any
+ * record/wait ordering between them. Synchronisation edges are
+ * deliberately ignored: the checker derives *potential* dependence
+ * (may the streams' actions ever fail to commute?), so sync that
+ * merely orders a conflict must not hide it. Stream pairs absent
+ * from the result are independent: their submissions touch disjoint
+ * buffers, so swapping adjacent actions of the two streams cannot
+ * change any reachable state — the commutativity fact jetmc's
+ * partial-order reduction prunes with.
+ */
+std::vector<std::pair<int, int>>
+conflictingStreamPairs(const StreamProgram &p);
 
 } // namespace jetsim::lint
 

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The real thing under the checker: a bounded concurrent deployment.
+ *
+ * DeploymentModel runs the full simulator stack — board, OS
+ * scheduler, GPU engine, N inference processes — as a *closed*
+ * workload: each process enqueues exactly max_ecs execution contexts
+ * (counted in its own program order, so the count is identical in
+ * every interleaving), uses blocking sync (spin-wait never quiesces),
+ * and the DVFS governor's periodic events stay off. The event queue
+ * therefore drains, and one run is a terminating, deterministic
+ * function of the choice script.
+ *
+ * What a run reports:
+ *  - deadlock: the queue drained while some process had work left;
+ *  - a *logical* digest folding only schedule-invariant facts
+ *    (per-process EC/launch/image counts, each channel's FIFO kernel
+ *    sequence, the memory balance, the violation count). Timing is
+ *    deliberately excluded: GPU/CPU arbitration legitimately moves
+ *    latencies, and the schedule-independence theorem jetmc proves is
+ *    about results, not timestamps;
+ *  - per-process worst-case blocking, reported as a bound over the
+ *    explored schedules.
+ *
+ * Independence for the partial-order reduction comes from
+ * lint::conflictingStreamPairs over a symbolic stream program
+ * mirroring the deployment: one stream and one private buffer set per
+ * process (TensorRT processes share no device memory), so distinct
+ * processes are independent — unless `shared_buffer` seeds a
+ * cross-process conflict, which collapses the reduction exactly as
+ * the theory says it must.
+ */
+
+#ifndef JETSIM_MC_DEPLOYMENT_HH
+#define JETSIM_MC_DEPLOYMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "mc/model.hh"
+#include "sim/name_registry.hh"
+#include "soc/precision.hh"
+
+namespace jetsim::mc {
+
+/** One bounded concurrent deployment to check. */
+struct DeployConfig
+{
+    std::string device = "orin-nano";
+
+    struct Proc
+    {
+        std::string model = "resnet50";
+        soc::Precision precision = soc::Precision::Fp16;
+        int batch = 1;
+    };
+    std::vector<Proc> procs;
+
+    /** ECs each process enqueues before stopping (program-order
+     * bound; see workload::ProcessConfig::max_ecs). */
+    std::uint64_t max_ecs = 2;
+    int pre_enqueue = 1;
+    std::uint64_t seed = 1;
+    /** Event budget per run; exhausting it is a config error, not a
+     * verdict. */
+    std::uint64_t max_events = 500000;
+    /** Seed a cross-process buffer conflict into the symbolic stream
+     * program (dependence-injection test for the DPOR). */
+    bool shared_buffer = false;
+
+    std::string label() const;
+};
+
+/** Model implementation over the full simulator stack. */
+class DeploymentModel final : public Model
+{
+  public:
+    explicit DeploymentModel(DeployConfig cfg);
+
+    std::string name() const override { return cfg_.label(); }
+    RunOutcome run(const std::vector<int> &script) override;
+    int procCount() const override
+    {
+        return static_cast<int>(cfg_.procs.size());
+    }
+    int procOf(sim::ChoiceKind kind, std::int64_t actor) const override;
+    bool dependent(int pa, int pb) const override;
+
+    const DeployConfig &config() const { return cfg_; }
+
+  private:
+    DeployConfig cfg_;
+    /** Interned per-process thread names (CpuRunQueue actor tags). */
+    std::vector<sim::NameId> thread_ids_;
+    /** dependent_[a*n+b] from the hazard relation (symmetric). */
+    std::vector<char> dependent_;
+};
+
+} // namespace jetsim::mc
+
+#endif // JETSIM_MC_DEPLOYMENT_HH

@@ -1,0 +1,170 @@
+#include "mc/explorer.hh"
+
+#include <algorithm>
+
+namespace jetsim::mc {
+
+namespace {
+
+/**
+ * Sleep-set commutation check: is taking alternative @p alt at site
+ * @p i redundant given the default run's continuation in @p trace?
+ * True iff the alternative's process b reappears as the pick of a
+ * later same-kind site with every intermediate step independent of b
+ * — then the deviated run is a transposition of independent steps of
+ * this one and reaches the same logical state.
+ */
+bool
+prunable(const Model &m, const std::vector<ChoiceRec> &trace,
+         std::size_t i, int alt)
+{
+    const sim::ChoiceKind kind = trace[i].kind;
+    const int pb = m.procOf(kind, trace[i].actors[alt]);
+    if (pb == kProcUnknown)
+        return false;
+    for (std::size_t j = i; j < trace.size(); ++j) {
+        const ChoiceRec &step = trace[j];
+        const int pj =
+            m.procOf(step.kind, step.actors[step.picked]);
+        if (step.kind == kind && pj == pb)
+            return true; // b got its turn; everything before commuted
+        if (pj == kProcUnknown || m.dependent(pj, pb))
+            return false; // deviation is observable: must explore
+    }
+    return false; // b never scheduled again: conservatively explore
+}
+
+/** Fold one outcome into the report's non-verdict aggregates. */
+void
+merge(ExploreReport &rep, const RunOutcome &out)
+{
+    rep.max_trace_len = std::max(
+        rep.max_trace_len, static_cast<int>(out.trace.size()));
+    rep.max_events = std::max(rep.max_events, out.events);
+    if (out.bound_exceeded)
+        rep.event_bound_hit = true;
+    if (rep.max_block_ms.size() < out.max_block_ms.size())
+        rep.max_block_ms.resize(out.max_block_ms.size(), 0.0);
+    for (std::size_t i = 0; i < out.max_block_ms.size(); ++i)
+        rep.max_block_ms[i] =
+            std::max(rep.max_block_ms[i], out.max_block_ms[i]);
+}
+
+/**
+ * Greedy counterexample shrink: zero entries right to left (a zero is
+ * the default, so trailing zeros can then be dropped entirely),
+ * keeping each simplification that still fails the same way.
+ */
+std::vector<int>
+minimizeCe(Model &m, std::vector<int> script, const std::string &what,
+           std::uint64_t ref_digest, ExploreReport &rep)
+{
+    auto stillFails = [&](const std::vector<int> &s) {
+        ++rep.runs;
+        return failureKind(m.run(s), ref_digest) == what;
+    };
+    for (std::size_t i = script.size(); i-- > 0;) {
+        if (script[i] == 0)
+            continue;
+        std::vector<int> trial = script;
+        trial[i] = 0;
+        while (!trial.empty() && trial.back() == 0)
+            trial.pop_back();
+        if (stillFails(trial))
+            script = std::move(trial);
+    }
+    while (!script.empty() && script.back() == 0)
+        script.pop_back();
+    return script;
+}
+
+} // namespace
+
+std::string
+failureKind(const RunOutcome &out, std::uint64_t ref_digest)
+{
+    if (out.deadlock)
+        return "deadlock";
+    if (out.violations > 0)
+        return "violation";
+    if (!out.bound_exceeded && out.digest != ref_digest)
+        return "digest-mismatch";
+    return "";
+}
+
+ExploreReport
+explore(Model &m, const ExploreConfig &cfg)
+{
+    ExploreReport rep;
+
+    // The reference run: the default schedule, which must match the
+    // uncontrolled simulator bit for bit.
+    std::vector<std::vector<int>> stack;
+    stack.push_back({});
+    bool have_ref = false;
+    std::uint64_t ref_digest = 0;
+
+    while (!stack.empty()) {
+        if (rep.runs >= cfg.max_runs) {
+            rep.run_budget_hit = true;
+            break;
+        }
+        const std::vector<int> script = std::move(stack.back());
+        stack.pop_back();
+
+        const RunOutcome out = m.run(script);
+        ++rep.runs;
+        merge(rep, out);
+        if (!have_ref) {
+            have_ref = true;
+            ref_digest = out.digest;
+            rep.digest = ref_digest;
+        }
+
+        const std::string fail = failureKind(out, ref_digest);
+        if (!fail.empty()) {
+            if (fail == "deadlock")
+                rep.deadlock = true;
+            else if (fail == "violation")
+                ++rep.violation_runs;
+            else
+                rep.digest_mismatch = true;
+            if (rep.ce_what.empty()) {
+                rep.ce_what = fail;
+                rep.ce_detail = out.detail;
+                rep.ce_script = script;
+                if (cfg.minimize)
+                    rep.ce_script = minimizeCe(m, rep.ce_script, fail,
+                                               ref_digest, rep);
+            }
+            if (cfg.stop_on_failure)
+                break;
+        }
+
+        // Branch at every site that took the default (i.e. every site
+        // at or beyond this script), within the depth bound.
+        const std::size_t limit = std::min(
+            out.trace.size(), static_cast<std::size_t>(cfg.depth));
+        if (out.trace.size() >
+            static_cast<std::size_t>(cfg.depth))
+            rep.depth_clipped = true;
+        for (std::size_t i = script.size(); i < limit; ++i) {
+            for (int a = 1; a < out.trace[i].n; ++a) {
+                if (cfg.dpor && prunable(m, out.trace, i, a)) {
+                    ++rep.pruned;
+                    continue;
+                }
+                std::vector<int> child;
+                child.reserve(i + 1);
+                for (std::size_t k = 0; k < i; ++k)
+                    child.push_back(out.trace[k].picked);
+                child.push_back(a);
+                stack.push_back(std::move(child));
+                ++rep.branches;
+            }
+        }
+    }
+    return rep;
+}
+
+} // namespace jetsim::mc

@@ -1,0 +1,147 @@
+#include "mc/toylock.hh"
+
+#include <array>
+
+#include "check/digest.hh"
+#include "check/reporter.hh"
+#include "sim/event_queue.hh"
+
+namespace jetsim::mc {
+
+namespace {
+
+enum class Op { Yield, AcqA, AcqB, RelA, RelB };
+
+constexpr int kWorkers = 2;
+
+struct Lock
+{
+    int held_by = -1;
+    int waiter = -1; ///< at most one worker can block per lock here
+};
+
+struct World
+{
+    sim::EventQueue &eq;
+    std::array<std::vector<Op>, kWorkers> prog;
+    std::array<std::size_t, kWorkers> pc{};
+    Lock a, b;
+
+    explicit World(sim::EventQueue &q) : eq(q) {}
+
+    Lock &
+    lockFor(Op op)
+    {
+        return op == Op::AcqA || op == Op::RelA ? a : b;
+    }
+
+    void
+    scheduleStep(int w)
+    {
+        // Same tick, default priority: pending steps of both workers
+        // tie, and the tie break is the schedule under test.
+        eq.schedule(eq.now(), [this, w] { step(w); });
+    }
+
+    void
+    advance(int w)
+    {
+        ++pc[static_cast<std::size_t>(w)];
+        if (pc[static_cast<std::size_t>(w)] <
+            prog[static_cast<std::size_t>(w)].size())
+            scheduleStep(w);
+    }
+
+    void
+    step(int w)
+    {
+        const Op op = prog[static_cast<std::size_t>(w)]
+                          [pc[static_cast<std::size_t>(w)]];
+        switch (op) {
+          case Op::Yield:
+            advance(w);
+            break;
+          case Op::AcqA:
+          case Op::AcqB: {
+            Lock &l = lockFor(op);
+            if (l.held_by < 0) {
+                l.held_by = w;
+                advance(w);
+            } else {
+                // Hold-and-wait: no event rescheduled until the
+                // holder releases. A drained queue with a parked
+                // worker is the deadlock the checker must find.
+                l.waiter = w;
+            }
+            break;
+          }
+          case Op::RelA:
+          case Op::RelB: {
+            Lock &l = lockFor(op);
+            l.held_by = -1;
+            if (l.waiter >= 0) {
+                const int g = l.waiter;
+                l.waiter = -1;
+                l.held_by = g;
+                advance(g); // past its blocked acquire
+            }
+            advance(w);
+            break;
+          }
+        }
+    }
+};
+
+} // namespace
+
+RunOutcome
+ToyLockModel::run(const std::vector<int> &script)
+{
+    // Count mode: a toy-model bug must surface as a finding, not an
+    // abort mid-exploration.
+    check::ScopedCapture capture;
+
+    sim::EventQueue eq;
+    World world(eq);
+    world.prog[0] = {Op::AcqA, Op::AcqB, Op::RelB, Op::RelA};
+    if (inverted_)
+        world.prog[1] = {Op::Yield, Op::AcqB, Op::AcqA, Op::RelA,
+                         Op::RelB};
+    else
+        world.prog[1] = {Op::Yield, Op::AcqA, Op::AcqB, Op::RelB,
+                         Op::RelA};
+
+    TraceChooser chooser(script);
+    eq.setChooser(&chooser);
+    for (int w = 0; w < kWorkers; ++w)
+        world.scheduleStep(w);
+    const std::uint64_t events = eq.runAll(10000);
+
+    RunOutcome out;
+    out.trace = chooser.trace();
+    out.events = events;
+    out.violations = capture.total();
+    out.max_block_ms.assign(kWorkers, 0.0);
+
+    check::Digest d;
+    for (int w = 0; w < kWorkers; ++w) {
+        const auto done = world.pc[static_cast<std::size_t>(w)];
+        const auto total = world.prog[static_cast<std::size_t>(w)].size();
+        d.add(static_cast<std::uint64_t>(done));
+        if (done < total) {
+            out.deadlock = true;
+            if (!out.detail.empty())
+                out.detail += "; ";
+            out.detail += "worker " + std::to_string(w) +
+                          " parked at op " + std::to_string(done) +
+                          "/" + std::to_string(total);
+        }
+    }
+    d.add(static_cast<std::int64_t>(world.a.held_by));
+    d.add(static_cast<std::int64_t>(world.b.held_by));
+    d.add(out.violations);
+    out.digest = d.value();
+    return out;
+}
+
+} // namespace jetsim::mc

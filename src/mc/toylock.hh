@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Two-worker, two-lock toy model: the checker's own self-test.
+ *
+ * Two workers run short op programs over locks A and B on one event
+ * queue; every op is an event at the current tick, so whenever both
+ * workers have a step pending the queue's EventTie choice point picks
+ * who moves. In the *inverted* variant worker 1 takes A then B while
+ * worker 2 takes B then A — safe under the default (insertion-order)
+ * schedule, but a handful of adverse tie-breaks reach the classic
+ * hold-and-wait cycle. A checker that cannot find that deadlock (and
+ * produce a replayable trace for it) is not trustworthy on real
+ * deployments, so CI runs this model first (jetmc --selftest).
+ *
+ * The well-ordered variant (both workers acquire A before B) is
+ * deadlock-free in every interleaving; the self-test proves that too.
+ */
+
+#ifndef JETSIM_MC_TOYLOCK_HH
+#define JETSIM_MC_TOYLOCK_HH
+
+#include "mc/model.hh"
+
+namespace jetsim::mc {
+
+/** Lock-ordering toy: safe or deliberately deadlockable. */
+class ToyLockModel final : public Model
+{
+  public:
+    /** @param inverted worker 2 acquires B before A (deadlockable);
+     *         false keeps a global lock order (provably safe). */
+    explicit ToyLockModel(bool inverted) : inverted_(inverted) {}
+
+    std::string name() const override
+    {
+        return inverted_ ? "toylock-inverted" : "toylock-ordered";
+    }
+
+    RunOutcome run(const std::vector<int> &script) override;
+
+    int procCount() const override { return 2; }
+
+    int procOf(sim::ChoiceKind, std::int64_t) const override
+    {
+        // Every site is an EventTie between opaque callbacks: no
+        // attribution, hence no independence, hence no pruning — the
+        // self-test exercises the exhaustive path.
+        return kProcUnknown;
+    }
+
+    bool dependent(int, int) const override { return true; }
+
+  private:
+    bool inverted_;
+};
+
+} // namespace jetsim::mc
+
+#endif // JETSIM_MC_TOYLOCK_HH

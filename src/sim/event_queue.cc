@@ -71,6 +71,52 @@ EventQueue::checkPlausible() const
                  static_cast<unsigned long long>(peak_pending_));
 }
 
+bool
+EventQueue::runOneControlled()
+{
+    // Collect every live event tied with the top on the (when,
+    // priority) prefix — the seq component is exactly the insertion
+    // order a controlled scheduler is allowed to permute. Capped at
+    // kMaxChoiceAlts: deeper ties keep their relative order and get
+    // re-offered at the next pop, so every permutation is still
+    // reachable through successive choices.
+    HeapKey cand_key[kMaxChoiceAlts];
+    Index cand_idx[kMaxChoiceAlts];
+    std::int64_t actors[kMaxChoiceAlts];
+    int n = 0;
+    while (!heap_keys_.empty() && n < kMaxChoiceAlts) {
+        const HeapKey key = heap_keys_.front();
+        const Index idx = heap_idx_.front();
+        if (pool_.cancelled(idx)) {
+            heapPopTop();
+            pool_.free(idx);
+            continue;
+        }
+        if (n > 0 &&
+            (key & ~HeapKey(kSeqMask)) !=
+                (cand_key[0] & ~HeapKey(kSeqMask)))
+            break;
+        heapPopTop();
+        cand_key[n] = key;
+        cand_idx[n] = idx;
+        actors[n] = kActorUnknown;
+        ++n;
+    }
+    if (n == 0)
+        return false;
+    int pick = 0;
+    if (n > 1)
+        pick = chooser_->choose(ChoiceKind::EventTie, actors, n);
+    JETSIM_ASSERT(pick >= 0 && pick < n);
+    // Re-queue the rest with their original keys: relative order among
+    // them (and against everything still queued) is unchanged.
+    for (int i = 0; i < n; ++i)
+        if (i != pick)
+            heapPush(cand_key[i], cand_idx[i]);
+    dispatch(cand_key[pick], cand_idx[pick]);
+    return true;
+}
+
 void
 EventQueue::shrink()
 {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "check/check.hh"
+#include "sim/choice.hh"
 #include "sim/event_pool.hh"
 #include "sim/inline_fn.hh"
 #include "sim/logging.hh"
@@ -239,6 +240,18 @@ class EventQueue
      */
     void shrink();
 
+    /** @name Controlled scheduling (model checking)
+     * Install a Chooser to make the queue's same-(tick,priority) tie
+     * breaks — and, through chooser(), the GPU/CPU arbitration sites
+     * of every component sharing this queue — explicit branch points.
+     * nullptr (the default) keeps the fully deterministic
+     * (priority, insertion-order) dispatch; the hot path pays one
+     * predicted-not-taken null check.
+     * @{ */
+    void setChooser(Chooser *c) { chooser_ = c; }
+    Chooser *chooser() const { return chooser_; }
+    /** @} */
+
   private:
     using Index = EventPool::Index;
 
@@ -292,6 +305,14 @@ class EventQueue
     void heapPush(HeapKey key, Index idx);
     void heapPopTop();
 
+    /**
+     * Pop path when a Chooser is installed (cold, defined in the
+     * .cc): collects the same-(when,priority) tie set at the top of
+     * the heap, lets the chooser pick, re-queues the rest.
+     * @return false when the queue was empty.
+     */
+    bool runOneControlled();
+
     /** Dispatch the already-popped live event (@p key, @p idx). */
     void dispatch(HeapKey key, Index idx);
 
@@ -314,6 +335,7 @@ class EventQueue
     // only the dense key array (16 B per pending event).
     std::vector<HeapKey> heap_keys_;
     std::vector<Index> heap_idx_;
+    Chooser *chooser_ = nullptr;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
@@ -451,7 +473,17 @@ EventQueue::checkDispatch(HeapKey key)
     // insertion) order" collapse into one invariant: keys must come
     // out strictly increasing. One compare on the hot path; the
     // violation path unpacks the key for the report.
-    if (executed_ > 0 && !(key > last_key_)) {
+    //
+    // Under a Chooser the insertion-order (seq) component is exactly
+    // what the controlled scheduler is allowed to permute, so the
+    // invariant weakens to the (when, priority) prefix: time still
+    // never runs backwards and priorities still order a tick.
+    const bool ok =
+        chooser_ == nullptr
+            ? key > last_key_
+            : (key & ~HeapKey(kSeqMask)) >=
+                  (last_key_ & ~HeapKey(kSeqMask));
+    if (executed_ > 0 && !ok) {
         JETSIM_VIOLATION(check::Severity::Error,
                          check::Invariant::Causality,
                          detail::kEqComponent, now_,
@@ -488,6 +520,8 @@ EventQueue::dispatch(HeapKey key, Index idx)
 inline bool
 EventQueue::runOne()
 {
+    if (chooser_ != nullptr)
+        return runOneControlled();
     while (!heap_keys_.empty()) {
         const HeapKey key = heap_keys_.front();
         const Index idx = heap_idx_.front();
@@ -512,6 +546,26 @@ EventQueue::runUntil(Tick horizon)
                  now_, "runUntil horizon %lld is in the past",
                  static_cast<long long>(horizon));
     std::uint64_t n = 0;
+    if (chooser_ != nullptr) {
+        // Controlled scheduling: same horizon semantics, but every
+        // pop goes through the tie-break choice point.
+        while (!heap_keys_.empty()) {
+            const HeapKey key = heap_keys_.front();
+            const Index idx = heap_idx_.front();
+            if (pool_.cancelled(idx)) {
+                heapPopTop();
+                pool_.free(idx);
+                continue;
+            }
+            if (keyWhen(key) > horizon)
+                break;
+            runOneControlled();
+            ++n;
+        }
+        if (horizon > now_)
+            now_ = horizon;
+        return n;
+    }
     while (!heap_keys_.empty()) {
         const HeapKey key = heap_keys_.front();
         const Index idx = heap_idx_.front();

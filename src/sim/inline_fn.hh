@@ -181,7 +181,13 @@ class InlineFn
         if (o.ops_) {
             // Fixed-size copies beat an indirect relocate call for
             // trivial captures; the compare chain is predictable at
-            // any call site dominated by one callback type.
+            // any call site dominated by one callback type. The
+            // bucketed sizes deliberately copy up to 48 bytes even
+            // when the capture is smaller — unsigned-char copies of
+            // the uninitialized tail are well-defined and never read
+            // back, but GCC's -Wmaybe-uninitialized can't see that.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
             switch (o.ops_->copy_bytes) {
               case 0:
                 break;
@@ -198,6 +204,7 @@ class InlineFn
                 o.ops_->relocate(buf_, o.buf_);
                 break;
             }
+#pragma GCC diagnostic pop
             ops_ = o.ops_;
             o.ops_ = nullptr;
         }

@@ -63,7 +63,7 @@ InferenceProcess::start()
 void
 InferenceProcess::prepAndEnqueue()
 {
-    if (stopped_)
+    if (stopped_ || launchBoundReached())
         return;
     const auto prep = static_cast<sim::Tick>(
         rng_.lognormal(static_cast<double>(cfg_.prep_cost), 0.3));
@@ -73,6 +73,9 @@ InferenceProcess::prepAndEnqueue()
 void
 InferenceProcess::enqueueOne()
 {
+    // Counted here, in the enqueue thread's program order: the bound
+    // cuts the loop at the same EC index in every interleaving.
+    ++launched_;
     auto slot = std::make_shared<Slot>();
     pending_.push_back(slot);
     ctx_->enqueue(
@@ -98,7 +101,7 @@ InferenceProcess::afterEnqueue()
 {
     // Fill the pipeline to 1 + pre_enqueue ECs, then block on the
     // oldest one.
-    if (!stopped_ &&
+    if (!stopped_ && !launchBoundReached() &&
         pending_.size() < static_cast<std::size_t>(1 + cfg_.pre_enqueue)) {
         prepAndEnqueue();
         return;
@@ -154,6 +157,14 @@ InferenceProcess::syncReturn(sim::Tick sync_begin)
     pending_.pop_front();
     if (stopped_)
         return;
+    if (launchBoundReached()) {
+        // Closed workload: no new ECs, but the tail of the pipeline
+        // still gets its cudaStreamSynchronize calls so the process
+        // quiesces cleanly.
+        if (!pending_.empty())
+            syncFront();
+        return;
+    }
     prepAndEnqueue();
 }
 

@@ -55,6 +55,15 @@ struct ProcessConfig
     bool spin_wait = true;
     /** Spin-loop polling granularity. */
     sim::Tick spin_chunk = sim::usec(150);
+    /**
+     * Stop enqueueing after this many ECs (0 = unbounded). The bound
+     * is counted in the enqueue thread's program order, so the number
+     * of ECs a bounded process submits is identical across all legal
+     * interleavings — the closed-workload property the model checker
+     * (src/mc) relies on to compare schedule-independent digests.
+     * Remaining in-flight ECs still drain and sync normally.
+     */
+    std::uint64_t max_ecs = 0;
 };
 
 /** A deployed, running inference process. */
@@ -94,6 +103,8 @@ class InferenceProcess
     double throughput() const; ///< images/s over the window
     std::uint64_t imagesCompleted() const { return images_; }
     std::uint64_t ecsCompleted() const { return ecs_; }
+    /** Lifetime ECs enqueued (not reset by beginMeasurement). */
+    std::uint64_t ecsLaunched() const { return launched_; }
     /** Pipeline span: enqueue begin to GPU done (includes queueing
      * behind the pre-enqueued EC). */
     const sim::Accumulator &ecSpan() const { return ec_span_; }
@@ -124,6 +135,11 @@ class InferenceProcess
         bool gpu_done = false;
         trt::EcRecord rec;
     };
+
+    bool launchBoundReached() const
+    {
+        return cfg_.max_ecs != 0 && launched_ >= cfg_.max_ecs;
+    }
 
     void prepAndEnqueue();
     void enqueueOne();
@@ -158,6 +174,7 @@ class InferenceProcess
     sim::Tick last_ec_done_ = sim::kTickInvalid;
     std::uint64_t images_ = 0;
     std::uint64_t ecs_ = 0;
+    std::uint64_t launched_ = 0;
     sim::Accumulator ec_span_;
     sim::Accumulator ec_period_;
     sim::Accumulator enqueue_span_;

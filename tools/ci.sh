@@ -4,7 +4,8 @@
 #   1. plain     - default build + full ctest suite, then the jetlint
 #                  static pass (every zoo model at all precisions on
 #                  every board, plus the shipped example configs; any
-#                  error-severity finding fails CI)
+#                  error-severity finding fails CI) and the detlint
+#                  determinism lint over src/
 #   2. sanitized - ASan+UBSan (-Werror) build + full suite + the
 #                  simcheck determinism replay
 #   3. tidy      - clang-tidy over src/, tools/ and tests/ (skipped
@@ -16,6 +17,13 @@
 # fails CI — plus the golden-digest runner tests, which prove the
 # pooled event core still dispatches in the bit-identical order the
 # committed digests were recorded from.
+#
+# Pass 1d is the bounded model check (jetmc): the seeded-deadlock
+# self-test must find its counterexample and replay it, then small
+# 2- and 3-process deployments are proved deadlock-free and
+# digest-schedule-independent over every interleaving within the
+# depth bound, with the DPOR reduction required to earn its keep
+# (>= 10x fewer runs than the naive DFS on the 3-process config).
 #
 # Usage: tools/ci.sh [--tsan] [--skip-plain] [--skip-sanitized]
 #                    [--skip-tidy]
@@ -62,6 +70,9 @@ if [ "$run_plain" = 1 ]; then
     jetlint="$repo/build-ci/plain/tools/jetlint"
     "$jetlint" --zoo --device=all --precision=all | tail -1
     "$jetlint" --examples | tail -1
+    # Source-level determinism lint: wall-clock / rand() / getenv /
+    # unordered iteration must not enter simulation code.
+    python3 "$repo/tools/detlint.py" | tail -1
     banner "pass 1c: perf smoke + golden digest check"
     # Short-min-time run of the event-core microbenchmarks: catches
     # perf-path asserts (pool recycling, SBO fallback, JetSan key
@@ -70,12 +81,32 @@ if [ "$run_plain" = 1 ]; then
     "$repo/build-ci/plain/bench/micro_sim" \
         --benchmark_min_time=0.05 \
         --benchmark_filter='BM_EventQueue.*|BM_SchedulerContention.*'
+    # Steady-state schedule path must stay allocation-free: any
+    # InlineFn capture outgrowing the inline buffer fails here.
+    "$repo/build-ci/plain/bench/micro_sim" --assert-sbo
     # Golden digests: the pooled event core must dispatch in the
     # bit-identical order the committed serial digests encode, on
     # both boards and across runner thread counts.
     "$repo/build-ci/plain/tests/runner_tests" \
         --gtest_filter='BothBoards/RunnerGolden.*' \
         --gtest_brief=1
+    banner "pass 1d: bounded model check (jetmc)"
+    jetmc="$repo/build-ci/plain/tools/jetmc"
+    ce_dir="$repo/build-ci/plain/jetmc-ce"
+    mkdir -p "$ce_dir"
+    # Checker checks itself: the seeded deadlock must be found,
+    # minimised and replayed before any deployment verdict counts.
+    "$jetmc" --selftest --ce-dir="$ce_dir"
+    "$repo/build-ci/plain/tools/simcheck" \
+        --mc-replay="$ce_dir/jetmc_ce_selftest.json"
+    # 2-process deployment on orin-nano: exhaustive within depth.
+    "$jetmc" --device=orin-nano --model=resnet50 --procs=2 \
+        --max-ecs=2 --depth=24 --ce-dir="$ce_dir" | tail -1
+    # 3-process deployment on nano: the DPOR reduction must beat the
+    # naive DFS by >= 10x or the pass fails.
+    "$jetmc" --device=nano --model=yolov8n --procs=3 \
+        --max-ecs=2 --depth=20 --min-reduction=10 \
+        --ce-dir="$ce_dir" | tail -2
 fi
 
 if [ "$run_san" = 1 ]; then

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""detlint: source-level determinism lint for the simulator core.
+
+jetsim's foundational invariant is bit-exact replay: a run is a pure
+function of (spec, seed). The dynamic checkers (JetSan, simcheck,
+jetmc) catch divergence after the fact; this lint bans the constructs
+that *cause* it from ever entering src/:
+
+  wall-clock   time(), clock(), gettimeofday, std::chrono::*_clock
+               (simulated time comes from sim::EventQueue::now();
+               wall time is only legal in bench/ and tools/)
+  rand         rand(), srand(), std::random_device (the only
+               sanctioned randomness is the seeded sim::Rng)
+  getenv       std::getenv (environment reads make results depend on
+               ambient state; read once at startup and annotate)
+  unordered-iteration
+               range-for over a std::unordered_{map,set}: iteration
+               order is implementation-defined, so anything folded
+               from it (digests, reports, schedules) diverges across
+               platforms. Lookups are fine; iterate a sorted copy.
+
+Suppression: append `// detlint: allow(<rule>)` to the offending line
+(or the line above) with a justification nearby.
+
+Usage: tools/detlint.py [--root DIR] [paths...]
+Exit: 0 clean, 1 findings, 2 usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULES = [
+    ("wall-clock",
+     re.compile(r"\b(gettimeofday|clock_gettime)\s*\(|"
+                r"\btime\s*\(\s*(NULL|nullptr|0)?\s*\)|"
+                r"\bstd::chrono::(system|steady|high_resolution)"
+                r"_clock\b"),
+     "wall-clock read in simulation code (use sim time / EventQueue"
+     "::now())"),
+    ("rand",
+     re.compile(r"\b(std::)?(rand|srand)\s*\(|"
+                r"\bstd::random_device\b|\bstd::mt19937"),
+     "unseeded/global randomness (use the seeded sim::Rng)"),
+    ("getenv",
+     re.compile(r"\b(std::)?getenv\s*\("),
+     "environment read (results must not depend on ambient state; "
+     "read once at startup and annotate)"),
+]
+
+ALLOW_RE = re.compile(r"detlint:\s*allow\(([a-z-]+(?:\s*,\s*"
+                      r"[a-z-]+)*)\)")
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+"
+    r"(\w+)\s*[;{=(]")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*(?:const\s+)?auto\s*[&\s]"
+                          r"[&\s]*\w+\s*:\s*(?:\w+\.)*(\w+)\s*\)")
+
+# Comment/string stripper: good enough for lint, not a C++ parser.
+STRING_RE = re.compile(r'"(?:\\.|[^"\\])*"|' r"'(?:\\.|[^'\\])*'")
+
+
+def allowed(lines, idx, rule):
+    """True when line idx or the one above carries an allow(rule)."""
+    for li in (idx, idx - 1):
+        if 0 <= li < len(lines):
+            m = ALLOW_RE.search(lines[li])
+            if m and rule in [r.strip() for r in m.group(1).split(",")]:
+                return True
+    return False
+
+
+def strip_noise(line, in_block):
+    """Remove strings and comments; returns (code, still_in_block)."""
+    if in_block:
+        end = line.find("*/")
+        if end < 0:
+            return "", True
+        line = line[end + 2:]
+    line = STRING_RE.sub('""', line)
+    out = []
+    i = 0
+    while i < len(line):
+        if line.startswith("//", i):
+            break
+        if line.startswith("/*", i):
+            end = line.find("*/", i + 2)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            continue
+        out.append(line[i])
+        i += 1
+    return "".join(out), False
+
+
+def lint_file(path):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"detlint: cannot read {path}: {e}", file=sys.stderr)
+        return 1
+
+    findings = 0
+    unordered_names = set()
+    code_lines = []
+    in_block = False
+    for line in lines:
+        code, in_block = strip_noise(line, in_block)
+        code_lines.append(code)
+        m = UNORDERED_DECL_RE.search(code)
+        if m:
+            unordered_names.add(m.group(1))
+
+    for idx, code in enumerate(code_lines):
+        for rule, pat, msg in RULES:
+            if pat.search(code) and not allowed(lines, idx, rule):
+                print(f"{path}:{idx + 1}: [{rule}] {msg}")
+                findings += 1
+        m = RANGE_FOR_RE.search(code)
+        if m and m.group(1) in unordered_names:
+            if not allowed(lines, idx, "unordered-iteration"):
+                print(f"{path}:{idx + 1}: [unordered-iteration] "
+                      f"range-for over std::unordered container "
+                      f"'{m.group(1)}': iteration order is "
+                      f"implementation-defined")
+                findings += 1
+    return findings
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="determinism lint for jetsim src/")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script)")
+    ap.add_argument("paths", nargs="*",
+                    help="files/dirs to lint (default: <root>/src)")
+    args = ap.parse_args()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    targets = args.paths or [os.path.join(root, "src")]
+
+    files = []
+    for t in targets:
+        if os.path.isfile(t):
+            files.append(t)
+        else:
+            for dirpath, _, names in os.walk(t):
+                for n in sorted(names):
+                    if n.endswith((".cc", ".hh", ".cpp", ".hpp")):
+                        files.append(os.path.join(dirpath, n))
+    if not files:
+        print("detlint: no input files", file=sys.stderr)
+        return 2
+
+    total = sum(lint_file(f) for f in sorted(files))
+    if total:
+        print(f"detlint: {total} finding(s) in {len(files)} files")
+        return 1
+    print(f"detlint: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

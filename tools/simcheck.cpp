@@ -18,6 +18,11 @@
  *   simcheck --model=yolov8n --precision=int8 --procs=2 --runs=3
  *   simcheck --seeds=1,2,3        # distinct seeds must all differ? no:
  *                                 # each seed is replayed --runs times
+ *
+ * With --mc-replay=<file> it instead replays a jetmc counterexample:
+ * the embedded configuration and choice script are reconstructed and
+ * the recorded failure must reproduce exactly. This keeps the
+ * model-checker honest — a CE that does not replay is a jetmc bug.
  */
 
 #include <cctype>
@@ -32,6 +37,7 @@
 #include "core/profiler.hh"
 #include "core/runner.hh"
 #include "gpu/cost_model.hh"
+#include "mc/ce.hh"
 #include "models/zoo.hh"
 #include "sim/logging.hh"
 #include "trt/builder.hh"
@@ -137,6 +143,39 @@ planRoundTripCheck(const core::ExperimentSpec &spec)
     return ok;
 }
 
+/**
+ * Replay a jetmc counterexample file: reconstruct the model from the
+ * embedded config, run the recorded choice script and require the
+ * recorded failure kind to reproduce.
+ */
+int
+mcReplay(const std::string &path)
+{
+    mc::CounterExample ce;
+    std::string err;
+    if (!mc::readCe(path, ce, err)) {
+        std::fprintf(stderr, "simcheck: %s\n", err.c_str());
+        return 2;
+    }
+    std::printf("mc-replay: model %s, failure '%s', %zu choices\n",
+                ce.model.c_str(), ce.what.c_str(), ce.script.size());
+    if (!ce.detail.empty())
+        std::printf("mc-replay: recorded diagnosis: %s\n",
+                    ce.detail.c_str());
+    const std::string diag = mc::replayCe(ce);
+    if (!diag.empty()) {
+        std::fprintf(stderr,
+                     "simcheck: counterexample did NOT reproduce: "
+                     "%s\n",
+                     diag.c_str());
+        return 1;
+    }
+    std::printf("simcheck: counterexample reproduces the recorded "
+                "'%s' failure\n",
+                ce.what.c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -158,8 +197,14 @@ main(int argc, char **argv)
     args.add("threads", "0",
              "replay worker threads (0 = auto / JETSIM_THREADS); "
              "replays run through core::Runner either way");
+    args.add("mc-replay", "",
+             "replay a jetmc counterexample file and verify the "
+             "recorded failure reproduces");
     if (!args.parse(argc, argv))
         return 2;
+
+    if (!args.str("mc-replay").empty())
+        return mcReplay(args.str("mc-replay"));
 
     // Report-and-continue: this tool's job is to observe divergence,
     // not to abort on the first violation.
