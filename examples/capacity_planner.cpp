@@ -11,18 +11,38 @@
  * processes) offline and reports every feasible deployment plus the
  * one serving the most concurrent streams.
  *
- * Usage: capacity_planner [device] [model] [max_latency_ms]
+ * With --prescreen the jetbound abstract interpreter (src/absint)
+ * runs first on every cell: cells it PROVES infeasible (guaranteed
+ * OOM, latency lower bound above the SLO, or throughput upper bound
+ * below the floor) are pruned without simulating them. Pruning is
+ * sound — a pruned cell can never be feasible — so the recommended
+ * deployment is identical with and without it, and the surviving
+ * cells' results are bit-identical (checked via the golden digest
+ * printed at the end, and by tests/absint/prescreen_test.cc).
+ *
+ * Usage: capacity_planner [--prescreen] [--min-pruned=N]
+ *                         [device] [model] [max_latency_ms]
  *                         [min_stream_fps]
- *   e.g. capacity_planner orin-nano yolov8n 100 15
+ *   e.g. capacity_planner --prescreen nano fcn_resnet50 100 15
+ *
+ * Exit: 0 ok; 1 when --min-pruned=N was given and fewer than N
+ * cells were provably prunable (CI uses this as the effectiveness
+ * gate); 2 usage error.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <optional>
+#include <string>
+#include <vector>
 
+#include "absint/prescreen.hh"
+#include "core/digest.hh"
 #include "core/profiler.hh"
-#include "core/runner.hh"
+#include "core/sweep.hh"
 #include "prof/report.hh"
 
 using namespace jetsim;
@@ -36,85 +56,181 @@ struct Plan
     double latency_ms;  ///< per-batch completion time
 };
 
+/** FNV-1a fold of the unpruned cells' result digests, grid order. */
+std::uint64_t
+foldDigest(std::uint64_t acc, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        acc ^= (v >> (8 * i)) & 0xff;
+        acc *= 0x100000001b3ull;
+    }
+    return acc;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const std::string device = argc > 1 ? argv[1] : "orin-nano";
-    const std::string model = argc > 2 ? argv[2] : "yolov8n";
-    const double max_latency_ms = argc > 3 ? std::atof(argv[3]) : 100;
-    const double min_fps = argc > 4 ? std::atof(argv[4]) : 15;
+    bool prescreen = false;
+    int min_pruned = -1;
+    std::vector<std::string> pos;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--prescreen") {
+            prescreen = true;
+        } else if (a.rfind("--min-pruned=", 0) == 0) {
+            min_pruned = std::atoi(a.c_str() + 13);
+            prescreen = true; // the gate implies the screen
+        } else if (a.rfind("--", 0) == 0) {
+            std::fprintf(stderr,
+                         "capacity_planner: unknown flag %s\n"
+                         "usage: capacity_planner [--prescreen] "
+                         "[--min-pruned=N] [device] [model] "
+                         "[max_latency_ms] [min_stream_fps]\n",
+                         a.c_str());
+            return 2;
+        } else {
+            pos.push_back(a);
+        }
+    }
+    const std::string device = pos.size() > 0 ? pos[0] : "orin-nano";
+    const std::string model = pos.size() > 1 ? pos[1] : "yolov8n";
+    const double max_latency_ms =
+        pos.size() > 2 ? std::atof(pos[2].c_str()) : 100;
+    const double min_fps =
+        pos.size() > 3 ? std::atof(pos[3].c_str()) : 15;
 
     std::printf("capacity planning: %s on %s, latency <= %.0f ms, "
-                ">= %.0f fps per stream\n",
-                model.c_str(), device.c_str(), max_latency_ms,
-                min_fps);
+                ">= %.0f fps per stream%s\n",
+                model.c_str(), device.c_str(), max_latency_ms, min_fps,
+                prescreen ? " [static prescreen on]" : "");
+
+    const std::vector<int> batches = {1, 2, 4, 8};
+    const std::vector<int> procs_axis = {1, 2, 4, 8};
+    const absint::Slo slo{max_latency_ms, min_fps};
 
     prof::Table t({"precision", "batch", "procs", "fps/stream",
                    "latency (ms)", "power (W)", "mem (MiB)",
                    "feasible"});
     std::optional<Plan> best;
+    int pruned_total = 0, simulated_total = 0;
+    std::uint64_t golden = 0xcbf29ce484222325ull;
+    const auto t0 = std::chrono::steady_clock::now();
 
-    // The full offline sweep is embarrassingly parallel: build every
-    // (precision, batch, processes) cell up front and hand the list
-    // to the Runner. Results come back in submission order, so the
-    // table reads exactly as the old serial triple loop printed it.
-    std::vector<core::ExperimentSpec> specs;
+    // The grid stays embarrassingly parallel: per precision, the
+    // batch x processes plane goes through sweepGridScreened, which
+    // feeds surviving cells to the same Runner sweepGrid uses
+    // (JETSIM_THREADS / JETSIM_CACHE_DIR aware), so unpruned results
+    // are bit-identical to the unscreened sweep.
     for (auto prec : soc::kAllPrecisions) {
-        for (int batch : {1, 2, 4, 8}) {
-            for (int procs : {1, 2, 4, 8}) {
-                core::ExperimentSpec s;
-                s.device = device;
-                s.model = model;
-                s.precision = prec;
-                s.batch = batch;
-                s.processes = procs;
-                s.warmup = sim::msec(250);
-                s.duration = sim::msec(1500);
-                specs.push_back(s);
+        core::ExperimentSpec base;
+        base.device = device;
+        base.model = model;
+        base.precision = prec;
+        base.warmup = sim::msec(250);
+        base.duration = sim::msec(1500);
+
+        // Screen verdicts in grid order (keep() is called on the
+        // submitting thread, cell by cell, before any simulation).
+        std::vector<absint::ScreenResult> screens;
+        core::CellScreenFn keep;
+        if (prescreen)
+            keep = [&](const core::ExperimentSpec &s) {
+                screens.push_back(absint::screen(s, slo));
+                return screens.back().verdict !=
+                       absint::Verdict::ProvedInfeasible;
+            };
+        auto sweep = core::sweepGridScreened(
+            base, batches, procs_axis, keep,
+            [](const std::string &label) {
+                std::fprintf(stderr, "  evaluating %s\n",
+                             label.c_str());
+            });
+        pruned_total += sweep.pruned;
+        simulated_total += sweep.simulated;
+
+        std::size_t cell = 0;
+        for (int procs : procs_axis) {
+            for (int batch : batches) {
+                auto &slot = sweep.cells[cell];
+                const auto *sc =
+                    prescreen ? &screens[cell] : nullptr;
+                ++cell;
+                if (!slot.has_value()) { // statically pruned
+                    t.addRow({soc::name(prec), std::to_string(batch),
+                              std::to_string(procs), "-", "-", "-",
+                              "-", "pruned: " + sc->reason});
+                    continue;
+                }
+                auto &r = *slot;
+                golden = foldDigest(golden, core::resultDigest(r));
+                if (!r.all_deployed) {
+                    t.addRow({soc::name(prec), std::to_string(batch),
+                              std::to_string(procs), "-", "-", "-",
+                              "-", "OOM"});
+                    continue;
+                }
+                Plan p{std::move(r), 0, 0};
+                p.stream_fps = p.result.throughput_per_process;
+                p.latency_ms = p.result.mean.pipeline_ms;
+                const bool ok = p.latency_ms <= max_latency_ms &&
+                                p.stream_fps >= min_fps;
+                std::string verdict = ok ? "yes" : "no";
+                // Bound-vs-measured tightness: where the measured
+                // latency sits inside the static interval (0 % = at
+                // the lower bound, 100 % = at the upper bound).
+                if (sc && sc->bounds.ok &&
+                    !sc->bounds.procs.empty()) {
+                    const auto &iv =
+                        sc->bounds.procs.front().latency_ms;
+                    if (iv.width() > 0)
+                        verdict += " (lat " +
+                                   prof::fmt(100.0 *
+                                                 (p.latency_ms -
+                                                  iv.lo) /
+                                                 iv.width(),
+                                             0) +
+                                   "% of bound)";
+                }
+                t.addRow({soc::name(prec), std::to_string(batch),
+                          std::to_string(procs),
+                          prof::fmt(p.stream_fps, 1),
+                          prof::fmt(p.latency_ms, 1),
+                          prof::fmt(p.result.avg_power_w),
+                          prof::fmt(p.result.workload_mem_mb, 0),
+                          verdict});
+                if (ok &&
+                    (!best ||
+                     p.result.spec.processes >
+                         best->result.spec.processes ||
+                     (p.result.spec.processes ==
+                          best->result.spec.processes &&
+                      p.stream_fps > best->stream_fps)))
+                    best = std::move(p);
             }
         }
-    }
-    core::Runner runner; // JETSIM_THREADS / JETSIM_CACHE_DIR aware
-    auto results =
-        runner.run(specs, [](const std::string &label) {
-            std::fprintf(stderr, "  evaluating %s\n", label.c_str());
-        });
-
-    for (auto &r : results) {
-        const auto prec = r.spec.precision;
-        const int batch = r.spec.batch;
-        const int procs = r.spec.processes;
-        if (!r.all_deployed) {
-            t.addRow({soc::name(prec), std::to_string(batch),
-                      std::to_string(procs), "-", "-", "-", "-",
-                      "OOM"});
-            continue;
-        }
-        Plan p{std::move(r), 0, 0};
-        p.stream_fps = p.result.throughput_per_process;
-        p.latency_ms = p.result.mean.pipeline_ms;
-        const bool ok = p.latency_ms <= max_latency_ms &&
-                        p.stream_fps >= min_fps;
-        t.addRow({soc::name(prec), std::to_string(batch),
-                  std::to_string(procs),
-                  prof::fmt(p.stream_fps, 1),
-                  prof::fmt(p.latency_ms, 1),
-                  prof::fmt(p.result.avg_power_w),
-                  prof::fmt(p.result.workload_mem_mb, 0),
-                  ok ? "yes" : "no"});
-        if (ok &&
-            (!best ||
-             p.result.spec.processes > best->result.spec.processes ||
-             (p.result.spec.processes ==
-                  best->result.spec.processes &&
-              p.stream_fps > best->stream_fps)))
-            best = std::move(p);
     }
 
     prof::printHeading(std::cout, "Sweep");
     t.print(std::cout);
+
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    if (prescreen) {
+        const double per_cell =
+            simulated_total ? wall_s / simulated_total : 0;
+        std::printf("\nprescreen: pruned %d of %d cells statically; "
+                    "simulated %d in %.1f s (~%.1f s of simulation "
+                    "avoided)\n",
+                    pruned_total, pruned_total + simulated_total,
+                    simulated_total, wall_s,
+                    per_cell * pruned_total);
+    }
+    std::printf("unpruned golden digest: %016llx\n",
+                static_cast<unsigned long long>(golden));
 
     if (best) {
         const auto &s = best->result.spec;
@@ -129,6 +245,13 @@ main(int argc, char **argv)
                     "the cloud or add accelerators (see "
                     "edge_cloud_offload).\n",
                     device.c_str());
+    }
+    if (min_pruned >= 0 && pruned_total < min_pruned) {
+        std::fprintf(stderr,
+                     "capacity_planner: only %d cell(s) pruned, "
+                     "expected >= %d\n",
+                     pruned_total, min_pruned);
+        return 1;
     }
     return 0;
 }

@@ -1,0 +1,15 @@
+#include "absint/interval.hh"
+
+#include <cstdio>
+
+namespace jetsim::absint {
+
+std::string
+Interval::str() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[%.3f, %.3f]", lo, hi);
+    return buf;
+}
+
+} // namespace jetsim::absint

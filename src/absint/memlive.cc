@@ -1,0 +1,297 @@
+#include "absint/memlive.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace jetsim::absint {
+
+namespace {
+
+using Op = lint::StreamProgram::Op;
+
+/** Exact max-weight clique over <= kExactCliqueLimit vertices:
+ * branch and bound on a candidate bitmask with the remaining-weight
+ * prune. 2^24 worst case never materialises on conflict graphs this
+ * small, and the search is exact, which keeps both bounds tight. */
+class CliqueSolver
+{
+  public:
+    CliqueSolver(const std::vector<sim::Bytes> &w,
+                 const std::vector<std::uint32_t> &adj)
+        : w_(w), adj_(adj)
+    {
+    }
+
+    sim::Bytes
+    solve()
+    {
+        best_ = 0;
+        const auto all =
+            w_.size() == 32
+                ? ~std::uint32_t{0}
+                : ((std::uint32_t{1} << w_.size()) - 1);
+        expand(all, 0);
+        return best_;
+    }
+
+  private:
+    void
+    expand(std::uint32_t cand, sim::Bytes cur)
+    {
+        if (cur > best_)
+            best_ = cur;
+        if (!cand)
+            return;
+        sim::Bytes rest = 0;
+        for (std::uint32_t m = cand; m; m &= m - 1)
+            rest += w_[static_cast<std::size_t>(
+                __builtin_ctz(m))];
+        if (cur + rest <= best_)
+            return; // cannot beat the incumbent
+        const int v = __builtin_ctz(cand);
+        const auto bit = std::uint32_t{1} << v;
+        // Include v: candidates shrink to v's neighbours.
+        expand(cand & adj_[static_cast<std::size_t>(v)] & ~bit,
+               cur + w_[static_cast<std::size_t>(v)]);
+        // Exclude v.
+        expand(cand & ~bit, cur);
+    }
+
+    const std::vector<sim::Bytes> &w_;
+    const std::vector<std::uint32_t> &adj_;
+    sim::Bytes best_ = 0;
+};
+
+/** Greedy clique (heaviest-first) — sound lower-bound fallback when
+ * the graph is too large for the exact search. */
+sim::Bytes
+greedyClique(const std::vector<sim::Bytes> &w,
+             const std::vector<std::vector<bool>> &adj)
+{
+    std::vector<int> order(w.size());
+    for (std::size_t i = 0; i < w.size(); ++i)
+        order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return w[static_cast<std::size_t>(a)] >
+               w[static_cast<std::size_t>(b)];
+    });
+    std::vector<int> clique;
+    sim::Bytes total = 0;
+    for (const int v : order) {
+        bool ok = true;
+        for (const int u : clique)
+            ok &= adj[static_cast<std::size_t>(v)]
+                     [static_cast<std::size_t>(u)];
+        if (ok) {
+            clique.push_back(v);
+            total += w[static_cast<std::size_t>(v)];
+        }
+    }
+    return total;
+}
+
+} // namespace
+
+MemBounds
+memHighWater(const lint::StreamProgram &p)
+{
+    MemBounds out;
+    for (int b = 0; b < p.numBuffers(); ++b)
+        out.whole_sum += p.bufferBytes(b);
+
+    const auto &ops = p.ops();
+    const int n = static_cast<int>(ops.size());
+    const int ns = p.numStreams();
+
+    // --- Happens-before edges, exactly as lintHazards builds them:
+    // program order per stream plus record->wait (first record wins;
+    // same-stream record-before-wait is already program order).
+    std::vector<int> record_of;
+    for (int i = 0; i < n; ++i) {
+        const Op &op = ops[static_cast<std::size_t>(i)];
+        if (op.kind != Op::Kind::Record)
+            continue;
+        if (op.event >= static_cast<int>(record_of.size()))
+            record_of.resize(static_cast<std::size_t>(op.event) + 1,
+                             -1);
+        int &slot = record_of[static_cast<std::size_t>(op.event)];
+        if (slot < 0)
+            slot = i;
+    }
+    std::vector<std::vector<int>> succs(static_cast<std::size_t>(n));
+    std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+    auto addEdge = [&](int from, int to) {
+        succs[static_cast<std::size_t>(from)].push_back(to);
+        ++indeg[static_cast<std::size_t>(to)];
+    };
+    std::vector<int> prev_in_stream(static_cast<std::size_t>(ns), -1);
+    for (int i = 0; i < n; ++i) {
+        const Op &op = ops[static_cast<std::size_t>(i)];
+        int &prev =
+            prev_in_stream[static_cast<std::size_t>(op.stream)];
+        if (prev >= 0)
+            addEdge(prev, i);
+        prev = i;
+        if (op.kind == Op::Kind::Wait) {
+            const int rec =
+                op.event < static_cast<int>(record_of.size())
+                    ? record_of[static_cast<std::size_t>(op.event)]
+                    : -1;
+            if (rec >= 0 &&
+                (ops[static_cast<std::size_t>(rec)].stream !=
+                     op.stream ||
+                 rec > i))
+                addEdge(rec, i);
+        }
+    }
+
+    // --- Topological order (Kahn). A cycle means deadlock (H003):
+    // report the conservative envelope and let jetlint flag it.
+    std::vector<int> topo;
+    topo.reserve(static_cast<std::size_t>(n));
+    {
+        std::vector<int> q;
+        std::vector<int> deg = indeg;
+        for (int i = 0; i < n; ++i)
+            if (deg[static_cast<std::size_t>(i)] == 0)
+                q.push_back(i);
+        while (!q.empty()) {
+            const int i = q.back();
+            q.pop_back();
+            topo.push_back(i);
+            for (const int s : succs[static_cast<std::size_t>(i)])
+                if (--deg[static_cast<std::size_t>(s)] == 0)
+                    q.push_back(s);
+        }
+    }
+    if (static_cast<int>(topo.size()) != n) {
+        out.cyclic = true;
+        out.exact_hi = false;
+        out.peak_lo = 0; // nothing provably executes
+        out.peak_hi = out.whole_sum;
+        return out;
+    }
+
+    // --- Transitive descendants as op bitsets (reverse topo order).
+    const std::size_t words =
+        (static_cast<std::size_t>(n) + 63) / 64;
+    std::vector<std::vector<std::uint64_t>> desc(
+        static_cast<std::size_t>(n),
+        std::vector<std::uint64_t>(words, 0));
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const int i = *it;
+        auto &di = desc[static_cast<std::size_t>(i)];
+        for (const int s : succs[static_cast<std::size_t>(i)]) {
+            di[static_cast<std::size_t>(s) / 64] |=
+                std::uint64_t{1} << (static_cast<std::size_t>(s) % 64);
+            const auto &ds = desc[static_cast<std::size_t>(s)];
+            for (std::size_t w = 0; w < words; ++w)
+                di[w] |= ds[w];
+        }
+    }
+    auto hb = [&](int a, int b) {
+        return (desc[static_cast<std::size_t>(a)]
+                    [static_cast<std::size_t>(b) / 64] >>
+                (static_cast<std::size_t>(b) % 64)) &
+               1;
+    };
+
+    // --- Per-buffer access sets (launches only; a never-accessed
+    // buffer is never allocated and drops out of both cliques).
+    std::vector<std::vector<int>> acc(
+        static_cast<std::size_t>(p.numBuffers()));
+    for (int i = 0; i < n; ++i) {
+        const Op &op = ops[static_cast<std::size_t>(i)];
+        if (op.kind != Op::Kind::Launch)
+            continue;
+        for (const int b : op.reads)
+            acc[static_cast<std::size_t>(b)].push_back(i);
+        for (const int b : op.writes)
+            acc[static_cast<std::size_t>(b)].push_back(i);
+    }
+
+    std::vector<int> cand; // accessed buffers with nonzero weight
+    for (int b = 0; b < p.numBuffers(); ++b)
+        if (!acc[static_cast<std::size_t>(b)].empty() &&
+            p.bufferBytes(b) > 0)
+            cand.push_back(b);
+    const int m = static_cast<int>(cand.size());
+    if (m == 0)
+        return out; // peaks stay 0
+
+    auto allBefore = [&](int x, int y) {
+        for (const int a : acc[static_cast<std::size_t>(x)])
+            for (const int b : acc[static_cast<std::size_t>(y)])
+                if (!hb(a, b))
+                    return false;
+        return true;
+    };
+    auto someBefore = [&](int x, int y) {
+        for (const int a : acc[static_cast<std::size_t>(x)])
+            for (const int b : acc[static_cast<std::size_t>(y)])
+                if (hb(a, b))
+                    return true;
+        return false;
+    };
+    auto sharesOp = [&](int x, int y) {
+        for (const int a : acc[static_cast<std::size_t>(x)])
+            for (const int b : acc[static_cast<std::size_t>(y)])
+                if (a == b)
+                    return true;
+        return false;
+    };
+
+    std::vector<sim::Bytes> w(static_cast<std::size_t>(m));
+    std::vector<std::vector<bool>> may(
+        static_cast<std::size_t>(m),
+        std::vector<bool>(static_cast<std::size_t>(m), false));
+    std::vector<std::vector<bool>> must = may;
+    for (int i = 0; i < m; ++i)
+        w[static_cast<std::size_t>(i)] =
+            p.bufferBytes(cand[static_cast<std::size_t>(i)]);
+    for (int i = 0; i < m; ++i) {
+        for (int j = i + 1; j < m; ++j) {
+            const int x = cand[static_cast<std::size_t>(i)];
+            const int y = cand[static_cast<std::size_t>(j)];
+            const bool disjoint = allBefore(x, y) || allBefore(y, x);
+            const bool forced =
+                sharesOp(x, y) ||
+                (someBefore(x, y) && someBefore(y, x));
+            may[static_cast<std::size_t>(i)]
+               [static_cast<std::size_t>(j)] = !disjoint;
+            may[static_cast<std::size_t>(j)]
+               [static_cast<std::size_t>(i)] = !disjoint;
+            must[static_cast<std::size_t>(i)]
+                [static_cast<std::size_t>(j)] = forced;
+            must[static_cast<std::size_t>(j)]
+                [static_cast<std::size_t>(i)] = forced;
+        }
+    }
+
+    if (m <= kExactCliqueLimit) {
+        std::vector<std::uint32_t> may_adj(
+            static_cast<std::size_t>(m), 0);
+        std::vector<std::uint32_t> must_adj = may_adj;
+        for (int i = 0; i < m; ++i)
+            for (int j = 0; j < m; ++j) {
+                if (may[static_cast<std::size_t>(i)]
+                       [static_cast<std::size_t>(j)])
+                    may_adj[static_cast<std::size_t>(i)] |=
+                        std::uint32_t{1} << j;
+                if (must[static_cast<std::size_t>(i)]
+                        [static_cast<std::size_t>(j)])
+                    must_adj[static_cast<std::size_t>(i)] |=
+                        std::uint32_t{1} << j;
+            }
+        out.peak_hi = CliqueSolver(w, may_adj).solve();
+        out.peak_lo = CliqueSolver(w, must_adj).solve();
+    } else {
+        out.exact_hi = false;
+        out.peak_hi = out.whole_sum;
+        out.peak_lo = greedyClique(w, must);
+    }
+    return out;
+}
+
+} // namespace jetsim::absint

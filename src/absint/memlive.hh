@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Buffer-liveness memory high-water analysis over stream programs.
+ *
+ * jetlint's D001 bounds a deployment's footprint by the *sum* of all
+ * allocations — sound, but ignores that buffers with provably
+ * disjoint lifetimes never coexist. This analysis tightens that to an
+ * interval on the peak resident bytes, using the same happens-before
+ * structure the hazard detector builds (program order per stream +
+ * record->wait edges):
+ *
+ *  - A buffer is live from its first access to its last access (a
+ *    never-accessed buffer is never allocated).
+ *  - Two buffers MAY overlap unless every access of one happens
+ *    before every access of the other — then some legal schedule has
+ *    them resident together, and the peak can reach the heaviest
+ *    may-overlap clique (upper bound).
+ *  - Two buffers MUST overlap when each has an access ordered before
+ *    some access of the other (or they share an access): then their
+ *    live ranges intersect in *every* schedule. Live ranges are
+ *    intervals on the timeline, and pairwise-intersecting intervals
+ *    share a common instant (Helly's theorem in one dimension), so
+ *    the heaviest must-overlap clique is a peak every schedule
+ *    reaches (lower bound).
+ *
+ * Clique weights are solved exactly (branch and bound) up to
+ * kExactCliqueLimit buffers; beyond that the upper bound falls back
+ * to the whole-program sum (= D001) and the lower bound to a greedy
+ * clique — both still sound, just looser.
+ */
+
+#ifndef JETSIM_ABSINT_MEMLIVE_HH
+#define JETSIM_ABSINT_MEMLIVE_HH
+
+#include "lint/hazard_lint.hh"
+#include "sim/types.hh"
+
+namespace jetsim::absint {
+
+/** Largest buffer count solved with the exact clique search. */
+inline constexpr int kExactCliqueLimit = 24;
+
+/** Result of the liveness analysis. */
+struct MemBounds
+{
+    /** Every schedule's peak is at least this (must-overlap clique). */
+    sim::Bytes peak_lo = 0;
+    /** No schedule's peak exceeds this (may-overlap clique). */
+    sim::Bytes peak_hi = 0;
+    /** The whole-program sum, i.e. jetlint D001's bound. */
+    sim::Bytes whole_sum = 0;
+    /** False when peak_hi fell back to whole_sum (too many buffers
+     * or a cyclic program). */
+    bool exact_hi = true;
+    /** The happens-before graph had a cycle (H003 deadlock): both
+     * bounds degrade to the conservative envelope. */
+    bool cyclic = false;
+};
+
+/** Analyze @p p. Buffer sizes come from StreamProgram::buffer()'s
+ * bytes argument; zero-byte buffers contribute nothing. */
+MemBounds memHighWater(const lint::StreamProgram &p);
+
+} // namespace jetsim::absint
+
+#endif // JETSIM_ABSINT_MEMLIVE_HH

@@ -50,8 +50,8 @@ Reporter::Reporter()
 {
     // Read once at construction, never per-check: the mode is
     // ambient config, not simulation state.
-    if (const char *env = // detlint: allow(getenv)
-            std::getenv("JETSIM_CHECK_MODE")) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) detlint: allow(getenv)
+    if (const char *env = std::getenv("JETSIM_CHECK_MODE")) {
         if (std::strcmp(env, "log") == 0)
             mode_ = Mode::Log;
         else if (std::strcmp(env, "count") == 0)

@@ -115,7 +115,8 @@ std::string
 envCacheDir()
 {
     // Ambient config read at Runner construction; never on a
-    // simulation path. detlint: allow(getenv)
+    // simulation path, and before any worker spawns.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) detlint: allow(getenv)
     const char *dir = std::getenv("JETSIM_CACHE_DIR");
     return dir && *dir ? dir : "";
 }
@@ -127,8 +128,9 @@ Runner::resolveThreads(int requested)
 {
     if (requested > 0)
         return requested;
-    // Worker-count config, resolved once per Runner; thread
-    // count never affects results. detlint: allow(getenv)
+    // Worker-count config, resolved once per Runner before any
+    // worker spawns; thread count never affects results.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) detlint: allow(getenv)
     if (const char *env = std::getenv("JETSIM_THREADS")) {
         const int v = std::atoi(env);
         if (v > 0)

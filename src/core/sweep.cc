@@ -57,4 +57,36 @@ sweepGrid(ExperimentSpec base, const std::vector<int> &batches,
     return runSpecs(specs, progress);
 }
 
+ScreenedSweep
+sweepGridScreened(ExperimentSpec base, const std::vector<int> &batches,
+                  const std::vector<int> &processes,
+                  const CellScreenFn &keep, const ProgressFn &progress)
+{
+    ScreenedSweep out;
+    std::vector<ExperimentSpec> specs; // surviving cells, grid order
+    std::vector<std::size_t> where;    // their grid positions
+    std::size_t pos = 0;
+    for (const int p : processes) {
+        base.processes = p;
+        for (const int b : batches) {
+            base.batch = b;
+            out.cells.emplace_back(std::nullopt);
+            if (!keep || keep(base)) {
+                specs.push_back(base);
+                where.push_back(pos);
+            } else {
+                ++out.pruned;
+                if (progress)
+                    progress("pruned " + base.label());
+            }
+            ++pos;
+        }
+    }
+    auto results = runSpecs(specs, progress);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        out.cells[where[i]] = std::move(results[i]);
+    out.simulated = static_cast<int>(specs.size());
+    return out;
+}
+
 } // namespace jetsim::core

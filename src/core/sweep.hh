@@ -14,6 +14,8 @@
 #ifndef JETSIM_CORE_SWEEP_HH
 #define JETSIM_CORE_SWEEP_HH
 
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/runner.hh"
@@ -36,6 +38,34 @@ std::vector<ExperimentResult>
 sweepGrid(ExperimentSpec base, const std::vector<int> &batches,
           const std::vector<int> &processes,
           const ProgressFn &progress = nullptr);
+
+/**
+ * Cell pre-screen: return false to prune the cell (skip its
+ * simulation). core stays analyzer-agnostic — src/absint supplies
+ * the sound implementation (prescreen.hh), tests may stub it.
+ */
+using CellScreenFn = std::function<bool(const ExperimentSpec &)>;
+
+/** A grid run where some cells were statically pruned. */
+struct ScreenedSweep
+{
+    /** Grid order; nullopt for pruned cells. */
+    std::vector<std::optional<ExperimentResult>> cells;
+    int simulated = 0;
+    int pruned = 0;
+};
+
+/**
+ * sweepGrid with a pre-screen: cells where @p keep returns false are
+ * never simulated. Cells that do run are submitted in grid order to
+ * the same Runner as sweepGrid, so their results are bit-identical
+ * to an unscreened sweep (each cell's simulation is hermetic).
+ */
+ScreenedSweep
+sweepGridScreened(ExperimentSpec base, const std::vector<int> &batches,
+                  const std::vector<int> &processes,
+                  const CellScreenFn &keep,
+                  const ProgressFn &progress = nullptr);
 
 } // namespace jetsim::core
 

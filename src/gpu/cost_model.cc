@@ -18,7 +18,7 @@ constexpr const char *kComponent = "gpu.cost";
  * input (zero rate or bandwidth would otherwise yield inf, and
  * casting a non-finite double to an integer is UB).
  */
-constexpr double kMaxBodyNs = 3.6e12;
+constexpr double kMaxBodyNs = KernelCostModel::kMaxBodyNsCap;
 
 } // namespace
 
@@ -125,7 +125,8 @@ KernelCostModel::timing(const KernelDesc &k, double freq_frac,
     body_ns = std::max(
         body_ns, static_cast<double>(g.min_kernel_latency) / freq_frac);
     if (rng)
-        body_ns *= std::max(0.5, rng->lognormal(1.0, 0.05));
+        body_ns *= std::clamp(rng->lognormal(1.0, 0.05), kJitterLo,
+                              kJitterHi);
     body_ns = std::min(body_ns, kMaxBodyNs);
 
     KernelTiming t;

@@ -21,7 +21,7 @@ GpuEngine::GpuEngine(soc::Board &board)
 int
 GpuEngine::createChannel(const std::string &name)
 {
-    channels_.push_back(Channel{name, {}, false, true});
+    channels_.push_back(Channel{name, {}, false, true, 0});
     return static_cast<int>(channels_.size()) - 1;
 }
 
@@ -63,6 +63,7 @@ GpuEngine::submit(int channel, const KernelDesc *k, Callback done)
         return; // drop: the owning stream no longer exists
     }
     ch.queue.push_back(Queued{k, std::move(done), eq_.now()});
+    ch.peak_depth = std::max(ch.peak_depth, channelDepth(channel));
 
     if (spatial_) {
         if (!ch.executing)
@@ -84,6 +85,14 @@ GpuEngine::channelDepth(int channel) const
         ++depth;
     }
     return depth;
+}
+
+std::size_t
+GpuEngine::peakChannelDepth(int channel) const
+{
+    JETSIM_ASSERT(channel >= 0 &&
+                  channel < static_cast<int>(channels_.size()));
+    return channels_[channel].peak_depth;
 }
 
 void

@@ -69,6 +69,13 @@ class GpuEngine
     /** Kernels queued or executing on @p channel. */
     std::size_t channelDepth(int channel) const;
 
+    /**
+     * Highest channelDepth() ever observed on @p channel. The static
+     * queue-depth bound in src/absint ((1 + pre_enqueue) x kernels
+     * per EC for trtexec-style processes) is checked against this.
+     */
+    std::size_t peakChannelDepth(int channel) const;
+
     /** Switch between time-multiplexed (default) and spatial mode. */
     void setSpatialSharing(bool on);
 
@@ -113,6 +120,7 @@ class GpuEngine
         std::deque<Queued> queue;
         bool executing = false; // spatial mode only
         bool alive = true;      // owning stream exists
+        std::size_t peak_depth = 0;
     };
 
     /** One in-flight kernel under spatial sharing. */

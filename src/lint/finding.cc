@@ -111,7 +111,8 @@ std::string
 Report::json() const
 {
     std::ostringstream os;
-    os << "{\"findings\":[";
+    os << "{\"schema_version\":" << kJsonSchemaVersion
+       << ",\"findings\":[";
     bool first = true;
     for (const auto &f : findings_) {
         if (!first)

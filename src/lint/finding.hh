@@ -22,6 +22,13 @@
 
 namespace jetsim::lint {
 
+/**
+ * Version of the machine-readable JSON emitted by the static tools
+ * (jetlint Report::json() and the jetbound CLI share it). Bump when
+ * a field is renamed or removed; adding fields is compatible.
+ */
+inline constexpr int kJsonSchemaVersion = 1;
+
 /** One diagnostic produced by a lint pass. */
 struct Finding
 {

@@ -53,9 +53,10 @@ StreamProgram::stream(const std::string &name)
 }
 
 int
-StreamProgram::buffer(const std::string &name)
+StreamProgram::buffer(const std::string &name, sim::Bytes bytes)
 {
     buffers_.push_back(name);
+    buffer_bytes_.push_back(bytes);
     return static_cast<int>(buffers_.size()) - 1;
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "lint/finding.hh"
+#include "sim/types.hh"
 
 namespace jetsim::lint {
 
@@ -37,8 +38,12 @@ class StreamProgram
     /** Declare a stream; returns its id. */
     int stream(const std::string &name);
 
-    /** Declare a device buffer; returns its id. */
-    int buffer(const std::string &name);
+    /**
+     * Declare a device buffer; returns its id. @p bytes sizes the
+     * allocation for the memory high-water analysis (src/absint);
+     * 0 (the hazard-only default) means "size unknown".
+     */
+    int buffer(const std::string &name, sim::Bytes bytes = 0);
 
     /** Declare an event; returns its id. */
     int event(const std::string &name);
@@ -73,12 +78,15 @@ class StreamProgram
     int numStreams() const { return static_cast<int>(streams_.size()); }
     const std::string &streamName(int id) const { return streams_[static_cast<std::size_t>(id)]; }
     const std::string &bufferName(int id) const { return buffers_[static_cast<std::size_t>(id)]; }
+    sim::Bytes bufferBytes(int id) const { return buffer_bytes_[static_cast<std::size_t>(id)]; }
+    int numBuffers() const { return static_cast<int>(buffers_.size()); }
     const std::string &eventName(int id) const { return events_[static_cast<std::size_t>(id)]; }
     /** @} */
 
   private:
     std::vector<std::string> streams_;
     std::vector<std::string> buffers_;
+    std::vector<sim::Bytes> buffer_bytes_;
     std::vector<std::string> events_;
     std::vector<Op> ops_;
 };

@@ -116,6 +116,15 @@ Rng::lognormal(double mean, double cv)
     return std::exp(mu + std::sqrt(sigma2) * normal());
 }
 
+double
+Rng::lognormalBounded(double mean, double cv)
+{
+    const double v = lognormal(mean, cv);
+    const double lo = mean / kLognormalEnvelope;
+    const double hi = mean * kLognormalEnvelope;
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
 bool
 Rng::chance(double p)
 {

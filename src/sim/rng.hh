@@ -17,6 +17,18 @@
 namespace jetsim::sim {
 
 /**
+ * Envelope for bounded lognormal jitter draws: lognormalBounded()
+ * never returns outside [mean / kLognormalEnvelope,
+ * mean * kLognormalEnvelope]. The clamp binds with probability
+ * < 1e-9 per draw at the coefficients of variation the simulator
+ * uses (cv <= 0.35), so sampled behaviour is unchanged in practice —
+ * but it turns the distribution's unbounded tail into a *proven*
+ * envelope the static bound analyzer (src/absint) builds sound
+ * worst-case latencies from.
+ */
+inline constexpr double kLognormalEnvelope = 8.0;
+
+/**
  * Deterministic pseudo-random generator (xoshiro256**).
  *
  * Cheap to copy; each component typically owns a fork()ed child so
@@ -52,6 +64,13 @@ class Rng
      * natural parameterisation for latency jitter.
      */
     double lognormal(double mean, double cv);
+
+    /**
+     * lognormal() clamped to the kLognormalEnvelope band around the
+     * mean. All latency-jitter draws in the simulator use this form
+     * so worst cases are boundable (see src/absint).
+     */
+    double lognormalBounded(double mean, double cv);
 
     /** Bernoulli trial with probability p of true. */
     bool chance(double p);

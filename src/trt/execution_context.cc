@@ -50,8 +50,10 @@ ExecutionContext::launchNext(const std::shared_ptr<Pending> &p,
     const double mean =
         static_cast<double>(board_.spec().runtime.launch_cpu_cost) *
         board_.launchOverheadFactor();
+    // Bounded draw (sim::kLognormalEnvelope): launch-API worst cases
+    // are provable, not just unlikely (src/absint).
     const auto cost =
-        static_cast<sim::Tick>(rng_.lognormal(mean, 0.35));
+        static_cast<sim::Tick>(rng_.lognormalBounded(mean, 0.35));
     thread_.exec(cost, [this, p, i, t0] {
         stream_.launch(&engine_.kernels()[i]);
         p->rec.launch_api_total += board_.eq().now() - t0;

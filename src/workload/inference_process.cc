@@ -65,8 +65,10 @@ InferenceProcess::prepAndEnqueue()
 {
     if (stopped_ || launchBoundReached())
         return;
-    const auto prep = static_cast<sim::Tick>(
-        rng_.lognormal(static_cast<double>(cfg_.prep_cost), 0.3));
+    // Bounded draw: prep stays within the sim::kLognormalEnvelope
+    // band, which is what src/absint's CPU-side upper bounds assume.
+    const auto prep = static_cast<sim::Tick>(rng_.lognormalBounded(
+        static_cast<double>(cfg_.prep_cost), 0.3));
     thread_->exec(prep, [this] { enqueueOne(); });
 }
 

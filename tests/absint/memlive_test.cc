@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Buffer-liveness memory bound tests: the interval must tighten
+ * jetlint's whole-sum D001 exactly when lifetimes are provably
+ * disjoint, stay equal to it when everything must coexist, and
+ * degrade soundly (never invert) on cycles and large programs.
+ */
+
+#include "absint/memlive.hh"
+
+#include <gtest/gtest.h>
+
+namespace jetsim::absint {
+namespace {
+
+constexpr sim::Bytes kMiB = 1024 * 1024;
+
+TEST(MemLive, EmptyProgramHasZeroBounds)
+{
+    lint::StreamProgram p;
+    const auto b = memHighWater(p);
+    EXPECT_EQ(b.peak_lo, 0u);
+    EXPECT_EQ(b.peak_hi, 0u);
+    EXPECT_EQ(b.whole_sum, 0u);
+    EXPECT_TRUE(b.exact_hi);
+    EXPECT_FALSE(b.cyclic);
+}
+
+TEST(MemLive, SyncOnlyProgramAllocatesNothing)
+{
+    lint::StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int s1 = p.stream("s1");
+    const int ev = p.event("e");
+    p.record(s0, ev);
+    p.wait(s1, ev);
+    const auto b = memHighWater(p);
+    EXPECT_EQ(b.peak_lo, 0u);
+    EXPECT_EQ(b.peak_hi, 0u);
+}
+
+TEST(MemLive, UnaccessedBufferCountsOnlyTowardWholeSum)
+{
+    lint::StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int a = p.buffer("a", 10 * kMiB);
+    p.buffer("never-touched", 90 * kMiB);
+    p.launch(s0, "k", {}, {a});
+    const auto b = memHighWater(p);
+    EXPECT_EQ(b.peak_lo, 10 * kMiB);
+    EXPECT_EQ(b.peak_hi, 10 * kMiB);
+    EXPECT_EQ(b.whole_sum, 100 * kMiB); // D001 still sums everything
+}
+
+TEST(MemLive, SequentialLifetimesTightenTheWholeSum)
+{
+    // Same stream, so program order proves a and b never coexist:
+    // the peak is the heavier one, strictly below D001's sum.
+    lint::StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int a = p.buffer("a", 30 * kMiB);
+    const int b_ = p.buffer("b", 50 * kMiB);
+    p.launch(s0, "phase1", {}, {a});
+    p.launch(s0, "phase2", {}, {b_});
+    const auto b = memHighWater(p);
+    EXPECT_EQ(b.peak_hi, 50 * kMiB);
+    EXPECT_EQ(b.peak_lo, 50 * kMiB);
+    EXPECT_LT(b.peak_hi, b.whole_sum);
+    EXPECT_TRUE(b.exact_hi);
+}
+
+TEST(MemLive, RecordWaitEdgeAlsoSeparatesLifetimes)
+{
+    lint::StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int s1 = p.stream("s1");
+    const int ev = p.event("done");
+    const int a = p.buffer("a", 40 * kMiB);
+    const int b_ = p.buffer("b", 8 * kMiB);
+    p.launch(s0, "producer", {}, {a});
+    p.record(s0, ev);
+    p.wait(s1, ev);
+    p.launch(s1, "consumer", {}, {b_});
+    const auto b = memHighWater(p);
+    EXPECT_EQ(b.peak_hi, 40 * kMiB); // cross-stream HB still disjoint
+    EXPECT_EQ(b.peak_lo, 40 * kMiB);
+}
+
+TEST(MemLive, UnorderedStreamsMayButNeedNotOverlap)
+{
+    // No sync between the streams: some schedule co-allocates both
+    // (upper = sum), but a serial schedule does not (lower = max).
+    lint::StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int s1 = p.stream("s1");
+    const int a = p.buffer("a", 30 * kMiB);
+    const int b_ = p.buffer("b", 50 * kMiB);
+    p.launch(s0, "left", {}, {a});
+    p.launch(s1, "right", {}, {b_});
+    const auto b = memHighWater(p);
+    EXPECT_EQ(b.peak_hi, 80 * kMiB);
+    EXPECT_EQ(b.peak_lo, 50 * kMiB);
+}
+
+TEST(MemLive, SharedAccessForcesCoResidency)
+{
+    // One kernel touching both buffers pins them live together in
+    // every schedule: the lower bound reaches the sum.
+    lint::StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int a = p.buffer("in", 30 * kMiB);
+    const int b_ = p.buffer("out", 50 * kMiB);
+    p.launch(s0, "k", {a}, {b_});
+    const auto b = memHighWater(p);
+    EXPECT_EQ(b.peak_lo, 80 * kMiB);
+    EXPECT_EQ(b.peak_hi, 80 * kMiB);
+}
+
+TEST(MemLive, InterlockedAccessesMustOverlap)
+{
+    // a is accessed before and after an access of b (program order),
+    // so their live ranges intersect in every schedule even though
+    // no single op touches both.
+    lint::StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int a = p.buffer("a", 30 * kMiB);
+    const int b_ = p.buffer("b", 50 * kMiB);
+    p.launch(s0, "first", {}, {a});
+    p.launch(s0, "middle", {}, {b_});
+    p.launch(s0, "last", {a}, {});
+    const auto b = memHighWater(p);
+    EXPECT_EQ(b.peak_lo, 80 * kMiB);
+    EXPECT_EQ(b.peak_hi, 80 * kMiB);
+}
+
+TEST(MemLive, DeadlockCycleDegradesToWholeSum)
+{
+    // H003 wait-cycle: no consistent order exists, so the analysis
+    // refuses to tighten anything.
+    lint::StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int s1 = p.stream("s1");
+    const int e0 = p.event("e0");
+    const int e1 = p.event("e1");
+    const int a = p.buffer("a", 30 * kMiB);
+    p.launch(s0, "k", {}, {a});
+    p.wait(s0, e1);
+    p.record(s0, e0);
+    p.wait(s1, e0);
+    p.record(s1, e1);
+    const auto b = memHighWater(p);
+    EXPECT_TRUE(b.cyclic);
+    EXPECT_FALSE(b.exact_hi);
+    EXPECT_EQ(b.peak_lo, 0u);
+    EXPECT_EQ(b.peak_hi, b.whole_sum);
+}
+
+TEST(MemLive, LargeProgramFallbackStaysSound)
+{
+    // Above kExactCliqueLimit buffers the upper bound falls back to
+    // the whole sum and the lower bound goes greedy — both must keep
+    // lo <= hi <= sum.
+    lint::StreamProgram p;
+    const int s0 = p.stream("s0");
+    for (int i = 0; i < kExactCliqueLimit + 6; ++i) {
+        const int buf =
+            p.buffer("b" + std::to_string(i), (i + 1) * kMiB);
+        p.launch(s0, "k" + std::to_string(i), {}, {buf});
+    }
+    const auto b = memHighWater(p);
+    EXPECT_FALSE(b.exact_hi);
+    EXPECT_EQ(b.peak_hi, b.whole_sum);
+    EXPECT_GE(b.peak_lo,
+              static_cast<sim::Bytes>(kExactCliqueLimit + 6) * kMiB);
+    EXPECT_LE(b.peak_lo, b.peak_hi);
+}
+
+} // namespace
+} // namespace jetsim::absint

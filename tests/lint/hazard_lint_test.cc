@@ -152,5 +152,113 @@ TEST(HazardLint, TransitiveSynchronizationCarriesAcrossStreams)
     EXPECT_TRUE(rep.findings().empty()) << rep.text();
 }
 
+// ---- conflictingStreamPairs: the dependence relation jetmc's DPOR
+// and jetbound's serialization allowance are built on ----------------
+
+TEST(HazardLint, EmptyProgramHasNoConflictingPairs)
+{
+    StreamProgram p;
+    EXPECT_TRUE(conflictingStreamPairs(p).empty());
+    p.stream("s0");
+    p.stream("s1");
+    EXPECT_TRUE(conflictingStreamPairs(p).empty());
+}
+
+TEST(HazardLint, SyncEdgeOnlyStreamsAreIndependent)
+{
+    // record/wait edges alone carry no data: streams that touch no
+    // common buffer commute even when explicitly ordered.
+    StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int s1 = p.stream("s1");
+    const int a = p.buffer("a");
+    const int b = p.buffer("b");
+    const int ev = p.event("e");
+    p.launch(s0, "left", {}, {a});
+    p.record(s0, ev);
+    p.wait(s1, ev);
+    p.launch(s1, "right", {}, {b});
+    EXPECT_TRUE(conflictingStreamPairs(p).empty());
+}
+
+TEST(HazardLint, SynchronizedConflictIsStillReported)
+{
+    // The relation is *potential* dependence: a record/wait edge
+    // ordering the conflict must not hide it (the checker, not the
+    // lint, decides whether the order is enforced everywhere).
+    StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int s1 = p.stream("s1");
+    const int buf = p.buffer("shared");
+    const int ev = p.event("e");
+    p.launch(s0, "producer", {}, {buf});
+    p.record(s0, ev);
+    p.wait(s1, ev);
+    p.launch(s1, "consumer", {buf}, {});
+    const auto pairs = conflictingStreamPairs(p);
+    ASSERT_EQ(pairs.size(), 1u);
+    EXPECT_EQ(pairs[0], std::make_pair(s0, s1));
+}
+
+TEST(HazardLint, SelfConflictDoesNotPairAStreamWithItself)
+{
+    // WAW inside one stream is FIFO-ordered by definition; the
+    // relation only ever contains cross-stream pairs with a < b.
+    StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int buf = p.buffer("reused");
+    p.launch(s0, "first", {}, {buf});
+    p.launch(s0, "second", {buf}, {buf});
+    EXPECT_TRUE(conflictingStreamPairs(p).empty());
+}
+
+TEST(HazardLint, ReadOnlySharingIsNotAConflict)
+{
+    StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int s1 = p.stream("s1");
+    const int w = p.buffer("weights");
+    p.launch(s0, "infer0", {w}, {});
+    p.launch(s1, "infer1", {w}, {});
+    EXPECT_TRUE(conflictingStreamPairs(p).empty());
+    // ... until someone writes the shared buffer.
+    p.launch(s1, "update", {}, {w});
+    EXPECT_EQ(conflictingStreamPairs(p).size(), 1u);
+}
+
+TEST(HazardLint, PairsAreDeduplicatedAndOrdered)
+{
+    // Many conflicting accesses between the same two streams yield
+    // one pair, and pairs come out sorted with first < second.
+    StreamProgram p;
+    const int s0 = p.stream("s0");
+    const int s1 = p.stream("s1");
+    const int s2 = p.stream("s2");
+    const int a = p.buffer("a");
+    const int b = p.buffer("b");
+    p.launch(s1, "w1", {}, {a});
+    p.launch(s1, "w1b", {}, {b});
+    p.launch(s0, "w0", {}, {a});
+    p.launch(s0, "w0b", {}, {b});
+    p.launch(s2, "w2", {}, {b});
+    const auto pairs = conflictingStreamPairs(p);
+    ASSERT_EQ(pairs.size(), 3u);
+    EXPECT_EQ(pairs[0], std::make_pair(s0, s1));
+    EXPECT_EQ(pairs[1], std::make_pair(s0, s2));
+    EXPECT_EQ(pairs[2], std::make_pair(s1, s2));
+}
+
+TEST(HazardLint, BufferBytesDefaultToZeroAndAreRetrievable)
+{
+    // The sized-buffer overload feeds the liveness memory analysis
+    // (src/absint/memlive); unsized declarations stay weightless.
+    StreamProgram p;
+    const int a = p.buffer("plain");
+    const int b = p.buffer("sized", 64 * 1024 * 1024);
+    EXPECT_EQ(p.bufferBytes(a), 0u);
+    EXPECT_EQ(p.bufferBytes(b), 64u * 1024 * 1024);
+    EXPECT_EQ(p.numBuffers(), 2);
+}
+
 } // namespace
 } // namespace jetsim::lint

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Self-test for tools/detlint.py.
+
+Feeds synthetic C++ files through the linter and checks each rule
+fires (and stays quiet) where it should: wall-clock, rand, getenv,
+sleep, unordered-iteration, allow() suppressions, comment/string
+stripping, and the --json contract (schema_version 1, stable finding
+fields, exit codes).
+
+Run directly or via ctest (registered in tests/CMakeLists.txt).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+DETLINT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       os.pardir, os.pardir, "tools", "detlint.py")
+
+
+def run_lint(source, extra_args=None):
+    """Lint one synthetic file; returns (exit_code, stdout)."""
+    with tempfile.TemporaryDirectory() as td:
+        path = os.path.join(td, "probe.cc")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(source)
+        proc = subprocess.run(
+            [sys.executable, DETLINT] + (extra_args or []) + [path],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout
+
+
+class DetlintRules(unittest.TestCase):
+    def assert_rule(self, source, rule):
+        code, out = run_lint(source)
+        self.assertEqual(code, 1, out)
+        self.assertIn(f"[{rule}]", out)
+
+    def assert_clean(self, source):
+        code, out = run_lint(source)
+        self.assertEqual(code, 0, out)
+
+    def test_wall_clock_fires(self):
+        self.assert_rule("auto t = std::chrono::steady_clock::now();",
+                         "wall-clock")
+        self.assert_rule("gettimeofday(&tv, nullptr);", "wall-clock")
+
+    def test_sleep_fires(self):
+        self.assert_rule(
+            "std::this_thread::sleep_for(std::chrono::seconds(1));",
+            "sleep")
+        self.assert_rule("usleep(100);", "sleep")
+        self.assert_rule("nanosleep(&ts, nullptr);", "sleep")
+
+    def test_sleep_requires_the_call(self):
+        # Identifiers merely containing the words stay legal.
+        self.assert_clean("int sleep_for_budget = 3;\n"
+                          "void do_not_usleep_here();\n")
+
+    def test_rand_fires(self):
+        self.assert_rule("int x = rand();", "rand")
+        self.assert_rule("std::random_device rd;", "rand")
+
+    def test_getenv_fires(self):
+        self.assert_rule('const char *v = std::getenv("HOME");',
+                         "getenv")
+
+    def test_unordered_iteration_fires(self):
+        src = ("std::unordered_map<int, int> m;\n"
+               "void f() { for (const auto &kv : m) { use(kv); } }\n")
+        self.assert_rule(src, "unordered-iteration")
+
+    def test_lookups_into_unordered_are_fine(self):
+        self.assert_clean("std::unordered_map<int, int> m;\n"
+                          "int g() { return m.at(3); }\n")
+
+    def test_allow_suppresses(self):
+        self.assert_clean(
+            "// detlint: allow(sleep) host-side tool, real wait ok\n"
+            "usleep(100);\n")
+
+    def test_comments_and_strings_are_stripped(self):
+        self.assert_clean('// usleep(100) in a comment\n'
+                          '/* std::this_thread::sleep_for(x) */\n'
+                          'const char *s = "rand() inside a string";\n')
+
+    def test_json_contract(self):
+        code, out = run_lint("usleep(5);\nint ok;\n",
+                             extra_args=["--json"])
+        self.assertEqual(code, 1)
+        doc = json.loads(out)
+        self.assertEqual(doc["schema_version"], 1)
+        self.assertEqual(doc["tool"], "detlint")
+        self.assertEqual(doc["files"], 1)
+        self.assertEqual(len(doc["findings"]), 1)
+        f = doc["findings"][0]
+        self.assertEqual(f["line"], 1)
+        self.assertEqual(f["rule"], "sleep")
+        self.assertTrue(f["path"].endswith("probe.cc"))
+        self.assertIn("delay", f["message"])
+
+    def test_json_clean_is_empty_and_zero(self):
+        code, out = run_lint("int x = 1;\n", extra_args=["--json"])
+        self.assertEqual(code, 0)
+        doc = json.loads(out)
+        self.assertEqual(doc["findings"], [])
+
+    def test_repo_src_is_clean(self):
+        # The tree itself must satisfy its own invariant.
+        proc = subprocess.run([sys.executable, DETLINT],
+                              capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

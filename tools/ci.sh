@@ -25,6 +25,14 @@
 # depth bound, with the DPOR reduction required to earn its keep
 # (>= 10x fewer runs than the naive DFS on the 3-process config).
 #
+# Pass 1e is the static-bound soundness gate (jetbound): the zoo is
+# simulated with --compare-sim and every measurement must land
+# inside its statically derived interval (exit 1 on any violation);
+# the proven-OOM cell must agree with the simulator; the capacity
+# planner's prescreen must prune at least one cell of the shipped
+# acceptance grid; and README's rule table must mention every rule
+# ID that jetlint --list-rules emits.
+#
 # Usage: tools/ci.sh [--tsan] [--skip-plain] [--skip-sanitized]
 #                    [--skip-tidy]
 #
@@ -107,6 +115,32 @@ if [ "$run_plain" = 1 ]; then
     "$jetmc" --device=nano --model=yolov8n --procs=3 \
         --max-ecs=2 --depth=20 --min-reduction=10 \
         --ce-dir="$ce_dir" | tail -2
+    banner "pass 1e: static-bound soundness (jetbound)"
+    jetbound="$repo/build-ci/plain/tools/jetbound"
+    # Hard soundness gate: simulate the zoo and require every
+    # measurement inside its static interval (exit 1 otherwise).
+    "$jetbound" --zoo --device=orin-nano --procs=3 \
+        --compare-sim | tail -1
+    # The cell the paper's Nano reboot anecdote maps to: the static
+    # memory lower bound proves the deployment must fail, and the
+    # simulator must agree.
+    "$jetbound" --model=fcn_resnet50 --device=nano --procs=4 \
+        --compare-sim | tail -1
+    # Pruning-effectiveness gate: the shipped acceptance grid must
+    # have at least one provably-prunable cell (it has 52).
+    "$repo/build-ci/plain/examples/capacity_planner" \
+        --prescreen --min-pruned=1 nano fcn_resnet50 100 15 \
+        2>/dev/null | tail -3
+    # README's rule table is generated from --list-rules; drifting
+    # by hand-editing fails here.
+    "$jetlint" --list-rules | awk 'NR>1 {print $1}' |
+        while read -r rule; do
+            grep -q "| $rule |" "$repo/README.md" || {
+                echo "ci.sh: rule $rule missing from README.md" \
+                     "(regenerate: jetlint --list-rules --markdown)" >&2
+                exit 1
+            }
+        done
 fi
 
 if [ "$run_san" = 1 ]; then

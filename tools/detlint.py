@@ -13,6 +13,9 @@ that *cause* it from ever entering src/:
                sanctioned randomness is the seeded sim::Rng)
   getenv       std::getenv (environment reads make results depend on
                ambient state; read once at startup and annotate)
+  sleep        std::this_thread::sleep_for/sleep_until, usleep,
+               nanosleep (real delays desynchronize the event queue;
+               model waits as scheduled events instead)
   unordered-iteration
                range-for over a std::unordered_{map,set}: iteration
                order is implementation-defined, so anything folded
@@ -22,14 +25,23 @@ that *cause* it from ever entering src/:
 Suppression: append `// detlint: allow(<rule>)` to the offending line
 (or the line above) with a justification nearby.
 
-Usage: tools/detlint.py [--root DIR] [paths...]
+Usage: tools/detlint.py [--root DIR] [--json] [paths...]
 Exit: 0 clean, 1 findings, 2 usage error.
+
+--json emits {"schema_version": 1, "tool": "detlint", "findings":
+[{"path", "line", "rule", "message"}, ...], "files": N} on stdout —
+the same schema_version the C++ linters (jetlint, jetbound) stamp,
+so downstream tooling can gate on one number.
 """
 
 import argparse
+import json
 import os
 import re
 import sys
+
+# Keep in lockstep with lint::kJsonSchemaVersion (src/lint/finding.hh).
+SCHEMA_VERSION = 1
 
 RULES = [
     ("wall-clock",
@@ -47,6 +59,11 @@ RULES = [
      re.compile(r"\b(std::)?getenv\s*\("),
      "environment read (results must not depend on ambient state; "
      "read once at startup and annotate)"),
+    ("sleep",
+     re.compile(r"\bstd::this_thread::sleep_(for|until)\s*\(|"
+                r"\b(usleep|nanosleep)\s*\("),
+     "real delay in simulation code (desynchronizes the event queue; "
+     "model waits as scheduled events)"),
 ]
 
 ALLOW_RE = re.compile(r"detlint:\s*allow\(([a-z-]+(?:\s*,\s*"
@@ -96,14 +113,16 @@ def strip_noise(line, in_block):
 
 
 def lint_file(path):
+    """Return a list of {path, line, rule, message} findings."""
     try:
         with open(path, encoding="utf-8", errors="replace") as f:
             lines = f.read().splitlines()
     except OSError as e:
         print(f"detlint: cannot read {path}: {e}", file=sys.stderr)
-        return 1
+        return [{"path": path, "line": 0, "rule": "io-error",
+                 "message": str(e)}]
 
-    findings = 0
+    findings = []
     unordered_names = set()
     code_lines = []
     in_block = False
@@ -117,16 +136,17 @@ def lint_file(path):
     for idx, code in enumerate(code_lines):
         for rule, pat, msg in RULES:
             if pat.search(code) and not allowed(lines, idx, rule):
-                print(f"{path}:{idx + 1}: [{rule}] {msg}")
-                findings += 1
+                findings.append({"path": path, "line": idx + 1,
+                                 "rule": rule, "message": msg})
         m = RANGE_FOR_RE.search(code)
         if m and m.group(1) in unordered_names:
             if not allowed(lines, idx, "unordered-iteration"):
-                print(f"{path}:{idx + 1}: [unordered-iteration] "
-                      f"range-for over std::unordered container "
-                      f"'{m.group(1)}': iteration order is "
-                      f"implementation-defined")
-                findings += 1
+                findings.append({
+                    "path": path, "line": idx + 1,
+                    "rule": "unordered-iteration",
+                    "message": f"range-for over std::unordered "
+                               f"container '{m.group(1)}': iteration "
+                               f"order is implementation-defined"})
     return findings
 
 
@@ -135,6 +155,8 @@ def main():
         description="determinism lint for jetsim src/")
     ap.add_argument("--root", default=None,
                     help="repo root (default: parent of this script)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit findings as JSON on stdout")
     ap.add_argument("paths", nargs="*",
                     help="files/dirs to lint (default: <root>/src)")
     args = ap.parse_args()
@@ -156,9 +178,22 @@ def main():
         print("detlint: no input files", file=sys.stderr)
         return 2
 
-    total = sum(lint_file(f) for f in sorted(files))
-    if total:
-        print(f"detlint: {total} finding(s) in {len(files)} files")
+    findings = []
+    for f in sorted(files):
+        findings.extend(lint_file(f))
+
+    if args.json:
+        print(json.dumps({"schema_version": SCHEMA_VERSION,
+                          "tool": "detlint",
+                          "findings": findings,
+                          "files": len(files)}, indent=2))
+        return 1 if findings else 0
+
+    for f in findings:
+        print(f"{f['path']}:{f['line']}: [{f['rule']}] {f['message']}")
+    if findings:
+        print(f"detlint: {len(findings)} finding(s) in "
+              f"{len(files)} files")
         return 1
     print(f"detlint: {len(files)} files clean")
     return 0

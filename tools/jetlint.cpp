@@ -37,9 +37,26 @@ using namespace jetsim;
 
 namespace {
 
+/**
+ * Print the rule catalogue. The markdown form is the single source
+ * of truth for README.md's rule table — regenerate with
+ * `jetlint --list-rules --markdown` instead of editing the table by
+ * hand; tools/ci.sh checks the README mentions every live rule ID.
+ */
 void
-listRules()
+listRules(bool markdown)
 {
+    if (markdown) {
+        std::printf("| Rule | Severity | Title | Description |\n");
+        std::printf("|---|---|---|---|\n");
+        for (const auto rule : lint::allRules()) {
+            const auto &info = lint::ruleInfo(rule);
+            std::printf("| %s | %s | %s | %s |\n", info.id,
+                        check::severityName(info.severity),
+                        info.title, info.description);
+        }
+        return;
+    }
     std::printf("%-6s %-8s %-34s %s\n", "rule", "severity", "title",
                 "description");
     for (const auto rule : lint::allRules()) {
@@ -182,11 +199,13 @@ main(int argc, char **argv)
     args.add("json", "false", "emit findings as JSON");
     args.add("werror", "false", "treat warnings as errors");
     args.add("list-rules", "false", "print the rule catalogue");
+    args.add("markdown", "false",
+             "render --list-rules as the README markdown table");
     if (!args.parse(argc, argv))
         return 2;
 
     if (args.boolean("list-rules")) {
-        listRules();
+        listRules(args.boolean("markdown"));
         return 0;
     }
 
