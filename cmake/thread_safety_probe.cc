@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Compile-time fixture for the JETSIM_THREAD_SAFETY gate.
+ *
+ * Built twice by CMake when the option is ON and the compiler is
+ * Clang (see the try_compile calls in the top-level CMakeLists):
+ *
+ *  - without JETSIM_TS_PROBE_BUG it MUST compile: proves the
+ *    annotated core::Mutex / core::LockGuard idiom satisfies the
+ *    analysis (a broken macro layer would fail here, not deep in
+ *    the tree);
+ *  - with    JETSIM_TS_PROBE_BUG it MUST NOT compile: proves
+ *    -Wthread-safety -Werror=thread-safety actually rejects an
+ *    unguarded write to a JETSIM_GUARDED_BY field. If this half
+ *    ever *succeeds*, the analysis is silently off and CMake fails
+ *    the configure with a hard error.
+ */
+
+#include "core/mutex.hh"
+#include "core/thread_annotations.hh"
+
+namespace {
+
+class Counter
+{
+  public:
+    void bump()
+    {
+        jetsim::core::LockGuard lock(mu_);
+        ++value_;
+    }
+
+#ifdef JETSIM_TS_PROBE_BUG
+    /** Unguarded write: the analysis must reject this function. */
+    void bumpRacy() { ++value_; }
+#endif
+
+    long read()
+    {
+        jetsim::core::LockGuard lock(mu_);
+        return value_;
+    }
+
+  private:
+    jetsim::core::Mutex mu_;
+    long value_ JETSIM_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.bump();
+#ifdef JETSIM_TS_PROBE_BUG
+    c.bumpRacy();
+#endif
+    return c.read() == 0;
+}

@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/env.hh"
+#include "core/mutex.hh"
+
 namespace jetsim::check {
 
 const char *
@@ -49,29 +52,28 @@ Violation::str() const
 Reporter::Reporter()
 {
     // Read once at construction, never per-check: the mode is
-    // ambient config, not simulation state.
-    // NOLINTNEXTLINE(concurrency-mt-unsafe) detlint: allow(getenv)
-    if (const char *env = std::getenv("JETSIM_CHECK_MODE")) {
-        if (std::strcmp(env, "log") == 0)
-            mode_ = Mode::Log;
-        else if (std::strcmp(env, "count") == 0)
-            mode_ = Mode::Count;
-        else if (std::strcmp(env, "abort") == 0)
-            mode_ = Mode::Abort;
-    }
+    // ambient config from the cached startup environment.
+    const std::string &m = core::env().check_mode;
+    if (m == "log")
+        mode_ = Mode::Log;
+    else if (m == "count")
+        mode_ = Mode::Count;
+    else if (m == "abort")
+        mode_ = Mode::Abort;
 }
 
 Reporter &
 Reporter::instance()
 {
-    static Reporter r;
+    // Self-synchronized: every member is guarded by Reporter::mu_.
+    static Reporter r; // jetrace: guarded(Reporter::mu_)
     return r;
 }
 
 Reporter::Mode
 Reporter::setMode(Mode m)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::LockGuard lock(mu_);
     const Mode prev = mode_;
     mode_ = m;
     return prev;
@@ -80,28 +82,35 @@ Reporter::setMode(Mode m)
 Reporter::Mode
 Reporter::mode() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::LockGuard lock(mu_);
     return mode_;
 }
 
 std::uint64_t
 Reporter::total() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::LockGuard lock(mu_);
     return total_;
 }
 
 std::uint64_t
 Reporter::count(Invariant inv) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::LockGuard lock(mu_);
     return by_invariant_[static_cast<int>(inv)];
+}
+
+std::vector<Violation>
+Reporter::violationsSnapshot() const
+{
+    core::LockGuard lock(mu_);
+    return violations_;
 }
 
 void
 Reporter::clear()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::LockGuard lock(mu_);
     total_ = 0;
     for (auto &c : by_invariant_)
         c = 0;
@@ -125,7 +134,7 @@ Reporter::report(Severity sev, Invariant inv, const char *component,
     v.sim_time = sim_time;
     v.message = buf;
 
-    std::lock_guard<std::mutex> lock(mu_);
+    core::LockGuard lock(mu_);
     ++total_;
     ++by_invariant_[static_cast<int>(inv)];
     if (violations_.size() < kMaxRecorded)

@@ -24,11 +24,12 @@
 #define JETSIM_CHECK_REPORTER_HH
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "check/invariant.hh"
+#include "core/mutex.hh"
+#include "core/thread_annotations.hh"
 
 namespace jetsim::check {
 
@@ -61,32 +62,45 @@ class Reporter
     /** Report one violation (printf-style message). */
     void report(Severity sev, Invariant inv, const char *component,
                 std::int64_t sim_time, const char *fmt, ...)
-        __attribute__((format(printf, 6, 7)));
+        JETSIM_EXCLUDES(mu_) __attribute__((format(printf, 6, 7)));
 
     /** Replace the mode; returns the previous one. */
-    Mode setMode(Mode m);
+    Mode setMode(Mode m) JETSIM_EXCLUDES(mu_);
 
-    Mode mode() const;
+    Mode mode() const JETSIM_EXCLUDES(mu_);
 
     /** Total violations reported since construction / clear(). */
-    std::uint64_t total() const;
+    std::uint64_t total() const JETSIM_EXCLUDES(mu_);
 
     /** Violations reported for one invariant class. */
-    std::uint64_t count(Invariant inv) const;
+    std::uint64_t count(Invariant inv) const JETSIM_EXCLUDES(mu_);
 
     /**
-     * Most recent violations (bounded history). The reference is to
-     * internal storage: inspect it only from a quiescent point (no
+     * Most recent violations (bounded history), copied under the
+     * lock — safe at any time, including while parallel Runner cells
+     * are still reporting.
+     */
+    std::vector<Violation> violationsSnapshot() const
+        JETSIM_EXCLUDES(mu_);
+
+    /**
+     * Most recent violations, by reference to internal storage —
+     * zero-copy, but legal only from a quiescent point (no
      * concurrent simulations reporting), e.g. after a Runner batch
-     * has joined.
+     * has joined or under ScopedCapture in a single-threaded test.
+     * The PR-7 thread-safety audit kept this accessor (every in-tree
+     * caller is a quiescent test) but the analysis is suppressed, so
+     * new callers must justify quiescence — prefer
+     * violationsSnapshot().
      */
     const std::vector<Violation> &violations() const
+        JETSIM_NO_THREAD_SAFETY_ANALYSIS
     {
         return violations_;
     }
 
     /** Drop all recorded violations and zero the counters. */
-    void clear();
+    void clear() JETSIM_EXCLUDES(mu_);
 
   private:
     Reporter();
@@ -95,11 +109,12 @@ class Reporter
 
     /** Guards every member: parallel Runner cells report through the
      * one process-wide instance. */
-    mutable std::mutex mu_;
-    Mode mode_ = Mode::Abort;
-    std::uint64_t total_ = 0;
-    std::uint64_t by_invariant_[kInvariantCount] = {};
-    std::vector<Violation> violations_;
+    mutable core::Mutex mu_;
+    Mode mode_ JETSIM_GUARDED_BY(mu_) = Mode::Abort;
+    std::uint64_t total_ JETSIM_GUARDED_BY(mu_) = 0;
+    std::uint64_t by_invariant_[kInvariantCount] JETSIM_GUARDED_BY(
+        mu_) = {};
+    std::vector<Violation> violations_ JETSIM_GUARDED_BY(mu_);
 };
 
 /**
@@ -127,6 +142,12 @@ class ScopedCapture
     const std::vector<Violation> &violations() const
     {
         return Reporter::instance().violations();
+    }
+
+    /** Lock-safe copy; use when reporters may still be running. */
+    std::vector<Violation> violationsSnapshot() const
+    {
+        return Reporter::instance().violationsSnapshot();
     }
 
   private:

@@ -1,12 +1,12 @@
 #include "core/runner.hh"
 
 #include <algorithm>
-#include <cstdlib>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <thread>
 
+#include "core/env.hh"
+#include "core/mutex.hh"
 #include "core/profiler.hh"
 #include "core/result_cache.hh"
 #include "sim/logging.hh"
@@ -43,8 +43,14 @@ class StealPool
     {
         // Round-robin initial distribution keeps early, usually
         // cheaper cells (small batch, few processes) spread evenly.
-        for (std::size_t t = 0; t < tasks; ++t)
-            queues_[t % workers].tasks.push_back(t);
+        // Workers haven't spawned yet, but the fill still runs under
+        // each queue's lock so the guarded-by contract holds in the
+        // compiler's eyes too (uncontended lock: nanoseconds, once).
+        for (std::size_t w = 0; w < workers; ++w) {
+            LockGuard lock(queues_[w].m);
+            for (std::size_t t = w; t < tasks; t += workers)
+                queues_[w].tasks.push_back(t);
+        }
     }
 
     /** Next task for @p worker, or nullopt when everything drained. */
@@ -52,16 +58,19 @@ class StealPool
     {
         auto &own = queues_[worker];
         {
-            std::lock_guard<std::mutex> lock(own.m);
+            LockGuard lock(own.m);
             if (!own.tasks.empty()) {
                 const std::size_t t = own.tasks.back();
                 own.tasks.pop_back();
                 return t;
             }
         }
+        // Each deque lock is taken and dropped in turn — never two at
+        // once — so steals contribute no lock-order edges (jetrace's
+        // graph over the pool is edge-free by construction).
         for (std::size_t i = 1; i < queues_.size(); ++i) {
             auto &victim = queues_[(worker + i) % queues_.size()];
-            std::lock_guard<std::mutex> lock(victim.m);
+            LockGuard lock(victim.m);
             if (!victim.tasks.empty()) {
                 const std::size_t t = victim.tasks.front();
                 victim.tasks.pop_front();
@@ -74,8 +83,8 @@ class StealPool
   private:
     struct Queue
     {
-        std::mutex m;
-        std::deque<std::size_t> tasks;
+        Mutex m;
+        std::deque<std::size_t> tasks JETSIM_GUARDED_BY(m);
     };
 
     std::deque<Queue> queues_; // deque: Queue is not movable
@@ -96,7 +105,7 @@ class OrderedProgress
     {
         if (!fn_)
             return;
-        std::lock_guard<std::mutex> lock(m_);
+        LockGuard lock(m_);
         done_[index] = 1;
         while (next_ < done_.size() && done_[next_]) {
             fn_(specs[next_].label());
@@ -105,21 +114,11 @@ class OrderedProgress
     }
 
   private:
-    std::mutex m_;
-    std::vector<char> done_;
-    std::size_t next_ = 0;
+    Mutex m_;
+    std::vector<char> done_ JETSIM_GUARDED_BY(m_);
+    std::size_t next_ JETSIM_GUARDED_BY(m_) = 0;
     const ProgressFn &fn_;
 };
-
-std::string
-envCacheDir()
-{
-    // Ambient config read at Runner construction; never on a
-    // simulation path, and before any worker spawns.
-    // NOLINTNEXTLINE(concurrency-mt-unsafe) detlint: allow(getenv)
-    const char *dir = std::getenv("JETSIM_CACHE_DIR");
-    return dir && *dir ? dir : "";
-}
 
 } // namespace
 
@@ -128,16 +127,14 @@ Runner::resolveThreads(int requested)
 {
     if (requested > 0)
         return requested;
-    // Worker-count config, resolved once per Runner before any
-    // worker spawns; thread count never affects results.
-    // NOLINTNEXTLINE(concurrency-mt-unsafe) detlint: allow(getenv)
-    if (const char *env = std::getenv("JETSIM_THREADS")) {
-        const int v = std::atoi(env);
+    // Worker-count config from the cached startup environment
+    // (core::env()); thread count never affects results.
+    if (const std::string &ts = env().threads; !ts.empty()) {
+        const int v = std::atoi(ts.c_str());
         if (v > 0)
             return v;
-        if (*env)
-            sim::warn("JETSIM_THREADS='%s' is not a positive integer; "
-                      "using hardware concurrency", env);
+        sim::warn("JETSIM_THREADS='%s' is not a positive integer; "
+                  "using hardware concurrency", ts.c_str());
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;
@@ -149,7 +146,7 @@ Runner::Runner(Options opts) : threads_(resolveThreads(opts.threads))
 {
     const std::string dir = !opts.cache_dir.empty()
                                 ? opts.cache_dir
-                                : (opts.env_cache ? envCacheDir() : "");
+                                : (opts.env_cache ? env().cache_dir : "");
     if (!dir.empty())
         cache_ = std::make_unique<ResultCache>(dir);
 }

@@ -24,6 +24,12 @@
  * and stored after a miss runs. Because results are bit-reproducible
  * a hit is indistinguishable from a re-run.
  *
+ * Both environment variables are read through the core::env()
+ * snapshot (DESIGN.md 4h): captured once at first use, immutable
+ * after, so worker threads never touch mt-unsafe libc. A setenv()
+ * after the first env() call is invisible until the
+ * core::reloadEnv() test hook runs at a quiescent point.
+ *
  * Progress callbacks are delivered serialized (never concurrently)
  * and in submission order; with threads > 1 a cell's callback fires
  * when the cell retires rather than when it starts.

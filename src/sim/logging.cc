@@ -24,6 +24,15 @@ defaultSink(LogLevel level, const std::string &msg)
 
 // Atomic: core::Runner workers log concurrently, and a plain global
 // here was the first race the pool exposed.
+//
+// Benign-racy by contract (PR-7 thread-safety audit): a logger that
+// loaded the old sink may still be *executing* it after a concurrent
+// setLogSink() returns — the swap is atomic but does not wait for
+// in-flight calls to drain. That is sound only because LogSink is a
+// plain function pointer with no owned state to tear down; sinks
+// must stay callable for the life of the process (see the contract
+// on setLogSink in logging.hh). A sink with captured state would
+// need RCU-style quiescence the simulator has no use for.
 std::atomic<LogSink> current_sink{&defaultSink};
 
 LogSink

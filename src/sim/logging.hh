@@ -25,7 +25,17 @@ enum class LogLevel { Info, Warn, Fatal, Panic };
  */
 using LogSink = void (*)(LogLevel, const std::string &);
 
-/** Replace the process-wide log sink; returns the previous sink. */
+/**
+ * Replace the process-wide log sink; returns the previous sink.
+ *
+ * The swap is atomic but deliberately does not wait for concurrent
+ * log calls to finish: a thread may still be executing the *old*
+ * sink when this returns. Sinks are therefore required to be
+ * stateless function pointers that remain callable for the life of
+ * the process — do not install a sink that reads state you intend
+ * to tear down while other threads can still log (annotated
+ * benign-racy in the PR-7 thread-safety audit; see logging.cc).
+ */
 LogSink setLogSink(LogSink sink);
 
 /** printf-style message formatting used by the helpers below. */

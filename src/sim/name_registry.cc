@@ -1,9 +1,10 @@
 #include "sim/name_registry.hh"
 
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 
+#include "core/mutex.hh"
+#include "core/thread_annotations.hh"
 #include "sim/logging.hh"
 
 namespace jetsim::sim {
@@ -12,16 +13,20 @@ namespace {
 
 struct Registry
 {
-    std::mutex mu;
-    // deque: stable references for nameOf() across growth.
-    std::deque<std::string> names;
-    std::unordered_map<std::string_view, NameId> ids;
+    core::Mutex mu;
+    // deque: stable references for nameOf() across growth. Entries
+    // are immutable once published, so the reference nameOf() hands
+    // out stays valid (and data-race-free) after the lock drops.
+    std::deque<std::string> names JETSIM_GUARDED_BY(mu);
+    std::unordered_map<std::string_view, NameId> ids
+        JETSIM_GUARDED_BY(mu);
 };
 
 Registry &
 registry()
 {
-    static Registry r;
+    // Self-synchronized: both containers are guarded by Registry::mu.
+    static Registry r; // jetrace: guarded(Registry::mu)
     return r;
 }
 
@@ -31,7 +36,7 @@ NameId
 internName(std::string_view name)
 {
     Registry &r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    core::LockGuard lock(r.mu);
     auto it = r.ids.find(name);
     if (it != r.ids.end())
         return it->second;
@@ -48,10 +53,12 @@ const std::string &
 nameOf(NameId id)
 {
     Registry &r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    core::LockGuard lock(r.mu);
     if (id >= r.names.size())
         fatal("name registry: unknown id %u (interned: %zu)", id,
               r.names.size());
+    // Returning a reference past the unlock is safe: interned
+    // strings are append-only and immutable after publication.
     return r.names[id];
 }
 
@@ -59,7 +66,7 @@ std::size_t
 internedNameCount()
 {
     Registry &r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    core::LockGuard lock(r.mu);
     return r.names.size();
 }
 

@@ -11,6 +11,12 @@
  * interns from worker threads). Id *values* depend on interning
  * order and must therefore never influence results — report-time
  * consumers sort by resolved name or by measured quantity, not by id.
+ *
+ * Synchronization (audited by jetrace, DESIGN.md 4h): the registry
+ * singleton is a core::Mutex-guarded table; nameOf() may return its
+ * reference outside the lock because storage is a std::deque the
+ * registry only appends to — a published string is never moved or
+ * mutated for the life of the process.
  */
 
 #ifndef JETSIM_SIM_NAME_REGISTRY_HH

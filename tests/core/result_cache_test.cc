@@ -16,6 +16,7 @@
 #include "core/digest.hh"
 #include "core/profiler.hh"
 #include "core/result_cache.hh"
+#include "core/env.hh"
 #include "core/runner.hh"
 
 namespace jetsim {
@@ -312,6 +313,7 @@ TEST_F(ResultCacheTest, RunnerServesRepeatsFromCache)
 TEST_F(ResultCacheTest, EnvVarEnablesCaching)
 {
     ::setenv("JETSIM_CACHE_DIR", dir().c_str(), 1);
+    core::reloadEnv(); // Runner reads the cached startup environment
     {
         core::Runner runner(1);
         EXPECT_TRUE(runner.cacheEnabled());
@@ -321,6 +323,7 @@ TEST_F(ResultCacheTest, EnvVarEnablesCaching)
         EXPECT_EQ(runner.cacheStats().stores, 1u);
     }
     ::unsetenv("JETSIM_CACHE_DIR");
+    core::reloadEnv();
     core::Runner off(1);
     EXPECT_FALSE(off.cacheEnabled());
 }

@@ -18,6 +18,7 @@
 
 #include "check/reporter.hh"
 #include "core/digest.hh"
+#include "core/env.hh"
 #include "core/profiler.hh"
 #include "core/runner.hh"
 #include "models/zoo.hh"
@@ -165,6 +166,49 @@ TEST(GlobalState, ReporterCountsAreExactUnderContention)
               static_cast<std::uint64_t>(kThreads * kPerThread));
     EXPECT_EQ(cap.count(check::Invariant::Plausibility),
               static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(GlobalState, EnvSnapshotSafeFromConcurrentFirstTouch)
+{
+    // core::env() replaced the scattered getenv calls with a magic-
+    // static snapshot; concurrent first-touch from worker threads
+    // must initialise exactly once and every reader must see the
+    // same immutable struct (under TSan an init race is fatal).
+    const core::Env *seen[4] = {};
+    std::vector<std::thread> threads;
+    for (auto *&slot : seen)
+        threads.emplace_back([&slot] { slot = &core::env(); });
+    for (auto &t : threads)
+        t.join();
+    for (const auto *p : seen)
+        EXPECT_EQ(p, &core::env());
+}
+
+TEST(GlobalState, ViolationsSnapshotIsSafeUnderContention)
+{
+    // Unlike violations() (quiescent-only reference), the snapshot
+    // accessor copies under the reporter lock and so may race with
+    // live reporters; the copy must be internally consistent.
+    check::ScopedCapture cap;
+    constexpr int kEvents = 300;
+    std::thread producer([] {
+        for (int i = 0; i < kEvents; ++i)
+            check::Reporter::instance().report(
+                check::Severity::Warning,
+                check::Invariant::Plausibility,
+                "tests.runner_stress", check::kTimeUnknown,
+                "snapshot race %d", i);
+    });
+    std::size_t max_seen = 0;
+    for (int i = 0; i < 50; ++i) {
+        const auto snap = cap.violationsSnapshot();
+        EXPECT_GE(snap.size(), max_seen); // append-only growth
+        max_seen = snap.size();
+        for (const auto &v : snap)
+            EXPECT_EQ(v.invariant, check::Invariant::Plausibility);
+    }
+    producer.join();
+    EXPECT_EQ(cap.total(), static_cast<std::uint64_t>(kEvents));
 }
 
 TEST(GlobalState, StaticTablesSafeFromTwoThreads)

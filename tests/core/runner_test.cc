@@ -17,6 +17,7 @@
 #include "check/reporter.hh"
 #include "core/digest.hh"
 #include "core/profiler.hh"
+#include "core/env.hh"
 #include "core/runner.hh"
 #include "core/sweep.hh"
 
@@ -182,14 +183,19 @@ TEST(Runner, SweepsMatchLegacySerialResults)
 
 TEST(Runner, ThreadResolutionHonoursEnvOverride)
 {
+    // Runner reads the cached startup environment (core::env()), so
+    // runtime setenv calls must be followed by a quiescent reload.
     ::setenv("JETSIM_THREADS", "3", 1);
+    core::reloadEnv();
     EXPECT_EQ(core::Runner::resolveThreads(0), 3);
     // An explicit request beats the environment.
     EXPECT_EQ(core::Runner::resolveThreads(5), 5);
     ::setenv("JETSIM_THREADS", "1", 1);
+    core::reloadEnv();
     core::Runner serial;
     EXPECT_EQ(serial.threads(), 1);
     ::unsetenv("JETSIM_THREADS");
+    core::reloadEnv();
     EXPECT_GE(core::Runner::resolveThreads(0), 1);
 }
 

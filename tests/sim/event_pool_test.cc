@@ -31,6 +31,9 @@
 #pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 
 namespace {
+// Atomics: flipped by the test thread, observed from operator new on
+// any thread the allocator runs on (jetrace: atomic, hence exempt
+// from the guarded/confined requirement).
 std::atomic<bool> g_count_allocs{false};
 std::atomic<std::uint64_t> g_alloc_count{0};
 } // namespace

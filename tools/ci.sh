@@ -33,6 +33,18 @@
 # acceptance grid; and README's rule table must mention every rule
 # ID that jetlint --list-rules emits.
 #
+# Pass 1f is the concurrency-discipline gate (jetrace): src/ must
+# carry zero unannotated mutable globals/statics, no raw std::mutex
+# outside core/mutex.hh, and an acyclic static lock-order graph; the
+# auditor's own selftest must agree with the deadlock counterexample
+# jetmc produced in pass 1d (static cycle <-> dynamic deadlock on the
+# same inverted two-lock discipline). When a clang++ is installed the
+# whole tree is additionally rebuilt with -DJETSIM_THREAD_SAFETY=ON
+# (-Wthread-safety -Werror=thread-safety), making every unguarded
+# access to a JETSIM_GUARDED_BY field a hard compile error; without
+# clang the build step is skipped with a warning (the jetrace audit
+# above still enforces the same contracts structurally).
+#
 # Usage: tools/ci.sh [--tsan] [--skip-plain] [--skip-sanitized]
 #                    [--skip-tidy]
 #
@@ -141,6 +153,42 @@ if [ "$run_plain" = 1 ]; then
                 exit 1
             }
         done
+    banner "pass 1f: concurrency discipline (jetrace)"
+    # Zero findings over src/ (unannotated shared state, raw locks,
+    # unknown capabilities) AND an acyclic lock-order graph; the
+    # acyclic flag is asserted explicitly so a future rule change
+    # that stops treating cycles as findings cannot soften the gate.
+    python3 "$repo/tools/jetrace.py" --json > \
+        "$repo/build-ci/plain/jetrace.json"
+    python3 - "$repo/build-ci/plain/jetrace.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["findings"] == [], doc["findings"]
+assert doc["lock_graph"]["acyclic"], doc["lock_graph"]
+print("jetrace: src clean; lock graph acyclic "
+      f"({len(doc['lock_graph']['nodes'])} capabilities, "
+      f"{doc['inventory']['guarded_fields']} guarded fields, "
+      f"{doc['inventory']['confined']} confined)")
+EOF
+    # Static/dynamic agreement: jetrace's cycle verdict on the
+    # two-lock fixtures must match the deadlock counterexample jetmc
+    # minimised in pass 1d.
+    python3 "$repo/tools/jetrace.py" --selftest \
+        --jetmc-ce="$ce_dir/jetmc_ce_selftest.json"
+    # Compiler-enforced contracts where a clang++ exists: the probe
+    # pair in cmake/thread_safety_probe.cc first proves the analysis
+    # is live, then the whole tree must build warning-free under
+    # -Wthread-safety -Werror=thread-safety.
+    if command -v clang++ >/dev/null 2>&1; then
+        cmake -B "$repo/build-ci/tsafety" -S "$repo" \
+            -DCMAKE_CXX_COMPILER=clang++ \
+            -DJETSIM_THREAD_SAFETY=ON >/dev/null
+        cmake --build "$repo/build-ci/tsafety" -j "$jobs"
+    else
+        echo "ci.sh: warning: clang++ not installed;" \
+             "skipping the -Wthread-safety build (jetrace audit" \
+             "above still gates the same contracts)" >&2
+    fi
 fi
 
 if [ "$run_san" = 1 ]; then

@@ -1,0 +1,832 @@
+#!/usr/bin/env python3
+"""jetrace: source-level concurrency-discipline auditor for jetsim.
+
+The verification stack runs dynamic (JetSan/TSan), schedule-space
+(jetmc) and spec-level (jetlint/jetbound) passes; jetrace completes
+it at the *source* level. It audits the two contracts the sharded
+event core will be written against:
+
+  shared-state inventory
+      Every non-const global, namespace-scope, function-local-static
+      or class-static mutable object in src/ must be exactly one of
+        - guarded:   its declaration carries JETSIM_GUARDED_BY(cap)
+                     or a `// jetrace: guarded(<cap>)` justification
+                     (for self-synchronized objects whose members are
+                     individually guarded),
+        - atomic:    std::atomic / core::Mutex / std::once_flag /
+                     thread_local (synchronization is the type),
+        - confined:  `// jetrace: confined(<thread>)` with the owning
+                     thread named.
+      Anything else is an `unannotated-global` finding.
+
+  static lock-acquisition order
+      Lock scopes are recognised from the mandatory core::LockGuard
+      idiom (raw std::mutex / std::lock_guard / std::unique_lock in
+      src/ outside core/mutex.hh is itself a `raw-mutex` finding —
+      that rule is what keeps this analysis sound: an unwrapped lock
+      would be invisible to it and to -Wthread-safety). Acquiring
+      capability B while holding A adds the edge A -> B; edges are
+      propagated through the static call graph to a fixpoint, and any
+      cycle is reported as a potential deadlock (`lock-cycle`).
+
+`--selftest` runs both analyses on a C++ rendition of jetmc's seeded
+two-lock model (src/mc/toylock.*): the inverted variant must produce
+the A<->B cycle, the well-ordered variant must not. With
+`--jetmc-ce=FILE` the verdicts are cross-checked against the
+counterexample jetmc found dynamically: the model the schedule-space
+checker deadlocked must be the inverted one — static and dynamic
+analyses must agree on which discipline is broken.
+
+Backends: when the libclang Python bindings are importable
+(`--backend=libclang` or `auto`), the shared-state inventory is taken
+from a real AST walk (VarDecl storage classes); the lock graph always
+comes from the idiom-driven lexical engine, which the core::Mutex
+discipline makes exact. Without bindings (this container ships none)
+`auto` falls back to the lexical inventory, which is tested
+fixture-by-fixture in tests/tools/jetrace_test.py.
+
+Usage: tools/jetrace.py [--root DIR] [--json] [--dot] [--selftest]
+                        [--jetmc-ce FILE] [--backend auto|lex|libclang]
+                        [--list-rules] [paths...]
+Exit: 0 clean, 1 findings (or failed self-test), 2 usage error.
+
+--json emits {"schema_version": 1, "tool": "jetrace", "findings":
+[...], "files": N, "inventory": {...}, "lock_graph": {...}} — the
+same schema_version jetlint/jetbound/detlint stamp.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# Keep in lockstep with lint::kJsonSchemaVersion (src/lint/finding.hh).
+SCHEMA_VERSION = 1
+
+RULES = [
+    ("unannotated-global",
+     "non-const global/static state with no guarded/atomic/confined "
+     "classification"),
+    ("lock-cycle",
+     "cycle in the static lock-acquisition-order graph (potential "
+     "deadlock)"),
+    ("raw-mutex",
+     "raw std:: lock primitive outside core/mutex.hh (invisible to "
+     "-Wthread-safety and to this audit; use core::Mutex/LockGuard)"),
+    ("unknown-capability",
+     "JETSIM_GUARDED_BY names a capability that is not a declared "
+     "core::Mutex in this file"),
+]
+
+ALLOW_RE = re.compile(r"jetrace:\s*allow\(([a-z-]+(?:\s*,\s*"
+                      r"[a-z-]+)*)\)")
+CONFINED_RE = re.compile(r"jetrace:\s*confined\(([^)]+)\)")
+GUARDED_CMT_RE = re.compile(r"jetrace:\s*guarded\(([^)]+)\)")
+
+GUARDED_BY_RE = re.compile(r"\bJETSIM_(?:PT_)?GUARDED_BY\s*\(\s*"
+                           r"([^)]+?)\s*\)")
+LOCK_GUARD_RE = re.compile(r"\b(?:core::)?LockGuard\s+\w+\s*[({]\s*"
+                           r"([^;]+?)\s*[)}]\s*;")
+REQUIRES_RE = re.compile(r"\bJETSIM_REQUIRES\s*\(\s*([^)]+?)\s*\)")
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|condition_variable(_any)?)\b")
+MUTEX_DECL_RE = re.compile(r"\b(?:core::)?Mutex\s+(\w+)\s*;")
+
+# Types whose synchronization is intrinsic: owning one is the
+# annotation.
+SYNC_TYPE_RE = re.compile(r"\b(std::atomic\b|std::atomic_\w+|"
+                          r"(core::)?Mutex\b|std::once_flag\b|"
+                          r"std::mutex\b)")
+
+# Namespace-scope variable definition (single logical line).
+NSVAR_RE = re.compile(
+    r"^\s*"
+    r"(?P<quals>(?:(?:inline|static|extern|thread_local|constinit|"
+    r"mutable)\s+)*)"
+    r"(?P<type>(?:[\w:]+(?:\s*<[^;]*>)?(?:\s*[*&])*\s+)+)"
+    r"(?P<name>[A-Za-z_]\w*)\s*"
+    r"(?:\{[^;]*\}|=[^;]*)?;")
+
+# `static <type> <name> [= ... | { ... } | ;]` at class/function scope.
+LOCAL_STATIC_RE = re.compile(
+    r"\bstatic\s+(?P<decl>[^;=({]*?)(?P<name>[A-Za-z_]\w*)\s*"
+    r"(?:=|\{|;)")
+
+STRING_RE = re.compile(r'"(?:\\.|[^"\\])*"|' r"'(?:\\.|[^'\\])*'")
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "do",
+                    "else", "try", "return", "sizeof", "alignof",
+                    "decltype", "new", "delete", "case", "default"}
+NONVAR_WORDS = re.compile(
+    r"\b(const|constexpr|using|typedef|namespace|class|struct|enum|"
+    r"union|template|operator|return|friend|throw|goto|public|"
+    r"private|protected)\b")
+
+
+def strip_noise(line, in_block):
+    """Remove strings/comments; returns (code, still_in_block)."""
+    if in_block:
+        end = line.find("*/")
+        if end < 0:
+            return "", True
+        line = line[end + 2:]
+    line = STRING_RE.sub('""', line)
+    out = []
+    i = 0
+    while i < len(line):
+        if line.startswith("//", i):
+            break
+        if line.startswith("/*", i):
+            end = line.find("*/", i + 2)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            continue
+        out.append(line[i])
+        i += 1
+    return "".join(out), False
+
+
+def allowed(raw_lines, idx, rule):
+    """True when line idx or the one above carries allow(rule)."""
+    for li in (idx, idx - 1):
+        if 0 <= li < len(raw_lines):
+            m = ALLOW_RE.search(raw_lines[li])
+            if m and rule in [r.strip() for r in
+                              m.group(1).split(",")]:
+                return True
+    return False
+
+
+def annotation_comment(raw_lines, idx):
+    """confined()/guarded() justification on line idx or the one
+    above; returns ('confined'|'guarded', arg) or None."""
+    for li in (idx, idx - 1):
+        if 0 <= li < len(raw_lines):
+            m = CONFINED_RE.search(raw_lines[li])
+            if m:
+                return ("confined", m.group(1).strip())
+            m = GUARDED_CMT_RE.search(raw_lines[li])
+            if m:
+                return ("guarded", m.group(1).strip())
+    return None
+
+
+def cap_name(expr):
+    """Normalize a lock expression to a capability id: the final
+    member component ('own.m' -> 'm', 'this->mu_' -> 'mu_')."""
+    expr = expr.strip()
+    expr = re.sub(r"\[[^\]]*\]", "", expr)  # queues_[w].m -> queues_.m
+    for sep in ("->", "."):
+        if sep in expr:
+            expr = expr.rsplit(sep, 1)[1]
+    return expr.strip()
+
+
+class Scope:
+    __slots__ = ("kind", "name", "held_before")
+
+    def __init__(self, kind, name, held_before=0):
+        self.kind = kind    # namespace | class | function | block
+        self.name = name
+        self.held_before = held_before  # len(held) at scope entry
+
+
+class FileAnalysis:
+    """Per-file lexical analysis: inventory candidates, lock events,
+    call edges, annotation counts."""
+
+    def __init__(self, path):
+        self.path = path
+        self.globals = []       # (line, name, classification, detail)
+        self.raw_mutex = []     # (line, token)
+        self.guarded_by = []    # (line, cap)
+        self.mutex_decls = set()
+        self.functions = {}     # name -> {"acquires": [(cap, line,
+                                #          held_at_acq)], "calls":
+                                #          [(callee, line, held)]}
+        self.capability_count = 0
+        self.confined = []      # (line, name, thread)
+
+
+def analyze_file(path, relpath):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw_lines = f.read().splitlines()
+
+    fa = FileAnalysis(relpath)
+    code_lines = []
+    in_block = False
+    for line in raw_lines:
+        code, in_block = strip_noise(line, in_block)
+        code_lines.append(code)
+        for m in MUTEX_DECL_RE.finditer(code):
+            fa.mutex_decls.add(m.group(1))
+            fa.capability_count += 1
+
+    scopes = []
+    pending = ""        # decl text since last ; { }
+    cur_fn = None       # innermost function record
+    held = []           # [(cap, scope_depth)]
+    is_mutex_hh = relpath.replace("\\", "/").endswith("core/mutex.hh")
+
+    def fn_stack_depth():
+        return sum(1 for s in scopes if s.kind == "function")
+
+    def classify_open(text, lineno):
+        text = text.strip()
+        if not text:
+            return Scope("block", "")
+        m = re.match(r"^(?:inline\s+)?namespace\b\s*([\w:]*)", text)
+        if m:
+            return Scope("namespace", m.group(1) or "<anon>")
+        m = re.search(r"\b(class|struct|union)\s+(?:JETSIM_\w+"
+                      r"\s*\([^)]*\)\s*)?(\w+)?", text)
+        if m and "(" not in text.split(m.group(1))[0]:
+            return Scope("class", m.group(2) or "<anon>")
+        if re.search(r"\benum\b", text):
+            return Scope("class", "<enum>")
+        if "(" in text and ")" in text:
+            fm = None
+            for fm in re.finditer(r"([\w:~]+)\s*\(", text):
+                pass  # keep the last: handles `TYPE\nCls::fn(args)`
+            first = re.search(r"([\w:~]+)\s*\(", text)
+            name = first.group(1) if first else ""
+            base = name.split("::")[-1] if name else ""
+            if base in CONTROL_KEYWORDS:
+                return Scope("block", "")
+            if "=" in text.split("(")[0] and "]" not in text:
+                return Scope("block", "")  # brace initializer
+            fname = name if name else "<lambda>"
+            return Scope("function", fname)
+        if "]" in text:           # lambda introducer without parens
+            return Scope("function", "<lambda>")
+        if re.match(r"^(do|else|try)\b", text):
+            return Scope("block", "")
+        return Scope("block", "")
+
+    def enter_function(scope, sigtext, lineno):
+        nonlocal cur_fn
+        base = scope.name.split("::")[-1]
+        rec = fa.functions.setdefault(
+            base, {"acquires": [], "calls": []})
+        cur_fn = rec
+        for m in REQUIRES_RE.finditer(sigtext):
+            for cap in m.group(1).split(","):
+                c = cap_name(cap.strip().lstrip("!"))
+                if not cap.strip().startswith("!"):
+                    held.append((c, len(scopes)))
+
+    def record_calls(stmt, lineno):
+        """Calls made under held locks (cross-function edges)."""
+        for m in re.finditer(r"([\w~:]+)\s*\(", stmt):
+            callee = m.group(1).split("::")[-1]
+            if callee in CONTROL_KEYWORDS or callee == "LockGuard":
+                continue
+            cur_fn["calls"].append(
+                (callee, lineno, [c for c, _ in held]))
+
+    def classify_candidate(name, typetext, text, idx):
+        """File the inventory verdict for one mutable static/global:
+        text is the declaration, idx the 0-based line for comment
+        justification lookup."""
+        line_no = idx + 1
+        if "thread_local" in text:
+            fa.globals.append((line_no, name, "thread_local", ""))
+        elif SYNC_TYPE_RE.search(typetext) or SYNC_TYPE_RE.search(text):
+            fa.globals.append((line_no, name, "atomic", ""))
+        elif GUARDED_BY_RE.search(text):
+            gb = GUARDED_BY_RE.search(text)
+            fa.globals.append(
+                (line_no, name, "guarded", cap_name(gb.group(1))))
+        else:
+            ann = annotation_comment(raw_lines, idx)
+            if ann:
+                fa.globals.append((line_no, name) + ann)
+                if ann[0] == "confined":
+                    fa.confined.append((line_no, name, ann[1]))
+            elif allowed(raw_lines, idx, "unannotated-global"):
+                fa.globals.append((line_no, name, "allowed", ""))
+            else:
+                fa.globals.append((line_no, name, "unannotated", ""))
+
+    def handle_statement(stmt, lineno):
+        """Statement text as it completes at a `;`, with the scope
+        and held-set state *at that point* (a line-level pass would
+        miss locks inside single-line function bodies)."""
+        in_class = any(s.kind == "class" for s in scopes)
+        in_fn = fn_stack_depth() > 0
+        if in_class or in_fn:
+            m = LOCAL_STATIC_RE.search(stmt + ";")
+            if m and not re.search(r"\b(const|constexpr|constinit|"
+                                   r"static_assert|static_cast)\b",
+                                   stmt):
+                classify_candidate(m.group("name"), m.group("decl"),
+                                   stmt, lineno - 1)
+        if cur_fn is None:
+            return
+        lg = LOCK_GUARD_RE.search(stmt + ";")
+        if lg:
+            cap = cap_name(lg.group(1))
+            cur_fn["acquires"].append(
+                (cap, lineno, [c for c, _ in held]))
+            held.append((cap, len(scopes)))
+            return
+        if held:
+            record_calls(stmt, lineno)
+
+    for idx, code in enumerate(code_lines):
+        # Findings that don't need scope context.
+        if not is_mutex_hh:
+            m = RAW_MUTEX_RE.search(code)
+            if m and not allowed(raw_lines, idx, "raw-mutex"):
+                fa.raw_mutex.append((idx + 1, m.group(0)))
+        for m in GUARDED_BY_RE.finditer(code):
+            fa.guarded_by.append((idx + 1, cap_name(m.group(1))))
+
+        # Inventory: namespace-scope declarations (line-based; static
+        # locals and class statics are handled statement-wise above,
+        # where the scope stack is current). Attribute macros are
+        # stripped before matching so JETSIM_GUARDED_BY's parentheses
+        # don't make the declaration look like a function.
+        if not any(s.kind in ("class", "function") for s in scopes):
+            bare = re.sub(r"\bJETSIM_\w+\s*\([^)]*\)", "", code)
+            m = NSVAR_RE.match(bare)
+            if (m and "(" not in bare and
+                    not NONVAR_WORDS.search(bare) and
+                    "extern" not in m.group("quals")):
+                classify_candidate(m.group("name"),
+                                   m.group("type") + m.group("quals"),
+                                   code, idx)
+
+        # Scope bookkeeping + statement assembly, char by char.
+        for ch in code:
+            if ch == "{":
+                sc = classify_open(pending, idx + 1)
+                if sc.kind == "function":
+                    sc.held_before = len(held)
+                    scopes.append(sc)
+                    enter_function(sc, pending, idx + 1)
+                else:
+                    # Calls in a control condition (`if (f()) {`)
+                    # still happen under the held set.
+                    if cur_fn is not None and held:
+                        record_calls(pending, idx + 1)
+                    scopes.append(sc)
+                pending = ""
+            elif ch == "}":
+                if scopes:
+                    sc = scopes.pop()
+                    # Locks acquired inside this scope die with it.
+                    while held and held[-1][1] > len(scopes):
+                        held.pop()
+                    if sc.kind == "function":
+                        while held and len(held) > sc.held_before:
+                            held.pop()
+                        cur_fn = None
+                        for s in reversed(scopes):
+                            if s.kind == "function":
+                                base = s.name.split("::")[-1]
+                                cur_fn = fa.functions.get(base)
+                                break
+                pending = ""
+            elif ch == ";":
+                handle_statement(pending, idx + 1)
+                pending = ""
+            else:
+                pending += ch
+        pending += " "
+
+    return fa, raw_lines
+
+
+def build_lock_graph(analyses):
+    """Merge per-file lock events into a capability graph; propagate
+    acquisitions through the call graph to a fixpoint."""
+    direct = {}    # fn -> set(caps)
+    edges = {}     # (a, b) -> (path, line)
+    calls = {}     # fn -> [(callee, line, held, path)]
+    for fa in analyses:
+        for fn, rec in fa.functions.items():
+            direct.setdefault(fn, set())
+            calls.setdefault(fn, [])
+            for cap, line, held_at in rec["acquires"]:
+                direct[fn].add(cap)
+                for h in held_at:
+                    if h != cap:
+                        edges.setdefault((h, cap), (fa.path, line))
+            for callee, line, held_at in rec["calls"]:
+                calls[fn].append((callee, line, held_at, fa.path))
+
+    # effects(fn): caps fn may acquire, transitively.
+    effects = {fn: set(caps) for fn, caps in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for fn, cls in calls.items():
+            for callee, _, _, _ in cls:
+                if callee in effects and callee != fn:
+                    before = len(effects[fn])
+                    effects[fn] |= effects[callee]
+                    if len(effects[fn]) != before:
+                        changed = True
+
+    for fn, cls in calls.items():
+        for callee, line, held_at, path in cls:
+            for cap in effects.get(callee, ()):
+                for h in held_at:
+                    if h != cap:
+                        edges.setdefault((h, cap), (path, line))
+
+    nodes = sorted({n for e in edges for n in e} |
+                   {c for caps in direct.values() for c in caps})
+    return nodes, edges
+
+
+def find_cycles(nodes, edges):
+    """Strongly connected components with >1 node (or a self-edge):
+    each is a potential-deadlock cycle. Tarjan, iterative."""
+    adj = {n: [] for n in nodes}
+    for (a, b) in edges:
+        adj[a].append(b)
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(adj[root]))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(adj[nxt])))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                if len(scc) > 1 or (node, node) in edges:
+                    sccs.append(sorted(scc))
+    return sccs
+
+
+def try_libclang():
+    try:
+        import clang.cindex as ci  # noqa: F401
+        return ci
+    except Exception:
+        return None
+
+
+def libclang_inventory(ci, path, include_dir):
+    """AST-walk inventory of static-storage VarDecls (libclang
+    backend). Returns [(line, name)] candidates; classification still
+    uses the source text, which carries the annotations."""
+    tu_index = ci.Index.create()
+    tu = tu_index.parse(path, args=["-std=c++20", "-x", "c++",
+                                    "-I" + include_dir])
+    out = []
+    def walk(cur):
+        for c in cur.get_children():
+            if str(c.location.file) != path:
+                continue
+            if c.kind == ci.CursorKind.VAR_DECL:
+                sc = c.storage_class
+                at_ns = c.semantic_parent.kind in (
+                    ci.CursorKind.TRANSLATION_UNIT,
+                    ci.CursorKind.NAMESPACE)
+                if at_ns or sc == ci.StorageClass.STATIC:
+                    t = c.type.spelling
+                    if "const" not in t:
+                        out.append((c.location.line, c.spelling))
+            walk(c)
+    walk(tu.cursor)
+    return out
+
+
+def collect_files(targets):
+    files = []
+    for t in targets:
+        if os.path.isfile(t):
+            files.append(t)
+        else:
+            for dirpath, _, names in os.walk(t):
+                for n in sorted(names):
+                    if n.endswith((".cc", ".hh", ".cpp", ".hpp")):
+                        files.append(os.path.join(dirpath, n))
+    return sorted(files)
+
+
+def audit(files, root):
+    findings = []
+    analyses = []
+    inventory = {"capabilities": 0, "guarded": 0, "atomic": 0,
+                 "confined": 0, "thread_local": 0, "allowed": 0,
+                 "guarded_fields": 0, "globals": 0}
+    raw_by_path = {}
+
+    for path in files:
+        rel = os.path.relpath(path, root) if root else path
+        fa, raw = analyze_file(path, rel)
+        analyses.append(fa)
+        raw_by_path[rel] = raw
+        inventory["capabilities"] += fa.capability_count
+        inventory["guarded_fields"] += len(fa.guarded_by)
+        for line, name, cls, detail in fa.globals:
+            inventory["globals"] += 1
+            if cls == "unannotated":
+                findings.append({
+                    "path": rel, "line": line,
+                    "rule": "unannotated-global",
+                    "message": f"'{name}' is mutable shared state "
+                               f"with no guarded/atomic/confined "
+                               f"classification (annotate with "
+                               f"JETSIM_GUARDED_BY, make it atomic, "
+                               f"or justify `// jetrace: "
+                               f"confined(<thread>)`)"})
+            else:
+                key = {"guarded": "guarded", "atomic": "atomic",
+                       "confined": "confined",
+                       "thread_local": "thread_local",
+                       "allowed": "allowed"}[cls]
+                inventory[key] += 1
+        for line, tok in fa.raw_mutex:
+            findings.append({
+                "path": rel, "line": line, "rule": "raw-mutex",
+                "message": f"{tok} bypasses core::Mutex/LockGuard; "
+                           f"the lock becomes invisible to "
+                           f"-Wthread-safety and the jetrace lock "
+                           f"graph"})
+        for line, cap in fa.guarded_by:
+            if fa.mutex_decls and cap not in fa.mutex_decls:
+                if not allowed(raw_by_path[rel], line - 1,
+                               "unknown-capability"):
+                    findings.append({
+                        "path": rel, "line": line,
+                        "rule": "unknown-capability",
+                        "message": f"JETSIM_GUARDED_BY({cap}) does "
+                                   f"not name a core::Mutex declared "
+                                   f"in this file"})
+
+    nodes, edges = build_lock_graph(analyses)
+    cycles = find_cycles(nodes, edges)
+    for cyc in cycles:
+        involved = [(a, b) for (a, b) in edges
+                    if a in cyc and b in cyc]
+        where = "; ".join(
+            f"{a}->{b} at {edges[(a, b)][0]}:{edges[(a, b)][1]}"
+            for a, b in sorted(involved))
+        findings.append({
+            "path": edges[involved[0]][0] if involved else "",
+            "line": edges[involved[0]][1] if involved else 0,
+            "rule": "lock-cycle",
+            "message": f"lock-order cycle over {{{', '.join(cyc)}}} "
+                       f"({where}): two threads taking these locks "
+                       f"in opposite orders can deadlock"})
+
+    findings.sort(key=lambda f: (f["path"], f["line"], f["rule"]))
+    lock_graph = {
+        "nodes": nodes,
+        "edges": [{"from": a, "to": b, "path": p, "line": ln}
+                  for (a, b), (p, ln) in sorted(edges.items())],
+        "acyclic": not cycles,
+    }
+    return findings, inventory, lock_graph
+
+
+# --- self-test ---------------------------------------------------------
+
+# C++ rendition of src/mc/toylock: the same two-lock discipline jetmc
+# model-checks dynamically, expressed in the core::Mutex idiom jetrace
+# audits statically. Worker programs mirror ToyLockModel::run.
+SELFTEST_COMMON = """\
+#include "core/mutex.hh"
+using jetsim::core::LockGuard;
+using jetsim::core::Mutex;
+
+Mutex lockA;
+Mutex lockB;
+int shared_ab JETSIM_GUARDED_BY(lockA);
+"""
+
+SELFTEST_ORDERED = SELFTEST_COMMON + """
+void worker1() { LockGuard a(lockA); LockGuard b(lockB); ++shared_ab; }
+void worker2() { LockGuard a(lockA); LockGuard b(lockB); ++shared_ab; }
+"""
+
+SELFTEST_INVERTED = SELFTEST_COMMON + """
+void worker1() { LockGuard a(lockA); LockGuard b(lockB); ++shared_ab; }
+void worker2() { LockGuard b(lockB); LockGuard a(lockA); }
+"""
+
+
+def selftest(jetmc_ce):
+    import tempfile
+    ok = True
+    with tempfile.TemporaryDirectory() as td:
+        for name, src, want_cycle in [
+                ("toylock_ordered.cc", SELFTEST_ORDERED, False),
+                ("toylock_inverted.cc", SELFTEST_INVERTED, True)]:
+            p = os.path.join(td, name)
+            with open(p, "w", encoding="utf-8") as f:
+                f.write(src)
+            findings, _, graph = audit([p], td)
+            cycles = [f for f in findings if f["rule"] == "lock-cycle"]
+            if want_cycle and not cycles:
+                print(f"jetrace selftest: FAILED — no lock-cycle "
+                      f"reported for {name}")
+                ok = False
+            elif not want_cycle and cycles:
+                print(f"jetrace selftest: FAILED — spurious "
+                      f"lock-cycle on {name}: {cycles}")
+                ok = False
+            others = [f for f in findings if f["rule"] != "lock-cycle"]
+            if others:
+                print(f"jetrace selftest: FAILED — unexpected "
+                      f"findings on {name}: {others}")
+                ok = False
+            if not want_cycle and \
+                    ("lockA", "lockB") not in {
+                        (e["from"], e["to"]) for e in graph["edges"]}:
+                print("jetrace selftest: FAILED — ordered variant "
+                      "missing the lockA->lockB edge")
+                ok = False
+    if ok:
+        print("jetrace selftest: inverted two-lock fixture yields "
+              "the lockA<->lockB cycle; ordered fixture is acyclic")
+    if jetmc_ce:
+        try:
+            with open(jetmc_ce, encoding="utf-8") as f:
+                ce = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"jetrace selftest: cannot read jetmc CE "
+                  f"{jetmc_ce}: {e}")
+            return False
+        if ce.get("what") != "deadlock" or \
+                ce.get("model") != "toylock-inverted":
+            print(f"jetrace selftest: FAILED — jetmc CE disagrees "
+                  f"(model={ce.get('model')}, what={ce.get('what')}); "
+                  f"static verdict says only the inverted discipline "
+                  f"deadlocks")
+            return False
+        print("jetrace selftest: cross-check OK — jetmc's dynamic "
+              "deadlock is on toylock-inverted, matching the static "
+              "cycle verdict")
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="concurrency-discipline audit for jetsim src/")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit findings + inventory + lock graph as "
+                         "JSON on stdout")
+    ap.add_argument("--dot", action="store_true",
+                    help="emit the lock-order graph in DOT form")
+    ap.add_argument("--selftest", action="store_true",
+                    help="audit the embedded two-lock fixtures "
+                         "(mirrors jetmc --selftest)")
+    ap.add_argument("--jetmc-ce", default=None, metavar="FILE",
+                    help="with --selftest: cross-check against the "
+                         "counterexample jetmc found dynamically")
+    ap.add_argument("--backend", default="auto",
+                    choices=["auto", "lex", "libclang"],
+                    help="inventory backend (default: libclang when "
+                         "the bindings are importable, else lexical)")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule table and exit")
+    ap.add_argument("paths", nargs="*",
+                    help="files/dirs to audit (default: <root>/src)")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for rule, desc in RULES:
+            print(f"{rule:20} {desc}")
+        return 0
+
+    if args.selftest:
+        return 0 if selftest(args.jetmc_ce) else 1
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    targets = args.paths or [os.path.join(root, "src")]
+    files = collect_files(targets)
+    if not files:
+        print("jetrace: no input files", file=sys.stderr)
+        return 2
+
+    ci = None
+    if args.backend in ("auto", "libclang"):
+        ci = try_libclang()
+        if ci is None and args.backend == "libclang":
+            print("jetrace: libclang Python bindings not importable; "
+                  "install them or use --backend=lex", file=sys.stderr)
+            return 2
+        if ci is None and not args.json:
+            print("jetrace: note: libclang bindings unavailable; "
+                  "using the lexical backend", file=sys.stderr)
+
+    findings, inventory, lock_graph = audit(files, root)
+
+    if ci is not None:
+        # AST refinement: any static-storage VarDecl the lexical
+        # inventory missed becomes a finding too.
+        seen = set()
+        lex_names = {(f["path"], f["line"]) for f in findings}
+        src_dir = os.path.join(root, "src")
+        for path in files:
+            rel = os.path.relpath(path, root)
+            for line, name in libclang_inventory(ci, path, src_dir):
+                key = (rel, line)
+                if key in lex_names or key in seen:
+                    continue
+                seen.add(key)
+                with open(path, encoding="utf-8",
+                          errors="replace") as f:
+                    raw = f.read().splitlines()
+                code = raw[line - 1] if line - 1 < len(raw) else ""
+                if SYNC_TYPE_RE.search(code) or \
+                        GUARDED_BY_RE.search(code) or \
+                        "thread_local" in code or \
+                        annotation_comment(raw, line - 1) or \
+                        allowed(raw, line - 1, "unannotated-global"):
+                    continue
+                findings.append({
+                    "path": rel, "line": line,
+                    "rule": "unannotated-global",
+                    "message": f"'{name}' (libclang): mutable "
+                               f"static-storage object with no "
+                               f"classification"})
+        findings.sort(key=lambda f: (f["path"], f["line"], f["rule"]))
+
+    if args.dot:
+        print("digraph lock_order {")
+        for e in lock_graph["edges"]:
+            print(f'  "{e["from"]}" -> "{e["to"]}" '
+                  f'[label="{e["path"]}:{e["line"]}"];')
+        print("}")
+        return 0
+
+    if args.json:
+        print(json.dumps({"schema_version": SCHEMA_VERSION,
+                          "tool": "jetrace",
+                          "findings": findings,
+                          "files": len(files),
+                          "inventory": inventory,
+                          "lock_graph": lock_graph}, indent=2))
+        return 1 if findings else 0
+
+    for f in findings:
+        print(f"{f['path']}:{f['line']}: [{f['rule']}] "
+              f"{f['message']}")
+    n_edges = len(lock_graph["edges"])
+    shape = "acyclic" if lock_graph["acyclic"] else "CYCLIC"
+    if findings:
+        print(f"jetrace: {len(findings)} finding(s) in "
+              f"{len(files)} files (lock graph: "
+              f"{len(lock_graph['nodes'])} capabilities, "
+              f"{n_edges} edges, {shape})")
+        return 1
+    print(f"jetrace: {len(files)} files clean — "
+          f"{inventory['capabilities']} capabilities, "
+          f"{inventory['guarded_fields']} guarded fields, "
+          f"{inventory['atomic']} atomic, "
+          f"{inventory['confined']} confined, "
+          f"{inventory['guarded']} self-synchronized globals; "
+          f"lock graph {len(lock_graph['nodes'])} nodes / "
+          f"{n_edges} edges, {shape}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
