@@ -18,16 +18,21 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "core/digest.hh"
+#include "core/fleet.hh"
 #include "core/profiler.hh"
 #include "cpu/scheduler.hh"
 #include "gpu/cost_model.hh"
 #include "models/zoo.hh"
 #include "sim/event_queue.hh"
+#include "sim/sharded_engine.hh"
 #include "soc/board.hh"
 #include "trt/builder.hh"
 
@@ -90,6 +95,49 @@ BM_SchedulerContention(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SchedulerContention)->Arg(2)->Arg(8)->Arg(16);
+
+/** The fleet spec both the BM_ShardedEngine series and the --json
+ * shard block run: 8 devices over both boards with balancer plus
+ * local traffic, sized so every shard owns real work. */
+static core::FleetSpec
+shardBenchSpec()
+{
+    core::FleetSpec spec;
+    for (int d = 0; d < 8; ++d)
+        spec.devices.push_back({d % 2 ? "nano" : "orin-nano",
+                                d % 4 < 2 ? "resnet18" : "mobilenet_v2",
+                                soc::Precision::Int8, 1, 60.0});
+    spec.balancer_rate = 500.0;
+    spec.warmup = sim::msec(20);
+    spec.duration = sim::msec(250);
+    spec.seed = 29;
+    return spec;
+}
+
+static void
+BM_ShardedEngine(benchmark::State &state)
+{
+    // Throughput of the epoch path at shards == threads == range(0);
+    // shards=1 is the serial EventQueue baseline through the same
+    // fleet. Items processed == simulated events, so the reported
+    // items/s is directly the events/s scaling curve.
+    const int shards = static_cast<int>(state.range(0));
+    const core::FleetSpec spec = shardBenchSpec();
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        core::FleetOptions o;
+        o.shards = shards;
+        o.threads = shards;
+        const auto r = core::runFleet(spec, o);
+        events = r.events;
+        benchmark::DoNotOptimize(r.dispatched);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ShardedEngine)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
 
 static void
 BM_KernelCostModel(benchmark::State &state)
@@ -209,6 +257,50 @@ fullCellMs(int processes, int reps)
            });
 }
 
+struct ShardPoint
+{
+    int shards;
+    double events_per_sec;
+    double speedup;
+    bool digest_match;
+};
+
+/**
+ * The sharded scaling series for the JSON record: the shard-bench
+ * fleet at shards == threads in {1, 2, 4, 8}, each point's digest
+ * compared against the serial run. events_per_sec counts simulated
+ * events (FleetResult::events, shard-count-invariant), so speedup is
+ * a pure wall-clock ratio.
+ */
+std::vector<ShardPoint>
+shardSeries(int reps, std::uint64_t &events_out)
+{
+    const core::FleetSpec spec = shardBenchSpec();
+    const auto serial = core::runFleet(spec, {});
+    const auto want = core::resultDigest(serial);
+    events_out = serial.events;
+
+    std::vector<ShardPoint> out;
+    double serial_evps = 0.0;
+    for (const int shards : {1, 2, 4, 8}) {
+        core::FleetOptions o;
+        o.shards = shards;
+        o.threads = shards;
+        bool match = true;
+        const double s = minSeconds(reps, [&spec, &o, &want, &match] {
+            const auto r = core::runFleet(spec, o);
+            match = match && core::resultDigest(r) == want;
+        });
+        const double evps = static_cast<double>(serial.events) / s;
+        if (shards == 1)
+            serial_evps = evps;
+        out.push_back({shards, evps,
+                       serial_evps > 0.0 ? evps / serial_evps : 0.0,
+                       match});
+    }
+    return out;
+}
+
 /**
  * sbo_misses after the steady-state schedule workload: every hot-path
  * callback (`this` + small ids) must fit InlineFn's inline buffer, so
@@ -238,7 +330,10 @@ constexpr double kSeedFullCell4Ms = 10.6;
 /** bench::kHostNote plus the cross-reference to the seed numbers. */
 const std::string kHostNote = std::string(bench::kHostNote) +
     "; same flags and host class as the seed baselines and "
-    "BENCH_runner.json";
+    "BENCH_runner.json; shared-host absolute numbers drift between "
+    "records (all sections are re-measured together, so compare "
+    "within one record); the sharded_fleet series on a 1-core host "
+    "records scheduling overhead, not scaling - see the cores field";
 
 int
 emitJson(const std::string &path)
@@ -248,6 +343,8 @@ emitJson(const std::string &path)
     const double cancel = cancelHeavyEventsPerSec(400);
     const double cell1 = fullCellMs(1, 6);
     const double cell4 = fullCellMs(4, 6);
+    std::uint64_t fleet_events = 0;
+    const auto shard_pts = shardSeries(4, fleet_events);
 
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -278,6 +375,25 @@ emitJson(const std::string &path)
     std::fprintf(f, "    \"seed_procs4_ms\": %.2f,\n", kSeedFullCell4Ms);
     std::fprintf(f, "    \"procs4_speedup\": %.2f\n",
                  kSeedFullCell4Ms / cell4);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"sharded_fleet\": {\n");
+    std::fprintf(f, "    \"events\": %llu,\n",
+                 static_cast<unsigned long long>(fleet_events));
+    std::fprintf(f, "    \"cores\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "    \"series\": [\n");
+    for (std::size_t i = 0; i < shard_pts.size(); ++i) {
+        const auto &p = shard_pts[i];
+        std::fprintf(f,
+                     "      {\"shards\": %d, \"threads\": %d, "
+                     "\"events_per_sec\": %.3e, "
+                     "\"speedup_vs_serial\": %.2f, "
+                     "\"digest_match\": %s}%s\n",
+                     p.shards, p.shards, p.events_per_sec, p.speedup,
+                     p.digest_match ? "true" : "false",
+                     i + 1 < shard_pts.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"event_queue_sbo_misses\": %llu,\n",
                  static_cast<unsigned long long>(

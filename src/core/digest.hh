@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "core/experiment.hh"
+#include "core/fleet.hh"
 
 namespace jetsim::core {
 
@@ -24,6 +25,16 @@ std::uint64_t resultDigest(const ExperimentResult &r);
 
 /** Digest of a heterogeneous (multi-tenant) result. */
 std::uint64_t resultDigest(const MixedExperimentResult &r);
+
+/**
+ * Digest of a fleet result. Folds only topology-invariant fields —
+ * per-board serving metrics, balancer decisions, and the total
+ * executed-event count — never the engine's epoch/merge diagnostics,
+ * which legitimately vary with (shards, threads). Equality of this
+ * digest across configurations *is* the sharded engine's bit-identity
+ * claim (tests/sim/sharded_diff_test.cc, CI pass 1c).
+ */
+std::uint64_t resultDigest(const FleetResult &r);
 
 } // namespace jetsim::core
 

@@ -1,0 +1,371 @@
+#include "core/fleet.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "cpu/scheduler.hh"
+#include "gpu/engine.hh"
+#include "models/zoo.hh"
+#include "prof/cdf.hh"
+#include "sim/logging.hh"
+#include "sim/sharded_engine.hh"
+#include "soc/board.hh"
+#include "soc/device_spec.hh"
+#include "soc/shard_map.hh"
+#include "workload/serving_process.hh"
+
+namespace jetsim::core {
+
+std::string
+FleetSpec::label() const
+{
+    std::string s = "fleet[";
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        const auto &d = devices[i];
+        if (i)
+            s += " + ";
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "%s/%s/%s b%d",
+                      d.device.c_str(), d.model.c_str(),
+                      soc::name(d.precision), d.batch);
+        s += buf;
+        if (d.local_rate > 0.0) {
+            std::snprintf(buf, sizeof(buf), " l%g", d.local_rate);
+            s += buf;
+        }
+    }
+    char tail[96];
+    std::snprintf(tail, sizeof(tail), "] r%g d%gus s%llu",
+                  balancer_rate, sim::toUsec(dispatch_latency),
+                  static_cast<unsigned long long>(seed));
+    s += tail;
+    return s;
+}
+
+namespace {
+
+/** One board's full simulation stack, pinned to its shard's queue. */
+struct Node
+{
+    Node(const FleetDevice &d, sim::EventQueue &eq, std::uint64_t seed)
+        : board(soc::deviceByName(d.device), eq, seed), sched(board),
+          gpu(board), net(models::modelByName(d.model))
+    {
+        workload::ServingConfig cfg;
+        cfg.name = "srv"; // per-fleet index appended by caller
+        cfg.build.precision = d.precision;
+        cfg.build.batch = d.batch;
+        cfg.arrival_rate = d.local_rate; // 0 = balancer-fed only
+        srv_cfg = cfg;
+    }
+
+    soc::Board board;
+    cpu::OsScheduler sched;
+    gpu::GpuEngine gpu;
+    graph::Network net;
+    workload::ServingConfig srv_cfg;
+    std::unique_ptr<workload::ServingProcess> srv;
+};
+
+/**
+ * The central dispatcher: fleet-wide Poisson arrivals on shard 0,
+ * round-robin over deployed boards, each decision posted through the
+ * engine's cross-shard path with the spec's dispatch latency.
+ */
+struct Balancer
+{
+    sim::ShardedEngine &engine;
+    sim::EventQueue &eq; ///< shard 0 — where decisions execute
+    sim::Rng rng;
+    int port;
+    double rate;
+    sim::Tick latency;
+    /** (dst shard, server), in device order — the round-robin ring. */
+    std::vector<std::pair<int, workload::ServingProcess *>> targets;
+    std::size_t next = 0;
+    bool measuring = false;
+    bool stopped = false;
+    std::uint64_t dispatched = 0;
+
+    void
+    scheduleNext()
+    {
+        const double mean_ns = 1e9 / rate;
+        double u = rng.uniform();
+        if (u < 1e-12)
+            u = 1e-12;
+        const auto gap =
+            static_cast<sim::Tick>(-mean_ns * std::log(u)) + 1;
+        eq.scheduleIn(gap, [this] { onArrival(); });
+    }
+
+    void
+    onArrival()
+    {
+        if (stopped)
+            return;
+        const auto [shard, srv] = targets[next];
+        next = (next + 1) % targets.size();
+        if (measuring)
+            ++dispatched;
+        // The request's latency clock starts here; the dispatch hop
+        // is the fleet's one cross-shard edge (= engine lookahead).
+        const sim::Tick origin = eq.now();
+        engine.post(port, shard, origin + latency,
+                    [srv, origin] { srv->injectArrival(origin); });
+        scheduleNext();
+    }
+};
+
+} // namespace
+
+FleetResult
+runFleet(const FleetSpec &spec, const FleetOptions &opts)
+{
+    JETSIM_ASSERT(!spec.devices.empty());
+    JETSIM_ASSERT(spec.dispatch_latency >= 1);
+
+    const int n = static_cast<int>(spec.devices.size());
+    const auto map = soc::ShardMap::roundRobin(
+        n, opts.shards < 1 ? 1 : opts.shards);
+
+    sim::ShardedEngine::Options eopts;
+    eopts.shards = map.shards();
+    eopts.threads = opts.threads < 1 ? 1 : opts.threads;
+    eopts.lookahead =
+        opts.lookahead < 0 ? spec.dispatch_latency : opts.lookahead;
+    sim::ShardedEngine engine(eopts);
+
+    FleetResult res;
+    res.spec = spec;
+    res.all_deployed = true;
+
+    // Boards in spec order; the seed stride keeps per-board RNG
+    // streams independent of fleet size and shard topology.
+    std::vector<std::unique_ptr<Node>> nodes;
+    nodes.reserve(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+        auto node = std::make_unique<Node>(
+            spec.devices[static_cast<std::size_t>(d)],
+            engine.shard(map.shardOf(d)),
+            spec.seed * 1000003 + static_cast<std::uint64_t>(d));
+        node->board.start();
+        node->srv_cfg.name = "srv" + std::to_string(d);
+        node->srv = std::make_unique<workload::ServingProcess>(
+            node->board, node->sched, node->gpu, node->net,
+            node->srv_cfg);
+        if (!node->srv->deploy())
+            res.all_deployed = false;
+        nodes.push_back(std::move(node));
+    }
+
+    Balancer bal{engine,
+                 engine.shard(0),
+                 sim::Rng(spec.seed).fork("fleet-balancer"),
+                 engine.addPort(0),
+                 spec.balancer_rate,
+                 spec.dispatch_latency,
+                 {},
+                 0,
+                 false,
+                 false,
+                 0};
+    for (int d = 0; d < n; ++d)
+        if (nodes[static_cast<std::size_t>(d)]->srv->deployed())
+            bal.targets.emplace_back(
+                map.shardOf(d),
+                nodes[static_cast<std::size_t>(d)]->srv.get());
+
+    for (auto &node : nodes)
+        if (node->srv->deployed())
+            node->srv->start();
+    if (spec.balancer_rate > 0.0 && !bal.targets.empty())
+        bal.scheduleNext();
+
+    engine.runUntil(spec.warmup);
+    for (auto &node : nodes)
+        node->srv->beginMeasurement();
+    bal.measuring = true;
+    engine.runUntil(spec.warmup + spec.duration);
+    bal.measuring = false;
+    bal.stopped = true;
+    for (auto &node : nodes) {
+        node->srv->endMeasurement();
+        node->srv->stopArrivals();
+    }
+
+    prof::Cdf fleet_latency;
+    for (int d = 0; d < n; ++d) {
+        const auto &node = *nodes[static_cast<std::size_t>(d)];
+        const auto &srv = *node.srv;
+        FleetDeviceResult r;
+        r.name = "srv" + std::to_string(d);
+        r.device = spec.devices[static_cast<std::size_t>(d)].device;
+        r.deployed = srv.deployed();
+        if (r.deployed) {
+            r.arrived = srv.arrived();
+            r.served = srv.served();
+            r.throughput = srv.achievedThroughput();
+            const auto &lat = srv.requestLatency();
+            if (!lat.empty()) {
+                r.p50_ms = sim::toMsec(
+                    static_cast<sim::Tick>(lat.quantile(0.5)));
+                r.p99_ms = sim::toMsec(
+                    static_cast<sim::Tick>(lat.quantile(0.99)));
+                r.max_ms =
+                    sim::toMsec(static_cast<sim::Tick>(lat.max()));
+            }
+            for (const double x : lat.samples())
+                fleet_latency.add(x);
+            r.max_queue = srv.maxQueueDepth();
+            res.total_throughput += r.throughput;
+        }
+        res.devices.push_back(std::move(r));
+    }
+    if (!fleet_latency.empty())
+        res.p99_ms = sim::toMsec(
+            static_cast<sim::Tick>(fleet_latency.quantile(0.99)));
+    res.dispatched = bal.dispatched;
+
+    const auto st = engine.stats();
+    res.events = st.executed;
+    res.epochs = st.epochs;
+    res.merge_steps = st.merge_steps;
+    res.messages = st.messages;
+    return res;
+}
+
+// ---------------------------------------------------------------------------
+// Replay specs: flat key=value, one per line. Written by the
+// differential harness on failure, consumed by simcheck
+// --fleet-replay; doubles use %.17g so the round trip is bit-exact.
+
+bool
+writeFleetReplay(const FleetSpec &spec, const FleetOptions &opts,
+                 const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    char buf[64];
+    auto num = [&buf](double v) {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        return std::string(buf);
+    };
+    out << "devices=" << spec.devices.size() << "\n";
+    for (std::size_t i = 0; i < spec.devices.size(); ++i) {
+        const auto &d = spec.devices[i];
+        out << "d" << i << ".device=" << d.device << "\n";
+        out << "d" << i << ".model=" << d.model << "\n";
+        out << "d" << i << ".precision=" << soc::name(d.precision)
+            << "\n";
+        out << "d" << i << ".batch=" << d.batch << "\n";
+        out << "d" << i << ".local_rate=" << num(d.local_rate)
+            << "\n";
+    }
+    out << "balancer_rate=" << num(spec.balancer_rate) << "\n";
+    out << "dispatch_latency=" << spec.dispatch_latency << "\n";
+    out << "warmup=" << spec.warmup << "\n";
+    out << "duration=" << spec.duration << "\n";
+    out << "seed=" << spec.seed << "\n";
+    out << "shards=" << opts.shards << "\n";
+    out << "threads=" << opts.threads << "\n";
+    out << "lookahead=" << opts.lookahead << "\n";
+    return static_cast<bool>(out);
+}
+
+bool
+readFleetReplay(const std::string &path, FleetSpec &spec,
+                FleetOptions &opts, std::string &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot open " + path;
+        return false;
+    }
+    spec = FleetSpec{};
+    spec.devices.clear();
+    opts = FleetOptions{};
+
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            err = path + ":" + std::to_string(lineno) +
+                  ": expected key=value";
+            return false;
+        }
+        const std::string key = line.substr(0, eq);
+        const std::string val = line.substr(eq + 1);
+
+        if (key == "devices") {
+            spec.devices.resize(
+                static_cast<std::size_t>(std::stoul(val)));
+            continue;
+        }
+        if (key.size() > 1 && key[0] == 'd' &&
+            key.find('.') != std::string::npos) {
+            const auto dot = key.find('.');
+            const auto idx = static_cast<std::size_t>(
+                std::stoul(key.substr(1, dot - 1)));
+            if (idx >= spec.devices.size()) {
+                err = path + ":" + std::to_string(lineno) +
+                      ": device index out of range";
+                return false;
+            }
+            auto &d = spec.devices[idx];
+            const std::string field = key.substr(dot + 1);
+            if (field == "device")
+                d.device = val;
+            else if (field == "model")
+                d.model = val;
+            else if (field == "precision")
+                d.precision = soc::precisionFromName(val);
+            else if (field == "batch")
+                d.batch = std::stoi(val);
+            else if (field == "local_rate")
+                d.local_rate = std::stod(val);
+            else {
+                err = path + ":" + std::to_string(lineno) +
+                      ": unknown device field " + field;
+                return false;
+            }
+            continue;
+        }
+        if (key == "balancer_rate")
+            spec.balancer_rate = std::stod(val);
+        else if (key == "dispatch_latency")
+            spec.dispatch_latency = std::stoll(val);
+        else if (key == "warmup")
+            spec.warmup = std::stoll(val);
+        else if (key == "duration")
+            spec.duration = std::stoll(val);
+        else if (key == "seed")
+            spec.seed = std::stoull(val);
+        else if (key == "shards")
+            opts.shards = std::stoi(val);
+        else if (key == "threads")
+            opts.threads = std::stoi(val);
+        else if (key == "lookahead")
+            opts.lookahead = std::stoll(val);
+        else {
+            err = path + ":" + std::to_string(lineno) +
+                  ": unknown key " + key;
+            return false;
+        }
+    }
+    if (spec.devices.empty()) {
+        err = path + ": no devices";
+        return false;
+    }
+    return true;
+}
+
+} // namespace jetsim::core

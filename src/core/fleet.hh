@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fleet experiments: a serving deployment over many boards on the
+ * sharded event core.
+ *
+ * A FleetSpec describes a heterogeneous fleet of simulated Jetson
+ * boards, each running one open-loop inference server
+ * (workload::ServingProcess), plus a central load balancer that
+ * receives fleet-wide Poisson traffic and dispatches requests
+ * round-robin over the boards with a fixed network latency. The
+ * dispatch hop is the *only* cross-device edge, which makes it the
+ * sharded engine's lookahead: with K shards (soc::ShardMap placement)
+ * the per-device event streams run in parallel between balancer
+ * decisions.
+ *
+ * The determinism contract extends core::Runner's: runFleet() is
+ * bit-identical — equal resultDigest(FleetResult) — at *any*
+ * (shards, threads) configuration, including the serial merge
+ * fallback. tests/core/fleet_test.cc and the sharded differential
+ * battery (tests/sim/sharded_diff_test.cc) are the proof; CI pass 1c
+ * gates the committed digests (GOLDEN_fleet.json via
+ * `simcheck --fleet-golden`).
+ */
+
+#ifndef JETSIM_CORE_FLEET_HH
+#define JETSIM_CORE_FLEET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "soc/precision.hh"
+
+namespace jetsim::core {
+
+/** One board of the fleet and the engine it serves. */
+struct FleetDevice
+{
+    std::string device = "orin-nano"; ///< soc::deviceByName
+    std::string model = "resnet50";   ///< models::modelByName
+    soc::Precision precision = soc::Precision::Int8;
+    int batch = 1;
+    /** Device-local open-loop arrivals (img/s) on top of balancer
+     * traffic; 0 = balancer-fed only. */
+    double local_rate = 0.0;
+};
+
+/** A fleet serving deployment. */
+struct FleetSpec
+{
+    std::vector<FleetDevice> devices;
+    /** Fleet-wide Poisson arrivals (img/s) at the balancer,
+     * dispatched round-robin. 0 disables the balancer. */
+    double balancer_rate = 200.0;
+    /** Balancer-to-device dispatch latency: the one cross-device
+     * edge, and therefore the sharded engine's lookahead. */
+    sim::Tick dispatch_latency = sim::usec(200);
+    sim::Tick warmup = sim::msec(100);
+    sim::Tick duration = sim::msec(500);
+    std::uint64_t seed = 1;
+
+    /** "fleet[orin-nano/resnet50/int8 b1, ...] r200 s1" style tag. */
+    std::string label() const;
+};
+
+/** Per-board outcome of a fleet run. */
+struct FleetDeviceResult
+{
+    std::string name;    ///< "srv0", matching FleetSpec order
+    std::string device;  ///< board name
+    bool deployed = false;
+    std::uint64_t arrived = 0; ///< requests reaching this board
+    std::uint64_t served = 0;  ///< requests completed in the window
+    double throughput = 0.0;   ///< served img/s
+    double p50_ms = 0.0;       ///< request latency median
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+    std::uint64_t max_queue = 0; ///< deepest backlog observed
+};
+
+/** Everything one fleet run produces. */
+struct FleetResult
+{
+    FleetSpec spec;
+    bool all_deployed = false;
+    std::vector<FleetDeviceResult> devices;
+    double total_throughput = 0.0;  ///< served img/s, fleet-wide
+    double p99_ms = 0.0;            ///< fleet-wide request p99
+    std::uint64_t dispatched = 0;   ///< balancer decisions (window)
+    /** Events executed across all shards — identical at any
+     * shard/thread count (the same simulation runs either way), so
+     * it is folded into the digest as a structural check. */
+    std::uint64_t events = 0;
+    /** @name Engine diagnostics — mode-dependent, never digested.
+     * @{ */
+    std::uint64_t epochs = 0;
+    std::uint64_t merge_steps = 0;
+    std::uint64_t messages = 0;
+    /** @} */
+};
+
+/** How to run a fleet: shard/thread topology of the event core. */
+struct FleetOptions
+{
+    int shards = 1;
+    int threads = 1;
+    /** Engine lookahead. -1 = auto (the spec's dispatch_latency);
+     * 0 = force the serial-merge fallback. */
+    sim::Tick lookahead = -1;
+};
+
+/** Simulate @p spec under @p opts (bit-identical at any opts). */
+FleetResult runFleet(const FleetSpec &spec,
+                     const FleetOptions &opts = {});
+
+/** @name Replay specs (differential harness <-> simcheck)
+ * A failing sharded-vs-serial comparison dumps its spec as a flat
+ * key=value file that `simcheck --fleet-replay` re-runs. @{ */
+bool writeFleetReplay(const FleetSpec &spec, const FleetOptions &opts,
+                      const std::string &path);
+bool readFleetReplay(const std::string &path, FleetSpec &spec,
+                     FleetOptions &opts, std::string &err);
+/** @} */
+
+} // namespace jetsim::core
+
+#endif // JETSIM_CORE_FLEET_HH

@@ -12,6 +12,11 @@ void
 Thread::exec(sim::Tick work, sim::InlineFn done)
 {
     JETSIM_ASSERT(work >= 0);
+    // A work item's callback waits in the thread queue, not the event
+    // queue, so EventQueue::schedule never sees its SBO state; count
+    // the miss against the queue it will eventually fire on.
+    if (done.onHeap())
+        sched_.eq().noteSboMiss();
     queue_.push_back(WorkItem{work, std::move(done)});
     if (state_ == State::Idle)
         sched_.makeRunnable(this);

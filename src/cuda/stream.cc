@@ -42,6 +42,10 @@ Stream::onComplete(std::uint64_t target, sim::InlineFn cb)
     JETSIM_ASSERT(target <= submitted_);
     // Targets arrive in nondecreasing order (stream FIFO discipline).
     JETSIM_ASSERT(waiters_.empty() || waiters_.back().target <= target);
+    // Waiters park outside the event queue; attribute SBO misses to
+    // the queue their completion will fire on.
+    if (cb.onHeap())
+        engine_.eq().noteSboMiss();
     waiters_.push_back(Waiter{target, std::move(cb)});
 }
 

@@ -62,6 +62,10 @@ GpuEngine::submit(int channel, const KernelDesc *k, Callback done)
                          k->name.c_str(), channel, ch.name.c_str());
         return; // drop: the owning stream no longer exists
     }
+    // Queued completions live in the channel, outside the event
+    // queue's own SBO accounting; attribute heap fallbacks here.
+    if (done.onHeap())
+        eq_.noteSboMiss();
     ch.queue.push_back(Queued{k, std::move(done), eq_.now()});
     ch.peak_depth = std::max(ch.peak_depth, channelDepth(channel));
 

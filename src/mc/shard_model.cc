@@ -1,0 +1,121 @@
+#include "mc/shard_model.hh"
+
+#include <array>
+
+#include "check/digest.hh"
+#include "check/reporter.hh"
+
+namespace jetsim::mc {
+
+namespace {
+
+/** Shared observer state for one run. */
+struct World
+{
+    sim::ShardedEngine &eng;
+    int port[2];
+    std::uint64_t target_hops;
+    bool racy;
+
+    std::uint64_t hops = 0;
+    std::array<std::uint64_t, 2> local{};
+    /** racy only: shard ids in execution order of same-tick events —
+     * precisely what merge arbitration is allowed to vary. */
+    std::vector<int> order_log;
+
+    void
+    hop(int s)
+    {
+        ++hops;
+        if (racy)
+            order_log.push_back(s);
+        if (hops >= target_hops)
+            return;
+        const int dst = 1 - s;
+        eng.post(port[s], dst, eng.shard(s).now() + 1,
+                 [this, dst] { hop(dst); });
+    }
+
+    void
+    localWork(int s)
+    {
+        ++local[static_cast<std::size_t>(s)];
+        if (racy)
+            order_log.push_back(s);
+    }
+};
+
+} // namespace
+
+RunOutcome
+ShardPingModel::run(const std::vector<int> &script)
+{
+    sim::ShardedEngine::Options opts;
+    opts.shards = 2;
+    opts.threads = 1;
+    opts.lookahead = 1; // post() minimum; chooser forces merge anyway
+    return runWith(opts, &script);
+}
+
+RunOutcome
+ShardPingModel::runWith(const sim::ShardedEngine::Options &opts,
+                        const std::vector<int> *script)
+{
+    // Count mode: findings must come back as data, not aborts.
+    check::ScopedCapture capture;
+
+    sim::ShardedEngine eng(opts);
+    World world{eng,
+                {eng.addPort(0), eng.addPort(1 % eng.shards())},
+                static_cast<std::uint64_t>(2 * rounds_),
+                racy_,
+                0,
+                {},
+                {}};
+
+    // The token starts on shard 0 at tick 1; hop r lands at tick r.
+    eng.shard(0).schedule(1, [&world] { world.hop(0); });
+    // Colliders: both shards busy at every token tick, so controlled
+    // runs hit a ShardMerge site per tick.
+    for (int t = 1; t <= 2 * rounds_; ++t)
+        for (int s = 0; s < eng.shards(); ++s)
+            eng.shard(s).schedule(
+                t, [&world, s] { world.localWork(s); });
+
+    TraceChooser chooser(script ? *script : std::vector<int>{});
+    if (script)
+        eng.setChooser(&chooser);
+    const std::uint64_t events = eng.runAll(100000);
+
+    RunOutcome out;
+    if (script)
+        out.trace = chooser.trace();
+    out.events = events;
+    out.violations = capture.total();
+    out.max_block_ms.assign(2, 0.0);
+
+    const auto expect_local =
+        static_cast<std::uint64_t>(2 * rounds_);
+    if (world.hops < world.target_hops ||
+        world.local[0] < expect_local ||
+        world.local[1] < expect_local) {
+        out.deadlock = true;
+        out.detail = "stalled: hops " + std::to_string(world.hops) +
+                     "/" + std::to_string(world.target_hops) +
+                     ", local " + std::to_string(world.local[0]) +
+                     "+" + std::to_string(world.local[1]) + "/" +
+                     std::to_string(2 * expect_local);
+    }
+
+    check::Digest d;
+    d.add(world.hops);
+    d.add(world.local[0]);
+    d.add(world.local[1]);
+    d.add(out.violations);
+    for (const int s : world.order_log)
+        d.add(static_cast<std::int64_t>(s));
+    out.digest = d.value();
+    return out;
+}
+
+} // namespace jetsim::mc

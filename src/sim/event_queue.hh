@@ -77,6 +77,19 @@ class EventQueue
     static constexpr int kPriSample = 100;
 
     /**
+     * Sequence-number band split for the sharded engine. Local
+     * events draw their insertion-order seq from a counter starting
+     * at kMessageSeqLimit; seqs below it are reserved for cross-shard
+     * messages (scheduleMessage), whose explicit (source port,
+     * counter) packing is independent of delivery timing. The split
+     * makes same-(tick,priority) ties between a message and a local
+     * event resolve message-first in *every* shard/thread
+     * configuration — the keystone of the sharded engine's
+     * bit-identical merge (DESIGN.md §4i).
+     */
+    static constexpr std::uint64_t kMessageSeqLimit = 1ull << 47;
+
+    /**
      * Cancellation handle for a scheduled event. Default-constructed
      * handles are inert. Cancelling an already-executed or already-
      * cancelled event is a no-op, and a handle may safely outlive the
@@ -198,6 +211,34 @@ class EventQueue
     /** Schedule @p cb at now() + @p delay. */
     Handle scheduleIn(Tick delay, Callback cb, int priority = kPriDefault);
 
+    /**
+     * Schedule a cross-shard message with an explicit low-band seq
+     * (must be < kMessageSeqLimit). The caller — sim::ShardedEngine —
+     * guarantees seqs are unique and that @p when is strictly beyond
+     * every tick this queue has already dispatched, so the key total
+     * order (and the JetSan monotonic-dispatch invariant) is
+     * preserved no matter when in the epoch protocol the message is
+     * physically inserted.
+     */
+    Handle scheduleMessage(Tick when, Callback cb, int priority,
+                           std::uint64_t msg_seq);
+
+    /** The next pending event's dispatch key (peek). */
+    struct NextEvent
+    {
+        Tick when = 0;
+        int priority = 0;
+        std::uint64_t seq = 0;
+    };
+
+    /**
+     * Peek the next pending event without executing it, pruning
+     * cancelled entries off the heap top. @return false when empty.
+     * Used by the sharded engine for horizon computation and the
+     * deterministic cross-shard merge.
+     */
+    bool peekNext(NextEvent &out);
+
     /** True when no pending (non-cancelled) events remain. */
     bool empty() const { return pool_.liveCount() == 0; }
 
@@ -226,11 +267,25 @@ class EventQueue
     /**
      * Snapshot of pool / heap / SBO health. peak_pending is the
      * high-water mark long sweeps can compare against the retained
-     * pool_capacity; sbo_misses counts scheduled callbacks whose
-     * captures exceeded InlineFn::kInlineSize (each one is a heap
-     * allocation on the hot path).
+     * pool_capacity; sbo_misses counts callbacks attributed to *this*
+     * queue whose captures exceeded InlineFn::kInlineSize (each one a
+     * heap allocation on the hot path): every callback scheduled
+     * here, plus component-held callbacks the owning components
+     * attribute via noteSboMiss(). Per-queue counting keeps per-shard
+     * stats attributable under the sharded engine; the process-wide
+     * aggregate (InlineFn::heapFallbackCount, used by
+     * `micro_sim --assert-sbo`) is unchanged.
      */
     Stats stats() const;
+
+    /**
+     * Attribute one InlineFn heap fallback to this queue. Components
+     * that hold callbacks *outside* the queue (cpu::Thread work
+     * items, gpu::GpuEngine completion callbacks, cuda::Stream
+     * waiters) call this so per-shard SBO accounting stays complete —
+     * schedule() already counts callbacks it stores itself.
+     */
+    void noteSboMiss() { ++sbo_misses_; }
 
     /**
      * Release retained capacity back to the allocator: shrinks the
@@ -305,6 +360,10 @@ class EventQueue
     void heapPush(HeapKey key, Index idx);
     void heapPopTop();
 
+    /** Common schedule body; @p seq is the full packed seq lane. */
+    Handle scheduleKeyed(Tick when, Callback cb, int priority,
+                         std::uint64_t seq);
+
     /**
      * Pop path when a Chooser is installed (cold, defined in the
      * .cc): collects the same-(when,priority) tie set at the top of
@@ -337,7 +396,11 @@ class EventQueue
     std::vector<Index> heap_idx_;
     Chooser *chooser_ = nullptr;
     Tick now_ = 0;
-    std::uint64_t seq_ = 0;
+    // Local insertion-order counter; starts above the message band so
+    // cross-shard messages (explicit seqs < kMessageSeqLimit) win
+    // same-(tick,priority) ties deterministically. The remaining
+    // 2^47 local seqs would still take ~140 T events to exhaust.
+    std::uint64_t seq_ = kMessageSeqLimit;
     std::uint64_t executed_ = 0;
     std::uint64_t peak_pending_ = 0;
     std::uint64_t sbo_misses_ = 0;
@@ -420,6 +483,13 @@ EventQueue::heapPopTop()
 inline EventQueue::Handle
 EventQueue::schedule(Tick when, Callback cb, int priority)
 {
+    return scheduleKeyed(when, std::move(cb), priority, seq_++);
+}
+
+inline EventQueue::Handle
+EventQueue::scheduleKeyed(Tick when, Callback cb, int priority,
+                          std::uint64_t seq)
+{
     if (when < now_) {
         JETSIM_VIOLATION(check::Severity::Error,
                          check::Invariant::Causality,
@@ -443,11 +513,43 @@ EventQueue::schedule(Tick when, Callback cb, int priority)
     if (cb.onHeap())
         ++sbo_misses_;
     const Index idx = pool_.alloc(std::move(cb));
-    heapPush(makeKey(when, priority, seq_++), idx);
+    heapPush(makeKey(when, priority, seq), idx);
     const std::uint64_t live = pool_.liveCount();
     if (live > peak_pending_)
         peak_pending_ = live;
     return Handle(life_, idx, pool_.gen(idx));
+}
+
+inline EventQueue::Handle
+EventQueue::scheduleMessage(Tick when, Callback cb, int priority,
+                            std::uint64_t msg_seq)
+{
+    JETSIM_CHECK(msg_seq < kMessageSeqLimit, check::Severity::Error,
+                 check::Invariant::Plausibility, detail::kEqComponent,
+                 now_,
+                 "message seq %llu outside the reserved low band",
+                 static_cast<unsigned long long>(msg_seq));
+    return scheduleKeyed(when, std::move(cb), priority,
+                         msg_seq & (kMessageSeqLimit - 1));
+}
+
+inline bool
+EventQueue::peekNext(NextEvent &out)
+{
+    while (!heap_keys_.empty()) {
+        const HeapKey key = heap_keys_.front();
+        const Index idx = heap_idx_.front();
+        if (pool_.cancelled(idx)) {
+            heapPopTop();
+            pool_.free(idx);
+            continue;
+        }
+        out.when = keyWhen(key);
+        out.priority = keyPriority(key);
+        out.seq = keySeq(key);
+        return true;
+    }
+    return false;
 }
 
 inline EventQueue::Handle

@@ -6,9 +6,13 @@
  * callbacks whose captures are tiny (`this` plus a couple of ids).
  * std::function heap-allocates for anything beyond two words;
  * InlineFn stores captures up to kInlineSize bytes in place and only
- * falls back to the heap beyond that. The fallback is counted
- * process-wide so tests (and EventQueue::stats()) can assert that the
- * steady-state schedule path never allocates.
+ * falls back to the heap beyond that. Fallbacks are counted twice
+ * over: a process-wide aggregate here (heapFallbackCount, the
+ * `micro_sim --assert-sbo` gate) and per event queue
+ * (EventQueue::stats().sbo_misses — schedule() counts callbacks it
+ * stores, components holding callbacks outside a queue attribute
+ * theirs via EventQueue::noteSboMiss), so under the sharded engine
+ * every miss is attributable to the shard that paid for it.
  *
  * Contract: callbacks whose capture state is <= kInlineSize bytes,
  * suitably aligned and nothrow-move-constructible never allocate.

@@ -1,0 +1,386 @@
+#include "sim/sharded_engine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace jetsim::sim {
+
+namespace {
+constexpr const char *kComponent = "sim.sharded_engine";
+} // namespace
+
+ShardedEngine::ShardedEngine(Options opts)
+{
+    JETSIM_ASSERT(opts.shards >= 1);
+    JETSIM_ASSERT(opts.threads >= 1);
+    JETSIM_ASSERT(opts.lookahead >= 0);
+    shards_.reserve(static_cast<std::size_t>(opts.shards));
+    for (int s = 0; s < opts.shards; ++s)
+        shards_.push_back(std::make_unique<Shard>());
+    threads_ = std::min(opts.threads, opts.shards);
+    lookahead_ = opts.lookahead;
+}
+
+ShardedEngine::~ShardedEngine()
+{
+    stopWorkers();
+    // Undelivered messages (posts past the last runUntil target) are
+    // dropped with their captured state; the queues destroy their own
+    // pending events.
+}
+
+EventQueue &
+ShardedEngine::shard(int s)
+{
+    JETSIM_ASSERT(s >= 0 && s < shards());
+    return shards_[static_cast<std::size_t>(s)]->eq;
+}
+
+int
+ShardedEngine::addPort(int shard_idx)
+{
+    JETSIM_ASSERT(shard_idx >= 0 && shard_idx < shards());
+    JETSIM_ASSERT(static_cast<int>(port_shard_.size()) < kMaxPorts);
+    port_shard_.push_back(shard_idx);
+    port_count_.push_back(0);
+    return static_cast<int>(port_shard_.size()) - 1;
+}
+
+void
+ShardedEngine::post(int src_port, int dst_shard, Tick when,
+                    EventQueue::Callback cb, int priority)
+{
+    JETSIM_ASSERT(src_port >= 0 &&
+                  src_port < static_cast<int>(port_shard_.size()));
+    JETSIM_ASSERT(dst_shard >= 0 && dst_shard < shards());
+    JETSIM_ASSERT(static_cast<bool>(cb));
+    const int src_shard = port_shard_[static_cast<std::size_t>(src_port)];
+    Shard &src = *shards_[static_cast<std::size_t>(src_shard)];
+    // The conservative bound: a message must not land inside the
+    // horizon the epoch that sent it was allowed to run under. With
+    // lookahead 0 (merge mode) one tick of latency still keeps the
+    // dispatch-key order shard-count-invariant.
+    const Tick min_delay = lookahead_ > 0 ? lookahead_ : 1;
+    if (when < src.eq.now() + min_delay) {
+        JETSIM_VIOLATION(check::Severity::Error,
+                         check::Invariant::Causality, kComponent,
+                         src.eq.now(),
+                         "cross-shard post at when=%lld violates the "
+                         "lookahead bound (src now=%lld, min "
+                         "delay=%lld)",
+                         static_cast<long long>(when),
+                         static_cast<long long>(src.eq.now()),
+                         static_cast<long long>(min_delay));
+        when = src.eq.now() + min_delay; // sanitise for Log mode
+    }
+    // Deterministic low-band seq: (port, per-port counter) — a pure
+    // function of what the simulation sent, never of when the epoch
+    // protocol delivers it. The counter is written only from the
+    // port's own shard, so no synchronisation is needed.
+    auto &count = port_count_[static_cast<std::size_t>(src_port)];
+    const std::uint64_t seq =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+             src_port))
+         << 32) |
+        count++;
+    JETSIM_ASSERT(seq < EventQueue::kMessageSeqLimit);
+
+    Shard &dst = *shards_[static_cast<std::size_t>(dst_shard)];
+    if (dst_shard == src_shard || threads_ == 1) {
+        // Same shard — or everything runs on the caller thread (merge
+        // mode and single-threaded epochs): insert directly. when is
+        // beyond anything the destination has dispatched, so the key
+        // order is identical to the buffered path.
+        dst.eq.scheduleMessage(when, std::move(cb), priority, seq);
+        return;
+    }
+    core::LockGuard lock(dst.shard_mu_);
+    dst.inbox.push_back(Msg{when, priority, seq, std::move(cb)});
+}
+
+void
+ShardedEngine::deliverInboxes()
+{
+    for (auto &sp : shards_) {
+        Shard &s = *sp;
+        {
+            core::LockGuard lock(s.shard_mu_);
+            std::swap(s.inbox, s.staged);
+        }
+        if (s.staged.empty())
+            continue;
+        max_inbox_ = std::max(max_inbox_,
+                              static_cast<std::uint64_t>(
+                                  s.staged.size()));
+        for (auto &m : s.staged)
+            s.eq.scheduleMessage(m.when, std::move(m.cb), m.priority,
+                                 m.seq);
+        s.staged.clear(); // keeps capacity: no steady-state alloc
+    }
+}
+
+bool
+ShardedEngine::peekShard(int s, EventQueue::NextEvent &out)
+{
+    return shards_[static_cast<std::size_t>(s)]->eq.peekNext(out);
+}
+
+bool
+ShardedEngine::nextEventTime(Tick &when)
+{
+    deliverInboxes();
+    bool any = false;
+    EventQueue::NextEvent e;
+    for (int s = 0; s < shards(); ++s) {
+        if (!peekShard(s, e))
+            continue;
+        if (!any || e.when < when)
+            when = e.when;
+        any = true;
+    }
+    return any;
+}
+
+std::uint64_t
+ShardedEngine::runUntil(Tick target)
+{
+    std::uint64_t n = chooser_ != nullptr || lookahead_ == 0 ||
+                              shards() == 1
+                          ? runMerge(target)
+                          : runEpochs(target);
+    // Advance every shard clock to exactly the target (mirrors
+    // EventQueue::runUntil semantics); nothing is pending at or
+    // before it.
+    for (auto &sp : shards_)
+        if (sp->eq.now() < target)
+            sp->eq.runUntil(target);
+    return n;
+}
+
+std::uint64_t
+ShardedEngine::runEpochs(Tick target)
+{
+    std::uint64_t n = 0;
+    for (;;) {
+        deliverInboxes();
+        Tick gmin = 0;
+        {
+            bool any = false;
+            EventQueue::NextEvent e;
+            for (int s = 0; s < shards(); ++s) {
+                if (!peekShard(s, e))
+                    continue;
+                if (!any || e.when < gmin)
+                    gmin = e.when;
+                any = true;
+            }
+            if (!any || gmin > target)
+                return n;
+        }
+        // Safety argument: every event executing this epoch has
+        // when >= gmin, so any message it posts lands at
+        // when >= gmin + lookahead >= horizon — outside the epoch.
+        const Tick cap = target >= kTickMax ? kTickMax : target + 1;
+        const Tick reach = gmin > kTickMax - lookahead_
+                               ? kTickMax
+                               : gmin + lookahead_;
+        const Tick horizon = std::min(cap, reach);
+        ++epochs_;
+        if (threads_ == 1) {
+            for (auto &sp : shards_)
+                n += sp->eq.runUntil(horizon - 1);
+        } else {
+            startWorkers();
+            executed_parallel_.store(0, std::memory_order_relaxed);
+            pending_.store(threads_, std::memory_order_relaxed);
+            horizon_.store(horizon, std::memory_order_relaxed);
+            epoch_.fetch_add(1, std::memory_order_release);
+            runShardSlice(0, horizon); // caller is worker 0
+            pending_.fetch_sub(1, std::memory_order_acq_rel);
+            while (pending_.load(std::memory_order_acquire) != 0)
+                std::this_thread::yield();
+            n += executed_parallel_.load(std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+ShardedEngine::runShardSlice(int worker, Tick horizon)
+{
+    std::uint64_t n = 0;
+    for (int s = worker; s < shards(); s += threads_)
+        n += shards_[static_cast<std::size_t>(s)]->eq.runUntil(
+            horizon - 1);
+    if (n != 0)
+        executed_parallel_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+ShardedEngine::workerLoop(int worker)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        while (epoch_.load(std::memory_order_acquire) == seen) {
+            if (stop_.load(std::memory_order_acquire))
+                return;
+            std::this_thread::yield();
+        }
+        seen = epoch_.load(std::memory_order_acquire);
+        runShardSlice(worker, horizon_.load(std::memory_order_relaxed));
+        pending_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+}
+
+void
+ShardedEngine::startWorkers()
+{
+    if (!workers_.empty() || threads_ <= 1)
+        return;
+    workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int w = 1; w < threads_; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+void
+ShardedEngine::stopWorkers()
+{
+    if (workers_.empty())
+        return;
+    stop_.store(true, std::memory_order_release);
+    for (auto &t : workers_)
+        t.join();
+    workers_.clear();
+    stop_.store(false, std::memory_order_release);
+}
+
+bool
+ShardedEngine::mergeOne(Tick target)
+{
+    // Candidate = each shard's next key; execute the globally
+    // smallest (when, priority, seq, shard). Cross-shard ties on the
+    // (when, priority) prefix are the ShardMerge arbitration sites:
+    // the default (alternative 0) is the smallest (seq, shard), which
+    // the epoch path reproduces by construction — message seqs order
+    // messages, and cross-shard *local* ties are independent events
+    // whose order is unobservable (DESIGN.md §4i).
+    int best = -1;
+    EventQueue::NextEvent best_e;
+    for (int s = 0; s < shards(); ++s) {
+        EventQueue::NextEvent e;
+        if (!peekShard(s, e))
+            continue;
+        if (best < 0 || e.when < best_e.when ||
+            (e.when == best_e.when &&
+             (e.priority < best_e.priority ||
+              (e.priority == best_e.priority &&
+               e.seq < best_e.seq)))) {
+            best = s;
+            best_e = e;
+        }
+    }
+    if (best < 0 || best_e.when > target)
+        return false;
+
+    int pick = best;
+    if (chooser_ != nullptr) {
+        // Collect every shard tied on the (when, priority) prefix,
+        // default first, shard index as the actor tag.
+        int cand[kMaxChoiceAlts];
+        std::int64_t actors[kMaxChoiceAlts];
+        int nc = 0;
+        cand[nc] = best;
+        actors[nc++] = best;
+        for (int s = 0; s < shards() && nc < kMaxChoiceAlts; ++s) {
+            if (s == best)
+                continue;
+            EventQueue::NextEvent e;
+            if (peekShard(s, e) && e.when == best_e.when &&
+                e.priority == best_e.priority) {
+                cand[nc] = s;
+                actors[nc++] = s;
+            }
+        }
+        if (nc > 1) {
+            const int c =
+                chooser_->choose(ChoiceKind::ShardMerge, actors, nc);
+            JETSIM_ASSERT(c >= 0 && c < nc);
+            pick = cand[c];
+        }
+    }
+    ++merge_steps_;
+    const bool ran = shards_[static_cast<std::size_t>(pick)]->eq.runOne();
+    JETSIM_ASSERT(ran);
+    return true;
+}
+
+std::uint64_t
+ShardedEngine::runMerge(Tick target)
+{
+    std::uint64_t n = 0;
+    for (;;) {
+        deliverInboxes(); // posts buffer only when threads_ > 1, but
+                          // stay correct under any configuration
+        if (!mergeOne(target))
+            return n;
+        ++n;
+    }
+}
+
+std::uint64_t
+ShardedEngine::runAll(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    if (chooser_ != nullptr || lookahead_ == 0 || shards() == 1) {
+        while (n < max_events) {
+            deliverInboxes();
+            if (!mergeOne(kTickMax))
+                break;
+            ++n;
+        }
+        return n;
+    }
+    Tick when = 0;
+    while (n < max_events && nextEventTime(when)) {
+        if (when > kTickMax - lookahead_) {
+            // Saturated tail (events scheduled at or near kTickMax):
+            // the epoch horizon cannot pass them, so merge serially.
+            deliverInboxes();
+            if (!mergeOne(kTickMax))
+                break;
+            ++n;
+            continue;
+        }
+        // Epoch-drain: run one horizon past the current minimum.
+        // runEpochs handles delivery, horizons and the barrier.
+        n += runEpochs(when + lookahead_);
+    }
+    return n;
+}
+
+void
+ShardedEngine::setChooser(Chooser *c)
+{
+    chooser_ = c;
+    for (auto &sp : shards_)
+        sp->eq.setChooser(c);
+}
+
+ShardedEngine::Stats
+ShardedEngine::stats() const
+{
+    Stats st;
+    st.shards = static_cast<int>(shards_.size());
+    st.threads = threads_;
+    st.lookahead = lookahead_;
+    st.epochs = epochs_;
+    st.merge_steps = merge_steps_;
+    st.max_inbox = max_inbox_;
+    for (const auto &sp : shards_)
+        st.executed += sp->eq.executed();
+    for (const std::uint32_t c : port_count_)
+        st.messages += c;
+    return st;
+}
+
+} // namespace jetsim::sim

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * ShardedEngine: conservative-lookahead parallel event core.
+ *
+ * One EventQueue *shard* per device (or device group). Device stacks
+ * share no mutable state across shards, so the only cross-shard edges
+ * are explicit messages — request arrivals, balancer decisions,
+ * future net:: hops — posted through post() with a minimum latency.
+ * That latency is the *lookahead* L of classic conservative
+ * (Chandy–Misra–Bryant-style) parallel discrete-event simulation, and
+ * it drives an epoch loop:
+ *
+ *   1. deliver every buffered cross-shard message into its
+ *      destination shard's heap;
+ *   2. global_min = the smallest pending (when) over all shards;
+ *   3. horizon = global_min + L: no event executing this epoch (all
+ *      at when >= global_min) can post a message due before horizon;
+ *   4. every shard runs its events with when < horizon — in parallel,
+ *      outbound posts buffered into per-shard inboxes behind a leaf
+ *      core::Mutex;
+ *   5. barrier; repeat.
+ *
+ * Determinism is *bit-identical* to the serial engine at any
+ * shard/thread count, by construction rather than by luck:
+ *  - within a shard, dispatch order is the packed (when, priority,
+ *    seq) key order of EventQueue — unchanged;
+ *  - cross-shard messages carry an explicit seq in the reserved low
+ *    band (EventQueue::kMessageSeqLimit), packed from (source port,
+ *    per-port counter): a pure function of simulation content, never
+ *    of epoch boundaries, worker assignment or delivery timing;
+ *  - events on *different* shards never touch shared state, so their
+ *    relative order across shards cannot affect any observable — the
+ *    same independence argument jetmc's partial-order reduction is
+ *    built on (DESIGN.md §4i has the proof sketch).
+ *
+ * With lookahead 0 (or a Chooser installed) the engine falls back to
+ * a serial cross-shard merge: repeatedly execute the globally
+ * smallest key, cross-shard same-(when,priority) ties resolved
+ * deterministically by (seq, shard) — or exposed to the model checker
+ * as ChoiceKind::ShardMerge arbitration points. Digests from the
+ * merge path equal the epoch path's for the same reason as above.
+ *
+ * Locking contract (jetrace, DESIGN.md §4h): the per-shard inbox
+ * locks are annotated core::Mutex, named `shard_mu_` so the
+ * `shard-lock-not-leaf` rule can hold them to the leaf discipline —
+ * no lock is ever acquired while one is held. The epoch barrier is
+ * lock-free (atomics + yield), so it adds no lock-graph nodes at all.
+ * The hot path is allocation-free at steady state: each shard reuses
+ * its slab EventPool, and inbox vectors retain capacity across
+ * epochs.
+ */
+
+#ifndef JETSIM_SIM_SHARDED_ENGINE_HH
+#define JETSIM_SIM_SHARDED_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/mutex.hh"
+#include "sim/event_queue.hh"
+
+namespace jetsim::sim {
+
+/** Parallel event core: one EventQueue shard per device group. */
+class ShardedEngine
+{
+  public:
+    /** Ports (message sources) fit the 15-bit lane of the packed
+     * message seq; counters per port fit the low 32 bits. */
+    static constexpr int kMaxPorts = 1 << 15;
+
+    struct Options
+    {
+        /** Event-queue shards (>= 1). */
+        int shards = 1;
+        /** Worker threads for the epoch phase; 1 = in-caller. Capped
+         * at the shard count (spare workers would idle). */
+        int threads = 1;
+        /**
+         * Conservative lookahead: the minimum delay of every
+         * cross-shard post. 0 selects the serial-merge fallback —
+         * bit-identical results, no parallelism. Ignored (treated as
+         * 0) while a Chooser is installed: controlled runs are
+         * single-threaded and branch at merge ties.
+         */
+        Tick lookahead = 0;
+    };
+
+    /** Epoch / message / merge counters (see stats()). */
+    struct Stats
+    {
+        int shards = 0;
+        int threads = 0;
+        Tick lookahead = 0;
+        std::uint64_t epochs = 0;      ///< parallel-phase barriers
+        std::uint64_t merge_steps = 0; ///< serial-merge dispatches
+        std::uint64_t messages = 0;    ///< lifetime post() count
+        std::uint64_t executed = 0;    ///< events over all shards
+        std::uint64_t max_inbox = 0;   ///< deepest inbox observed
+    };
+
+    explicit ShardedEngine(Options opts);
+    ~ShardedEngine();
+
+    ShardedEngine(const ShardedEngine &) = delete;
+    ShardedEngine &operator=(const ShardedEngine &) = delete;
+
+    int shards() const { return static_cast<int>(shards_.size()); }
+    int threads() const { return threads_; }
+    Tick lookahead() const { return lookahead_; }
+
+    /** Shard @p s's queue: the composition root for the boards mapped
+     * to that shard (soc::ShardMap). */
+    EventQueue &shard(int s);
+
+    /**
+     * Register a message source living on shard @p shard_idx; the
+     * returned port id feeds post(). Ports are allocated before the
+     * run starts (registration is not thread-safe) and their order is
+     * part of the deterministic merge: lower ports win
+     * message-message ties at equal (when, priority).
+     */
+    int addPort(int shard_idx);
+
+    /**
+     * Post a cross-shard message: run @p cb on shard @p dst_shard at
+     * absolute tick @p when. Must be called from @p src_port's own
+     * shard (its executing callbacks), with
+     * when >= src now + max(1, lookahead) — the conservative bound
+     * that makes the epoch horizon safe. Safe to call concurrently
+     * from distinct shards during the parallel phase; delivery is
+     * deferred to the next epoch boundary (same-shard posts insert
+     * directly).
+     */
+    void post(int src_port, int dst_shard, Tick when,
+              EventQueue::Callback cb,
+              int priority = EventQueue::kPriDefault);
+
+    /**
+     * Run every shard up to and including @p target, then advance all
+     * shard clocks to exactly @p target (mirrors
+     * EventQueue::runUntil). Callable repeatedly with increasing
+     * targets — the profiler's warmup / measure / extend loop works
+     * unchanged. @return events executed across all shards.
+     */
+    std::uint64_t runUntil(Tick target);
+
+    /** Run until every shard drains (or @p max_events executed). */
+    std::uint64_t runAll(std::uint64_t max_events = UINT64_MAX);
+
+    /** Smallest pending event time across shards; false when all
+     * shards (and inboxes) are empty. */
+    bool nextEventTime(Tick &when);
+
+    /**
+     * Install @p c on every shard queue *and* the cross-shard merge
+     * tie sites — forces the serial-merge path so the model checker
+     * sees ShardMerge branch points. nullptr restores epoch
+     * scheduling.
+     */
+    void setChooser(Chooser *c);
+
+    Stats stats() const;
+
+  private:
+    /** One buffered cross-shard message. */
+    struct Msg
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        EventQueue::Callback cb;
+    };
+
+    /**
+     * A shard: queue + inbox. The inbox mutex is a *leaf* lock
+     * (jetrace `shard-lock-not-leaf`): its critical sections are a
+     * vector push / swap, never another acquisition. Padded so two
+     * workers' hot shards never share a cache line.
+     */
+    struct alignas(64) Shard
+    {
+        EventQueue eq;
+        core::Mutex shard_mu_;
+        std::vector<Msg> inbox JETSIM_GUARDED_BY(shard_mu_);
+        /** Coordinator-side scratch, swapped with inbox at epoch
+         * start so delivery never holds the lock while scheduling;
+         * retains capacity (allocation-free steady state). */
+        std::vector<Msg> staged;
+    };
+
+    void deliverInboxes();
+    bool peekShard(int s, EventQueue::NextEvent &out);
+    std::uint64_t runEpochs(Tick target);
+    std::uint64_t runMerge(Tick target);
+    bool mergeOne(Tick target);
+    void startWorkers();
+    void stopWorkers();
+    void workerLoop(int worker);
+    void runShardSlice(int worker, Tick horizon);
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    int threads_ = 1;
+    Tick lookahead_ = 0;
+    Chooser *chooser_ = nullptr;
+
+    /** Port registry: port id -> shard, plus the per-port message
+     * counters. Counters are written only from the port's own shard
+     * (one thread per epoch), read at quiescent points. */
+    std::vector<int> port_shard_;
+    std::vector<std::uint32_t> port_count_;
+
+    std::uint64_t epochs_ = 0;
+    std::uint64_t merge_steps_ = 0;
+    std::uint64_t max_inbox_ = 0;
+
+    /** @name Epoch barrier (lock-free)
+     * The coordinator publishes horizon_ then bumps epoch_; workers
+     * acquire epoch_, run their shard slice, and retire through
+     * pending_. No condition variables, no locks: jetrace's graph
+     * over the engine is exactly the shard leaves.
+     * @{ */
+    std::vector<std::thread> workers_;
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<Tick> horizon_{0};
+    std::atomic<int> pending_{0};
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> executed_parallel_{0};
+    /** @} */
+};
+
+} // namespace jetsim::sim
+
+#endif // JETSIM_SIM_SHARDED_ENGINE_HH

@@ -1,0 +1,59 @@
+#include "soc/shard_map.hh"
+
+#include "sim/logging.hh"
+
+namespace jetsim::soc {
+
+ShardMap
+ShardMap::roundRobin(int devices, int shards)
+{
+    JETSIM_ASSERT(devices >= 1);
+    JETSIM_ASSERT(shards >= 1);
+    // More shards than devices would leave empty shards spinning in
+    // every epoch; clamp instead.
+    const int k = shards > devices ? devices : shards;
+    std::vector<int> map(static_cast<std::size_t>(devices));
+    for (int d = 0; d < devices; ++d)
+        map[static_cast<std::size_t>(d)] = d % k;
+    return ShardMap(std::move(map), k);
+}
+
+ShardMap
+ShardMap::blocked(int devices, int shards)
+{
+    JETSIM_ASSERT(devices >= 1);
+    JETSIM_ASSERT(shards >= 1);
+    const int k = shards > devices ? devices : shards;
+    std::vector<int> map(static_cast<std::size_t>(devices));
+    // Ceil-sized blocks: the first (devices % k) shards get one more.
+    const int base = devices / k;
+    const int extra = devices % k;
+    int d = 0;
+    for (int s = 0; s < k; ++s) {
+        const int take = base + (s < extra ? 1 : 0);
+        for (int i = 0; i < take; ++i)
+            map[static_cast<std::size_t>(d++)] = s;
+    }
+    JETSIM_ASSERT(d == devices);
+    return ShardMap(std::move(map), k);
+}
+
+int
+ShardMap::shardOf(int device) const
+{
+    JETSIM_ASSERT(device >= 0 && device < devices());
+    return map_[static_cast<std::size_t>(device)];
+}
+
+std::vector<int>
+ShardMap::devicesOn(int shard) const
+{
+    JETSIM_ASSERT(shard >= 0 && shard < shards_);
+    std::vector<int> out;
+    for (int d = 0; d < devices(); ++d)
+        if (map_[static_cast<std::size_t>(d)] == shard)
+            out.push_back(d);
+    return out;
+}
+
+} // namespace jetsim::soc

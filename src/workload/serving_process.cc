@@ -16,7 +16,8 @@ ServingProcess::ServingProcess(soc::Board &board,
       rng_(board.rng().fork("serve-" + cfg_.name)),
       thread_(sched.createThread(cfg_.name, /*big=*/true))
 {
-    JETSIM_ASSERT(cfg_.arrival_rate > 0.0);
+    // 0 = external-only mode (fleet balancer feeds injectArrival).
+    JETSIM_ASSERT(cfg_.arrival_rate >= 0.0);
 }
 
 bool
@@ -52,7 +53,8 @@ void
 ServingProcess::start()
 {
     JETSIM_ASSERT(deployed_);
-    scheduleArrival();
+    if (cfg_.arrival_rate > 0.0)
+        scheduleArrival();
 }
 
 void
@@ -77,6 +79,21 @@ ServingProcess::onArrival()
     queue_.push_back(board_.eq().now());
     max_queue_ = std::max(max_queue_, queue_.size());
     scheduleArrival();
+    kick();
+}
+
+void
+ServingProcess::injectArrival(sim::Tick origin)
+{
+    if (stopped_)
+        return;
+    JETSIM_ASSERT(deployed_);
+    JETSIM_ASSERT(origin <= board_.eq().now());
+    ++arrived_;
+    // Queue the *origin* tick: the request's latency clock started at
+    // the balancer, so the dispatch hop is part of what it waited.
+    queue_.push_back(origin);
+    max_queue_ = std::max(max_queue_, queue_.size());
     kick();
 }
 

@@ -40,7 +40,9 @@ struct ServingConfig
 {
     std::string name = "server";
     trt::BuilderConfig build;
-    /** Offered load in images/s (Poisson arrivals). */
+    /** Offered load in images/s (Poisson arrivals). 0 disables the
+     * local generator: requests then come only from injectArrival()
+     * — the fleet balancer's cross-shard dispatch path. */
     double arrival_rate = 100.0;
     /** Extra ECs kept in flight beyond the executing one. */
     int pre_enqueue = 1;
@@ -69,6 +71,15 @@ class ServingProcess
 
     /** Begin arrivals and the serving loop. */
     void start();
+
+    /**
+     * Externally injected request (the fleet balancer's cross-shard
+     * dispatch). @p origin is the tick the request entered the
+     * system — at the balancer, before the dispatch hop — so request
+     * latency includes the network leg. Dropped after
+     * stopArrivals(), like locally generated arrivals.
+     */
+    void injectArrival(sim::Tick origin);
 
     /** Stop generating arrivals (in-flight work drains). */
     void stopArrivals() { stopped_ = true; }

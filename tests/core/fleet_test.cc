@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Fleet golden layer: for every zoo model x both boards, the sharded
+ * engine's digest is bit-identical to the serial engine's across the
+ * full shard x thread matrix — the acceptance matrix of the sharded
+ * core. Plus unit coverage of the fleet layer itself.
+ */
+
+#include "core/fleet.hh"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "check/reporter.hh"
+#include "core/digest.hh"
+
+namespace jetsim::core {
+namespace {
+
+FleetSpec
+cell(const std::string &device, const std::string &model,
+     int boards = 4)
+{
+    FleetSpec spec;
+    for (int d = 0; d < boards; ++d) {
+        FleetDevice dev;
+        dev.device = device;
+        dev.model = model;
+        dev.precision = soc::Precision::Int8;
+        dev.batch = 1;
+        spec.devices.push_back(dev);
+    }
+    spec.balancer_rate = 300.0;
+    spec.warmup = sim::msec(15);
+    spec.duration = sim::msec(120);
+    spec.seed = 7;
+    return spec;
+}
+
+class FleetGolden
+    : public ::testing::TestWithParam<
+          std::tuple<const char *, const char *>>
+{
+};
+
+TEST_P(FleetGolden, ShardMatrixBitIdenticalToSerial)
+{
+    check::ScopedCapture cap;
+    const auto [device, model] = GetParam();
+    const FleetSpec spec = cell(device, model);
+
+    const FleetResult serial = runFleet(spec, {});
+    const auto want = resultDigest(serial);
+    // The run must have actually moved traffic, or the digests are
+    // vacuously equal. (Completions can be zero on the slow board
+    // with heavy models inside a short window — arrivals cannot.)
+    ASSERT_TRUE(serial.all_deployed);
+    ASSERT_GT(serial.dispatched, 0u);
+    std::uint64_t arrived = 0;
+    for (const auto &d : serial.devices)
+        arrived += d.arrived;
+    ASSERT_GT(arrived, 0u);
+    ASSERT_GT(serial.events, 100u);
+
+    for (const int shards : {1, 2, 4, 8})
+        for (const int threads : {1, 2, 8}) {
+            FleetOptions o;
+            o.shards = shards;
+            o.threads = threads;
+            const FleetResult got = runFleet(spec, o);
+            EXPECT_EQ(resultDigest(got), want)
+                << spec.label() << " shards=" << shards
+                << " threads=" << threads;
+            EXPECT_EQ(got.events, serial.events);
+        }
+    EXPECT_EQ(cap.total(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZooBothBoards, FleetGolden,
+    ::testing::Combine(::testing::Values("orin-nano", "nano"),
+                       ::testing::Values("resnet50", "fcn_resnet50",
+                                         "yolov8n", "resnet18",
+                                         "mobilenet_v2")),
+    [](const auto &info) {
+        std::string s = std::string(std::get<0>(info.param)) + "_" +
+                        std::get<1>(info.param);
+        for (auto &c : s)
+            if (c == '-')
+                c = '_';
+        return s;
+    });
+
+TEST(Fleet, RepeatRunsAreBitIdentical)
+{
+    const FleetSpec spec = cell("orin-nano", "resnet50", 3);
+    FleetOptions o;
+    o.shards = 3;
+    o.threads = 2;
+    EXPECT_EQ(resultDigest(runFleet(spec, o)),
+              resultDigest(runFleet(spec, o)));
+}
+
+TEST(Fleet, BalancerSpreadsLoadRoundRobin)
+{
+    const FleetSpec spec = cell("orin-nano", "resnet18", 4);
+    const FleetResult r = runFleet(spec, {});
+    ASSERT_EQ(r.devices.size(), 4u);
+    // Round-robin dispatch: arrivals differ by at most a rotation.
+    std::uint64_t lo = UINT64_MAX, hi = 0;
+    for (const auto &d : r.devices) {
+        lo = std::min(lo, d.arrived);
+        hi = std::max(hi, d.arrived);
+    }
+    EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(Fleet, LatencyIncludesDispatchHop)
+{
+    // Same fleet, two dispatch latencies: the slower network shifts
+    // the fleet p50 by at least the added hop.
+    FleetSpec fast = cell("orin-nano", "resnet18", 2);
+    fast.balancer_rate = 100.0;
+    FleetSpec slow = fast;
+    slow.dispatch_latency = fast.dispatch_latency + sim::msec(5);
+    const FleetResult a = runFleet(fast, {});
+    const FleetResult b = runFleet(slow, {});
+    ASSERT_GT(a.total_throughput, 0.0);
+    EXPECT_GE(b.devices[0].p50_ms, a.devices[0].p50_ms + 4.0);
+}
+
+TEST(Fleet, LocalTrafficRidesAlongBalancerTraffic)
+{
+    FleetSpec spec = cell("orin-nano", "resnet18", 2);
+    spec.balancer_rate = 80.0;
+    FleetSpec with_local = spec;
+    with_local.devices[0].local_rate = 60.0;
+    const FleetResult base = runFleet(spec, {});
+    const FleetResult extra = runFleet(with_local, {});
+    EXPECT_GT(extra.devices[0].arrived, base.devices[0].arrived);
+}
+
+TEST(Fleet, HeterogeneousFleetDigestsStable)
+{
+    FleetSpec spec;
+    const char *const models[] = {"resnet50", "yolov8n",
+                                  "mobilenet_v2"};
+    const char *const boards[] = {"orin-nano", "nano", "orin-nano"};
+    for (int d = 0; d < 3; ++d) {
+        FleetDevice dev;
+        dev.device = boards[d];
+        dev.model = models[d];
+        dev.precision = soc::Precision::Fp16;
+        spec.devices.push_back(dev);
+    }
+    spec.balancer_rate = 150.0;
+    spec.warmup = sim::msec(10);
+    spec.duration = sim::msec(40);
+    const auto want = resultDigest(runFleet(spec, {}));
+    for (const int shards : {2, 3}) {
+        FleetOptions o;
+        o.shards = shards;
+        o.threads = 2;
+        EXPECT_EQ(resultDigest(runFleet(spec, o)), want)
+            << "shards=" << shards;
+    }
+}
+
+} // namespace
+} // namespace jetsim::core

@@ -5,8 +5,9 @@ Feeds synthetic C++ files through the concurrency auditor and checks
 each rule fires (and stays quiet) where it should: the shared-state
 inventory trichotomy (guarded / atomic / confined), the raw-mutex
 ban, unknown capabilities, lock-order cycle detection across both
-single functions and the call graph, suppression and justification
-comments, and the --json contract (schema_version 1, inventory and
+single functions and the call graph, the shard-lock leaf discipline
+(shard-lock-not-leaf), suppression and justification comments, and
+the --json contract (schema_version 1, inventory and
 lock-graph blocks, exit codes). Also runs the embedded --selftest
 (the two-lock jetmc mirror) and asserts src/ itself audits clean.
 
@@ -169,6 +170,52 @@ class JetraceLocks(unittest.TestCase):
             "void g() { { LockGuard lb(b); } { LockGuard la(a); } }\n")
         self.assertEqual(code, 0, out)
 
+    def test_shard_lock_leaf_is_clean(self):
+        # Taking the shard lock innermost (edges *into* it) is the
+        # sanctioned shape; no finding even though edges exist.
+        code, out = run_audit(
+            "Mutex shard_mu_;\nMutex stats_mu;\n"
+            "void f() { LockGuard s(stats_mu); "
+            "LockGuard g(shard_mu_); }\n")
+        self.assertEqual(code, 0, out)
+
+    def test_shard_lock_not_leaf_fires(self):
+        # Acquiring any capability under the shard lock breaks the
+        # leaf discipline even though the graph is acyclic.
+        code, out = run_audit(
+            "Mutex shard_mu_;\nMutex stats_mu;\n"
+            "void f() { LockGuard g(shard_mu_); "
+            "LockGuard s(stats_mu); }\n")
+        self.assertEqual(code, 1, out)
+        self.assertIn("[shard-lock-not-leaf]", out)
+        self.assertNotIn("[lock-cycle]", out)
+
+    def test_shard_lock_not_leaf_through_call_graph(self):
+        # The violation is indirect: the callee takes the inner lock.
+        code, out = run_audit(
+            "Mutex shard_mu_;\nMutex stats_mu;\n"
+            "void bump() { LockGuard s(stats_mu); }\n"
+            "void f() { LockGuard g(shard_mu_); bump(); }\n")
+        self.assertEqual(code, 1, out)
+        self.assertIn("[shard-lock-not-leaf]", out)
+
+    def test_nested_shard_locks_fire(self):
+        # Two shard inbox locks nested is still a non-leaf edge.
+        code, out = run_audit(
+            "Mutex shard_mu_;\nMutex other_shard_mu_;\n"
+            "void f() { LockGuard a(shard_mu_); "
+            "LockGuard b(other_shard_mu_); }\n")
+        self.assertEqual(code, 1, out)
+        self.assertIn("[shard-lock-not-leaf]", out)
+
+    def test_shard_lock_not_leaf_allow_suppresses(self):
+        code, out = run_audit(
+            "Mutex shard_mu_;\nMutex stats_mu;\n"
+            "void f() { LockGuard g(shard_mu_);\n"
+            "  // jetrace: allow(shard-lock-not-leaf) test fixture\n"
+            "  LockGuard s(stats_mu); }\n")
+        self.assertEqual(code, 0, out)
+
     def test_requires_annotation_contributes_held_set(self):
         # f() runs with `a` held by contract; taking b inside it plus
         # g()'s inverted order closes the cycle.
@@ -270,7 +317,7 @@ class JetraceHarness(unittest.TestCase):
             capture_output=True, text=True)
         self.assertEqual(proc.returncode, 0)
         for rule in ("unannotated-global", "lock-cycle", "raw-mutex",
-                     "unknown-capability"):
+                     "unknown-capability", "shard-lock-not-leaf"):
             self.assertIn(rule, proc.stdout)
 
     def test_repo_src_is_clean(self):

@@ -165,5 +165,44 @@ TEST(Serving, DeployFailureIsRecoverable)
     EXPECT_FALSE(p.deploy());
 }
 
+TEST(Serving, InjectedArrivalsServeInExternalOnlyMode)
+{
+    // arrival_rate 0: no local generator; the fleet balancer's
+    // injectArrival() path is the only traffic source.
+    Rig r;
+    auto p = r.server(0.0);
+    p->start();
+    r.eq.runUntil(sim::msec(1));
+    p->beginMeasurement();
+    // Inject 50 requests at a steady 10 ms spacing via queue events,
+    // each with an origin one dispatch-hop in the past.
+    for (int i = 1; i <= 50; ++i)
+        r.eq.schedule(r.eq.now() + i * sim::msec(10), [&] {
+            p->injectArrival(r.eq.now() - sim::usec(200));
+        });
+    r.eq.runUntil(r.eq.now() + sim::msec(520));
+    p->endMeasurement();
+    p->stopArrivals();
+    EXPECT_EQ(p->arrived(), 50u);
+    EXPECT_GE(p->served(), 45u);
+    // The latency clock starts at the balancer-side origin, so every
+    // sample includes the 200 us dispatch hop.
+    EXPECT_GT(p->requestLatency().min(), sim::usec(200));
+}
+
+TEST(Serving, InjectedArrivalsDroppedAfterStop)
+{
+    Rig r;
+    auto p = r.server(0.0);
+    p->start();
+    p->beginMeasurement();
+    p->stopArrivals();
+    p->injectArrival(r.eq.now());
+    r.eq.runUntil(sim::msec(50));
+    p->endMeasurement();
+    EXPECT_EQ(p->arrived(), 0u);
+    EXPECT_EQ(p->served(), 0u);
+}
+
 } // namespace
 } // namespace jetsim::workload

@@ -16,7 +16,9 @@
 # perf-path assert/regression that only triggers at benchmark volume
 # fails CI — plus the golden-digest runner tests, which prove the
 # pooled event core still dispatches in the bit-identical order the
-# committed digests were recorded from.
+# committed digests were recorded from, the sharded fleet goldens
+# (GOLDEN_fleet.json at shards 1 and 4) and the sharded scaling
+# smoke (>= 1.5x at 4 shards; auto-skipped below 4 cores).
 #
 # Pass 1d is the bounded model check (jetmc): the seeded-deadlock
 # self-test must find its counterexample and replay it, then small
@@ -49,11 +51,13 @@
 #                    [--skip-tidy]
 #
 # --tsan swaps the sanitized pass to ThreadSanitizer and is the
-# gate for the parallel sweep runner (core::Runner): the pass rings
-# the runner_stress_tests binary (oversubscribed work-stealing pool
-# plus the global-state regression tests) and the simcheck replay
-# through the parallel path, so data races in the concurrent cell
-# executor fail CI rather than lurk.
+# gate for the parallel sweep runner (core::Runner) and the sharded
+# event core (sim::ShardedEngine): the pass rings the
+# runner_stress_tests binary (oversubscribed work-stealing pool
+# plus the global-state regression tests), the sharded_stress_tests
+# binary (epoch barrier + inbox locks under oversubscription) and
+# the simcheck replay through the parallel path, so data races in
+# the concurrent executors fail CI rather than lurk.
 
 set -euo pipefail
 
@@ -110,6 +114,18 @@ if [ "$run_plain" = 1 ]; then
     "$repo/build-ci/plain/tests/runner_tests" \
         --gtest_filter='BothBoards/RunnerGolden.*' \
         --gtest_brief=1
+    # Sharded golden digests: the fleet suite re-run at shards 1 and
+    # 4 must hash to the committed serial digests — the sharded
+    # engine's bit-identity gate (regenerate with --update only when
+    # the cost model legitimately moves).
+    "$repo/build-ci/plain/tools/simcheck" \
+        --fleet-golden="$repo/GOLDEN_fleet.json"
+    # Scaling smoke: the parallel epoch path must actually pay for
+    # itself — >= 1.5x serial event rate at shards=4/threads=4. The
+    # digest is always compared; simcheck skips the speedup gate by
+    # itself on hosts with < 4 cores, where the comparison would
+    # measure contention, not scaling.
+    "$repo/build-ci/plain/tools/simcheck" --fleet-scaling=1.5
     banner "pass 1d: bounded model check (jetmc)"
     jetmc="$repo/build-ci/plain/tools/jetmc"
     ce_dir="$repo/build-ci/plain/jetmc-ce"
@@ -198,12 +214,16 @@ if [ "$run_san" = 1 ]; then
     banner "pass 2b: determinism replay (simcheck, parallel path)"
     "$repo/build-ci/$san_flavor/tools/simcheck" \
         --duration 0.3 --warmup 0.1 --seeds 1,2,3 --threads 4
-    banner "pass 2c: runner concurrency stress ($san_flavor)"
-    # ctest already ran this binary once; run it again explicitly
+    banner "pass 2c: runner + sharded concurrency stress ($san_flavor)"
+    # ctest already ran these binaries once; run them again explicitly
     # with the pool oversubscribed well past the host core count so
     # the sanitizer sees maximum interleaving.
     JETSIM_THREADS=16 \
         "$repo/build-ci/$san_flavor/tests/runner_stress_tests"
+    # The sharded epoch barrier and inbox locks under the same
+    # treatment: with --tsan this is the pass that turns any data
+    # race in ShardedEngine into a CI failure.
+    "$repo/build-ci/$san_flavor/tests/sharded_stress_tests"
 fi
 
 if [ "$run_tidy" = 1 ]; then

@@ -23,17 +23,39 @@
  * the embedded configuration and choice script are reconstructed and
  * the recorded failure must reproduce exactly. This keeps the
  * model-checker honest — a CE that does not replay is a jetmc bug.
+ *
+ * With --fleet-replay=<file> it re-runs a fleet spec dumped by the
+ * sharded differential battery (tests/sim/sharded_diff_test.cc):
+ * serial and sharded digests must be bit-identical, making a fuzzer
+ * failure reproducible from a single flat key=value file.
+ *
+ * With --fleet-golden=<path> it runs the committed fleet golden
+ * suite: sharded digests (shards 1 and 4) must equal the serial
+ * digests recorded in the file (CI pass 1c); --update regenerates it.
+ *
+ * With --fleet-scaling=<ratio> it times a large fleet serially and at
+ * shards=4/threads=4 and requires the parallel epoch path to clear
+ * <ratio>x the serial event rate (and, as always, the identical
+ * digest). On hosts with fewer than 4 cores the comparison is
+ * meaningless — the gate prints a skip notice and passes.
  */
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "argparse.hh"
 #include "check/digest.hh"
 #include "check/reporter.hh"
 #include "core/digest.hh"
+#include "core/fleet.hh"
 #include "core/profiler.hh"
 #include "core/runner.hh"
 #include "gpu/cost_model.hh"
@@ -176,6 +198,284 @@ mcReplay(const std::string &path)
     return 0;
 }
 
+/**
+ * Re-run a replay spec dumped by the differential battery: the serial
+ * digest, the file's sharded configuration, and a repeat of the
+ * sharded run must all agree bit for bit.
+ */
+int
+fleetReplay(const std::string &path)
+{
+    core::FleetSpec spec;
+    core::FleetOptions opts;
+    std::string err;
+    if (!core::readFleetReplay(path, spec, opts, err)) {
+        std::fprintf(stderr, "simcheck: %s\n", err.c_str());
+        return 2;
+    }
+    std::printf("fleet-replay: %s\n", spec.label().c_str());
+    std::printf("fleet-replay: shards=%d threads=%d lookahead=%lld\n",
+                opts.shards, opts.threads,
+                static_cast<long long>(opts.lookahead));
+
+    const auto serial =
+        core::resultDigest(core::runFleet(spec, {}));
+    const auto sharded =
+        core::resultDigest(core::runFleet(spec, opts));
+    const auto again =
+        core::resultDigest(core::runFleet(spec, opts));
+
+    std::printf("fleet-replay: serial %016llx, sharded %016llx, "
+                "repeat %016llx\n",
+                static_cast<unsigned long long>(serial),
+                static_cast<unsigned long long>(sharded),
+                static_cast<unsigned long long>(again));
+    if (serial != sharded || sharded != again) {
+        std::fprintf(stderr,
+                     "simcheck: fleet replay DIVERGED "
+                     "(serial-vs-sharded: %s, repeat: %s)\n",
+                     serial == sharded ? "ok" : "MISMATCH",
+                     sharded == again ? "ok" : "MISMATCH");
+        return 1;
+    }
+    std::printf("simcheck: fleet replay bit-identical across serial, "
+                "sharded and repeated runs\n");
+    return 0;
+}
+
+/** The committed golden suite: small, fast, covers both boards, a
+ * heterogeneous mix and local+balancer traffic. Append-only — edits
+ * here invalidate GOLDEN_fleet.json (regenerate with --update). */
+std::vector<core::FleetSpec>
+goldenSuite()
+{
+    std::vector<core::FleetSpec> suite;
+    {
+        core::FleetSpec s;
+        for (int d = 0; d < 4; ++d)
+            s.devices.push_back(
+                {"orin-nano", "resnet50", soc::Precision::Int8, 1, 0.0});
+        s.balancer_rate = 300.0;
+        s.warmup = sim::msec(15);
+        s.duration = sim::msec(120);
+        s.seed = 7;
+        suite.push_back(std::move(s));
+    }
+    {
+        core::FleetSpec s;
+        for (int d = 0; d < 4; ++d)
+            s.devices.push_back(
+                {"nano", "resnet18", soc::Precision::Int8, 1, 0.0});
+        s.balancer_rate = 200.0;
+        s.warmup = sim::msec(15);
+        s.duration = sim::msec(120);
+        s.seed = 11;
+        suite.push_back(std::move(s));
+    }
+    {
+        core::FleetSpec s;
+        s.devices.push_back(
+            {"orin-nano", "yolov8n", soc::Precision::Fp16, 2, 40.0});
+        s.devices.push_back(
+            {"nano", "mobilenet_v2", soc::Precision::Fp16, 1, 0.0});
+        s.devices.push_back(
+            {"orin-nano", "resnet50", soc::Precision::Int8, 1, 0.0});
+        s.devices.push_back(
+            {"nano", "resnet18", soc::Precision::Int8, 1, 25.0});
+        s.balancer_rate = 150.0;
+        s.warmup = sim::msec(15);
+        s.duration = sim::msec(120);
+        s.seed = 13;
+        suite.push_back(std::move(s));
+    }
+    return suite;
+}
+
+/** Minimal scanner for the golden file's flat JSON (mirrors the
+ * hand-rolled style of mc/ce.cc): "label": "...", "digest": "...". */
+std::map<std::string, std::string>
+readGolden(const std::string &path, bool &ok)
+{
+    std::map<std::string, std::string> out;
+    std::ifstream in(path);
+    ok = static_cast<bool>(in);
+    if (!ok)
+        return out;
+    std::string line, label;
+    while (std::getline(in, line)) {
+        const auto grab = [&line](const char *key) -> std::string {
+            const auto k = line.find(key);
+            if (k == std::string::npos)
+                return "";
+            const auto q1 = line.find('"', k + std::strlen(key));
+            const auto q2 = line.find('"', q1 + 1);
+            if (q1 == std::string::npos || q2 == std::string::npos)
+                return "";
+            return line.substr(q1 + 1, q2 - q1 - 1);
+        };
+        const auto l = grab("\"label\":");
+        if (!l.empty())
+            label = l;
+        const auto d = grab("\"digest\":");
+        if (!d.empty() && !label.empty()) {
+            out[label] = d;
+            label.clear();
+        }
+    }
+    return out;
+}
+
+int
+fleetGolden(const std::string &path, bool update)
+{
+    const auto suite = goldenSuite();
+    char hex[32];
+
+    if (update) {
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "simcheck: cannot write %s\n",
+                         path.c_str());
+            return 2;
+        }
+        out << "{\n  \"fleet_goldens\": [\n";
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            const auto digest =
+                core::resultDigest(core::runFleet(suite[i], {}));
+            std::snprintf(hex, sizeof(hex), "%016llx",
+                          static_cast<unsigned long long>(digest));
+            out << "    {\"label\": \"" << suite[i].label()
+                << "\", \"digest\": \"" << hex << "\"}"
+                << (i + 1 < suite.size() ? "," : "") << "\n";
+            std::printf("golden: %s -> %s\n",
+                        suite[i].label().c_str(), hex);
+        }
+        out << "  ]\n}\n";
+        std::printf("simcheck: wrote %zu fleet goldens to %s\n",
+                    suite.size(), path.c_str());
+        return 0;
+    }
+
+    bool opened = false;
+    const auto committed = readGolden(path, opened);
+    if (!opened) {
+        std::fprintf(stderr, "simcheck: cannot read %s\n",
+                     path.c_str());
+        return 2;
+    }
+    int failures = 0;
+    for (const auto &spec : suite) {
+        const auto it = committed.find(spec.label());
+        if (it == committed.end()) {
+            std::fprintf(stderr,
+                         "simcheck: no committed digest for '%s' "
+                         "(regenerate with --update)\n",
+                         spec.label().c_str());
+            ++failures;
+            continue;
+        }
+        bool cell_ok = true;
+        for (const int shards : {1, 4}) {
+            core::FleetOptions o;
+            o.shards = shards;
+            o.threads = shards > 1 ? 2 : 1;
+            const auto digest =
+                core::resultDigest(core::runFleet(spec, o));
+            std::snprintf(hex, sizeof(hex), "%016llx",
+                          static_cast<unsigned long long>(digest));
+            if (it->second != hex) {
+                cell_ok = false;
+                std::fprintf(stderr,
+                             "simcheck: '%s' shards=%d digest %s != "
+                             "committed %s\n",
+                             spec.label().c_str(), shards, hex,
+                             it->second.c_str());
+            }
+        }
+        std::printf("golden: %s [shards 1,4] %s\n",
+                    spec.label().c_str(),
+                    cell_ok ? "ok" : "DIVERGED");
+        if (!cell_ok)
+            ++failures;
+    }
+    if (failures) {
+        std::fprintf(stderr,
+                     "simcheck: %d fleet golden(s) diverged\n",
+                     failures);
+        return 1;
+    }
+    std::printf("simcheck: all %zu fleet goldens bit-identical at "
+                "shards 1 and 4\n",
+                suite.size());
+    return 0;
+}
+
+/**
+ * Scaling smoke for CI pass 1c: a fleet wide enough to keep four
+ * shards busy, timed serial vs shards=4/threads=4. Gates on both the
+ * digest (always) and the speedup (only on >= 4-core hosts).
+ */
+int
+fleetScaling(double min_ratio)
+{
+    const unsigned cores = std::thread::hardware_concurrency();
+
+    // Big enough that the serial run takes a schedulable slice of
+    // wall-clock (~10^5 events): timing two sub-10ms runs would gate
+    // on noise, not on the epoch path.
+    core::FleetSpec spec;
+    for (int d = 0; d < 8; ++d)
+        spec.devices.push_back({d % 2 ? "nano" : "orin-nano",
+                                d % 4 < 2 ? "resnet18" : "mobilenet_v2",
+                                soc::Precision::Int8, 1, 120.0});
+    spec.balancer_rate = 800.0;
+    spec.warmup = sim::msec(20);
+    spec.duration = sim::msec(2000);
+    spec.seed = 21;
+
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    const auto serial = core::runFleet(spec, {});
+    const auto t1 = clock::now();
+    core::FleetOptions o;
+    o.shards = 4;
+    o.threads = 4;
+    const auto sharded = core::runFleet(spec, o);
+    const auto t2 = clock::now();
+
+    if (core::resultDigest(serial) != core::resultDigest(sharded)) {
+        std::fprintf(stderr, "simcheck: scaling fleet DIVERGED "
+                             "(serial vs shards=4)\n");
+        return 1;
+    }
+    const auto secs = [](clock::duration d) {
+        return std::chrono::duration<double>(d).count();
+    };
+    const double serial_s = secs(t1 - t0);
+    const double sharded_s = secs(t2 - t1);
+    const double speedup = sharded_s > 0.0 ? serial_s / sharded_s : 0.0;
+    std::printf("fleet-scaling: %llu events; serial %.3fs, "
+                "shards=4/threads=4 %.3fs, speedup %.2fx\n",
+                static_cast<unsigned long long>(serial.events),
+                serial_s, sharded_s, speedup);
+    if (cores < 4) {
+        std::printf("simcheck: host has %u core(s) < 4; digest "
+                    "checked, speedup gate skipped\n", cores);
+        return 0;
+    }
+    if (speedup < min_ratio) {
+        std::fprintf(stderr,
+                     "simcheck: sharded speedup %.2fx below the "
+                     "%.2fx gate on a %u-core host\n",
+                     speedup, min_ratio, cores);
+        return 1;
+    }
+    std::printf("simcheck: sharded scaling gate passed "
+                "(%.2fx >= %.2fx on %u cores)\n",
+                speedup, min_ratio, cores);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -200,11 +500,30 @@ main(int argc, char **argv)
     args.add("mc-replay", "",
              "replay a jetmc counterexample file and verify the "
              "recorded failure reproduces");
+    args.add("fleet-replay", "",
+             "re-run a fleet replay spec (sharded differential "
+             "battery dump) and verify serial == sharded");
+    args.add("fleet-golden", "",
+             "verify the committed fleet golden digests at shards "
+             "1 and 4 (CI pass 1c)");
+    args.add("update", "0",
+             "with --fleet-golden: regenerate the golden file from "
+             "serial runs");
+    args.add("fleet-scaling", "0",
+             "scaling smoke: require >= this speedup at shards=4 on "
+             ">= 4-core hosts (0 = off; digest always checked)");
     if (!args.parse(argc, argv))
         return 2;
 
     if (!args.str("mc-replay").empty())
         return mcReplay(args.str("mc-replay"));
+    if (!args.str("fleet-replay").empty())
+        return fleetReplay(args.str("fleet-replay"));
+    if (!args.str("fleet-golden").empty())
+        return fleetGolden(args.str("fleet-golden"),
+                           args.intval("update") != 0);
+    if (args.dbl("fleet-scaling") > 0.0)
+        return fleetScaling(args.dbl("fleet-scaling"));
 
     // Report-and-continue: this tool's job is to observe divergence,
     // not to abort on the first violation.
