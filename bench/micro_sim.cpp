@@ -23,7 +23,10 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include "core/digest.hh"
 #include "core/fleet.hh"
@@ -301,6 +304,86 @@ shardSeries(int reps, std::uint64_t &events_out)
     return out;
 }
 
+/** The 1000-board hierarchical fleet (two-hop root -> sub-balancer
+ * dispatch): the ISSUE 9 headline configuration, matching the
+ * simcheck --fleet-overhead spec and the Fleet.ThousandBoard test. */
+core::FleetSpec
+fleet1000Spec()
+{
+    core::FleetSpec spec;
+    for (int d = 0; d < 1000; ++d)
+        spec.devices.push_back({"orin-nano", "mobilenet_v2",
+                                soc::Precision::Int8, 1, 0.0});
+    spec.balancer_rate = 25.0 * 1000;
+    spec.hierarchical = true;
+    spec.warmup = sim::msec(4);
+    spec.duration = sim::msec(30);
+    spec.seed = 23;
+    return spec;
+}
+
+struct Fleet1000Point
+{
+    int shards;
+    int threads;
+    double events_per_sec;
+    double ratio_vs_serial;
+    bool digest_match;
+    std::uint64_t epochs;
+    std::uint64_t barriers;
+};
+
+/**
+ * The thousand-board series: serial baseline, then the epoch path
+ * with parallelism removed (shards=8/threads=1 and shards=16/
+ * threads=1 — pure protocol overhead, the CI pass-1c gate shape)
+ * and one genuinely threaded point. epochs/barriers record how hard
+ * adaptive batching fused lookahead windows (epochs << messages).
+ */
+std::vector<Fleet1000Point>
+fleet1000Series(int reps, std::uint64_t &events_out)
+{
+    const core::FleetSpec spec = fleet1000Spec();
+    const auto serial = core::runFleet(spec, {});
+    const auto want = core::resultDigest(serial);
+    events_out = serial.events;
+
+    std::vector<Fleet1000Point> out;
+    double serial_evps = 0.0;
+    for (const auto &[shards, threads] :
+         {std::pair{1, 1}, std::pair{8, 1}, std::pair{16, 1},
+          std::pair{16, 2}}) {
+        core::FleetOptions o;
+        o.shards = shards;
+        o.threads = threads;
+        bool match = true;
+        core::FleetResult last;
+        const double s =
+            minSeconds(reps, [&spec, &o, &want, &match, &last] {
+                last = core::runFleet(spec, o);
+                match = match && core::resultDigest(last) == want;
+            });
+        const double evps = static_cast<double>(serial.events) / s;
+        if (shards == 1)
+            serial_evps = evps;
+        out.push_back({shards, threads, evps,
+                       serial_evps > 0.0 ? evps / serial_evps : 0.0,
+                       match, last.epochs, last.barriers});
+    }
+    return out;
+}
+
+/** Peak resident set (MB) of this process so far — after the 1000-
+ * board series it bounds the fleet's memory footprint. */
+double
+peakRssMb()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0.0;
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
 /**
  * sbo_misses after the steady-state schedule workload: every hot-path
  * callback (`this` + small ids) must fit InlineFn's inline buffer, so
@@ -345,6 +428,9 @@ emitJson(const std::string &path)
     const double cell4 = fullCellMs(4, 6);
     std::uint64_t fleet_events = 0;
     const auto shard_pts = shardSeries(4, fleet_events);
+    std::uint64_t fleet1000_events = 0;
+    const auto fleet1000_pts = fleet1000Series(3, fleet1000_events);
+    const double peak_rss_mb = peakRssMb();
 
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -392,6 +478,30 @@ emitJson(const std::string &path)
                      p.shards, p.shards, p.events_per_sec, p.speedup,
                      p.digest_match ? "true" : "false",
                      i + 1 < shard_pts.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"sharded_fleet_1000\": {\n");
+    std::fprintf(f, "    \"boards\": 1000,\n");
+    std::fprintf(f, "    \"hierarchical\": true,\n");
+    std::fprintf(f, "    \"events\": %llu,\n",
+                 static_cast<unsigned long long>(fleet1000_events));
+    std::fprintf(f, "    \"peak_rss_mb\": %.1f,\n", peak_rss_mb);
+    std::fprintf(f, "    \"series\": [\n");
+    for (std::size_t i = 0; i < fleet1000_pts.size(); ++i) {
+        const auto &p = fleet1000_pts[i];
+        std::fprintf(f,
+                     "      {\"shards\": %d, \"threads\": %d, "
+                     "\"events_per_sec\": %.3e, "
+                     "\"ratio_vs_serial\": %.2f, "
+                     "\"digest_match\": %s, "
+                     "\"epochs\": %llu, \"barriers\": %llu}%s\n",
+                     p.shards, p.threads, p.events_per_sec,
+                     p.ratio_vs_serial,
+                     p.digest_match ? "true" : "false",
+                     static_cast<unsigned long long>(p.epochs),
+                     static_cast<unsigned long long>(p.barriers),
+                     i + 1 < fleet1000_pts.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n");
     std::fprintf(f, "  },\n");

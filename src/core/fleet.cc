@@ -22,12 +22,28 @@ namespace jetsim::core {
 std::string
 FleetSpec::label() const
 {
+    // Runs of identical boards are run-length compressed ("256x
+    // orin-nano/mobilenet_v2/int8 b1") so thousand-board fleet
+    // labels stay one line.
+    const auto same = [](const FleetDevice &a, const FleetDevice &b) {
+        return a.device == b.device && a.model == b.model &&
+               a.precision == b.precision && a.batch == b.batch &&
+               a.local_rate == b.local_rate;
+    };
     std::string s = "fleet[";
-    for (std::size_t i = 0; i < devices.size(); ++i) {
+    for (std::size_t i = 0; i < devices.size();) {
         const auto &d = devices[i];
+        std::size_t run = 1;
+        while (i + run < devices.size() &&
+               same(d, devices[i + run]))
+            ++run;
         if (i)
             s += " + ";
-        char buf[128];
+        char buf[160];
+        if (run > 1) {
+            std::snprintf(buf, sizeof(buf), "%zux ", run);
+            s += buf;
+        }
         std::snprintf(buf, sizeof(buf), "%s/%s/%s b%d",
                       d.device.c_str(), d.model.c_str(),
                       soc::name(d.precision), d.batch);
@@ -36,12 +52,18 @@ FleetSpec::label() const
             std::snprintf(buf, sizeof(buf), " l%g", d.local_rate);
             s += buf;
         }
+        i += run;
     }
-    char tail[96];
+    char tail[128];
     std::snprintf(tail, sizeof(tail), "] r%g d%gus s%llu",
                   balancer_rate, sim::toUsec(dispatch_latency),
                   static_cast<unsigned long long>(seed));
     s += tail;
+    if (hierarchical) {
+        std::snprintf(tail, sizeof(tail), " h%gus",
+                      sim::toUsec(fanout_latency));
+        s += tail;
+    }
     return s;
 }
 
@@ -74,6 +96,16 @@ struct Node
  * The central dispatcher: fleet-wide Poisson arrivals on shard 0,
  * round-robin over deployed boards, each decision posted through the
  * engine's cross-shard path with the spec's dispatch latency.
+ *
+ * Hierarchical mode (FleetSpec::hierarchical) splits the dispatch in
+ * two: the *root* (this struct, alone on the reserved shard 0 of
+ * soc::ShardMap::balancerReserved) posts the decision to the target
+ * shard's *sub-balancer*, which forwards it to the device over a
+ * shard-local port after fanout_latency. The root's port is the
+ * engine's only cross-shard source, so adaptive epoch batching fuses
+ * all device-shard work between consecutive root arrivals; the sub
+ * hop rides the message seq band (sub ports are local_only), keeping
+ * the two-hop dispatch order topology-invariant.
  */
 struct Balancer
 {
@@ -83,6 +115,11 @@ struct Balancer
     int port;
     double rate;
     sim::Tick latency;
+    sim::Tick fanout;      ///< sub->device hop (hierarchical only)
+    bool hierarchical;
+    /** Shard -> local_only sub-balancer port; -1 off the hierarchy
+     * (never indexed in flat mode). Immutable during the run. */
+    std::vector<int> sub_ports;
     /** (dst shard, server), in device order — the round-robin ring. */
     std::vector<std::pair<int, workload::ServingProcess *>> targets;
     std::size_t next = 0;
@@ -114,10 +151,36 @@ struct Balancer
         // The request's latency clock starts here; the dispatch hop
         // is the fleet's one cross-shard edge (= engine lookahead).
         const sim::Tick origin = eq.now();
-        engine.post(port, shard, origin + latency,
-                    [srv, origin] { srv->injectArrival(origin); });
+        if (!hierarchical) {
+            engine.post(port, shard, origin + latency,
+                        [srv, origin] { srv->injectArrival(origin); });
+        } else {
+            // Two-hop: root -> sub (cross-shard, dispatch latency)
+            // -> device (shard-local, fanout latency). The sub
+            // callback reads only immutable balancer state, so the
+            // forward hop is safe on any worker thread; arrival is
+            // at origin + latency + fanout at any shard count.
+            const int sub = sub_ports[static_cast<std::size_t>(shard)];
+            engine.post(port, shard, origin + latency,
+                        [this, sub, shard, srv, origin] {
+                            engine.post(
+                                sub, shard,
+                                engine.shard(shard).now() + fanout,
+                                [srv, origin] {
+                                    srv->injectArrival(origin);
+                                });
+                        });
+        }
         scheduleNext();
     }
+};
+
+/** Per-device leaf of the deterministic result reduction tree. */
+struct Partial
+{
+    FleetDeviceResult dev;
+    std::vector<double> samples; ///< request latencies (ticks)
+    double throughput = 0.0;
 };
 
 } // namespace
@@ -127,10 +190,14 @@ runFleet(const FleetSpec &spec, const FleetOptions &opts)
 {
     JETSIM_ASSERT(!spec.devices.empty());
     JETSIM_ASSERT(spec.dispatch_latency >= 1);
+    JETSIM_ASSERT(!spec.hierarchical || spec.fanout_latency >= 1);
 
     const int n = static_cast<int>(spec.devices.size());
-    const auto map = soc::ShardMap::roundRobin(
-        n, opts.shards < 1 ? 1 : opts.shards);
+    const int want_shards = opts.shards < 1 ? 1 : opts.shards;
+    const auto map = spec.hierarchical
+                         ? soc::ShardMap::balancerReserved(
+                               n, want_shards)
+                         : soc::ShardMap::roundRobin(n, want_shards);
 
     sim::ShardedEngine::Options eopts;
     eopts.shards = map.shards();
@@ -165,14 +232,30 @@ runFleet(const FleetSpec &spec, const FleetOptions &opts)
     Balancer bal{engine,
                  engine.shard(0),
                  sim::Rng(spec.seed).fork("fleet-balancer"),
-                 engine.addPort(0),
+                 engine.addPort(0), // root: port 0, beats sub ties
                  spec.balancer_rate,
                  spec.dispatch_latency,
+                 spec.fanout_latency,
+                 spec.hierarchical,
+                 {},
                  {},
                  0,
                  false,
                  false,
                  0};
+    if (spec.hierarchical) {
+        // One local_only sub-balancer port per device-hosting shard,
+        // registered in shard order: the port ids differ across
+        // topologies, but every queue sees exactly one sub, so
+        // same-queue message ties always resolve by that sub's
+        // counter — i.e. in root dispatch order.
+        bal.sub_ports.assign(
+            static_cast<std::size_t>(map.shards()), -1);
+        for (int s = 0; s < map.shards(); ++s)
+            if (!map.devicesOn(s).empty())
+                bal.sub_ports[static_cast<std::size_t>(s)] =
+                    engine.addPort(s, /*local_only=*/true);
+    }
     for (int d = 0; d < n; ++d)
         if (nodes[static_cast<std::size_t>(d)]->srv->deployed())
             bal.targets.emplace_back(
@@ -197,11 +280,18 @@ runFleet(const FleetSpec &spec, const FleetOptions &opts)
         node->srv->stopArrivals();
     }
 
-    prof::Cdf fleet_latency;
+    // Per-device leaf accumulators merged by a deterministic
+    // pairwise reduction tree in *device-index* order — never shard
+    // order, which would make the floating-point throughput sum (and
+    // so the digest) depend on the placement topology. The latency
+    // quantile is computed over the merged sample multiset, which is
+    // merge-order-invariant by construction (prof::Cdf sorts).
+    std::vector<Partial> parts(static_cast<std::size_t>(n));
     for (int d = 0; d < n; ++d) {
         const auto &node = *nodes[static_cast<std::size_t>(d)];
         const auto &srv = *node.srv;
-        FleetDeviceResult r;
+        Partial &p = parts[static_cast<std::size_t>(d)];
+        FleetDeviceResult &r = p.dev;
         r.name = "srv" + std::to_string(d);
         r.device = spec.devices[static_cast<std::size_t>(d)].device;
         r.deployed = srv.deployed();
@@ -218,21 +308,39 @@ runFleet(const FleetSpec &spec, const FleetOptions &opts)
                 r.max_ms =
                     sim::toMsec(static_cast<sim::Tick>(lat.max()));
             }
-            for (const double x : lat.samples())
-                fleet_latency.add(x);
+            p.samples = lat.samples();
             r.max_queue = srv.maxQueueDepth();
-            res.total_throughput += r.throughput;
+            p.throughput = r.throughput;
         }
-        res.devices.push_back(std::move(r));
+        res.devices.push_back(r);
     }
-    if (!fleet_latency.empty())
+    for (std::size_t width = parts.size(); width > 1;) {
+        const std::size_t half = (width + 1) / 2;
+        for (std::size_t i = 0; i + half < width; ++i) {
+            Partial &a = parts[i];
+            Partial &b = parts[i + half];
+            a.throughput += b.throughput;
+            a.samples.insert(a.samples.end(), b.samples.begin(),
+                             b.samples.end());
+            b.samples.clear();
+            b.samples.shrink_to_fit();
+        }
+        width = half;
+    }
+    res.total_throughput = parts[0].throughput;
+    if (!parts[0].samples.empty()) {
+        prof::Cdf fleet_latency;
+        for (const double x : parts[0].samples)
+            fleet_latency.add(x);
         res.p99_ms = sim::toMsec(
             static_cast<sim::Tick>(fleet_latency.quantile(0.99)));
+    }
     res.dispatched = bal.dispatched;
 
     const auto st = engine.stats();
     res.events = st.executed;
     res.epochs = st.epochs;
+    res.barriers = st.barriers;
     res.merge_steps = st.merge_steps;
     res.messages = st.messages;
     return res;
@@ -268,6 +376,8 @@ writeFleetReplay(const FleetSpec &spec, const FleetOptions &opts,
     }
     out << "balancer_rate=" << num(spec.balancer_rate) << "\n";
     out << "dispatch_latency=" << spec.dispatch_latency << "\n";
+    out << "hierarchical=" << (spec.hierarchical ? 1 : 0) << "\n";
+    out << "fanout_latency=" << spec.fanout_latency << "\n";
     out << "warmup=" << spec.warmup << "\n";
     out << "duration=" << spec.duration << "\n";
     out << "seed=" << spec.seed << "\n";
@@ -343,6 +453,10 @@ readFleetReplay(const std::string &path, FleetSpec &spec,
             spec.balancer_rate = std::stod(val);
         else if (key == "dispatch_latency")
             spec.dispatch_latency = std::stoll(val);
+        else if (key == "hierarchical") // absent in pre-hierarchy
+            spec.hierarchical = std::stoi(val) != 0; // files: default
+        else if (key == "fanout_latency")            // (flat) holds
+            spec.fanout_latency = std::stoll(val);
         else if (key == "warmup")
             spec.warmup = std::stoll(val);
         else if (key == "duration")

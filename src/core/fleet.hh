@@ -56,11 +56,29 @@ struct FleetSpec
     /** Balancer-to-device dispatch latency: the one cross-device
      * edge, and therefore the sharded engine's lookahead. */
     sim::Tick dispatch_latency = sim::usec(200);
+    /**
+     * Hierarchical dispatch: the root balancer lives alone on a
+     * reserved shard (soc::ShardMap::balancerReserved) and routes
+     * each request to the destination shard's *sub-balancer*, which
+     * forwards it device-locally after fanout_latency. Requests
+     * arrive at origin + dispatch_latency + fanout_latency at any
+     * shard count — the two-hop path is part of the workload, so the
+     * flag is spec-level and digested (via label()). This removes
+     * the root as the fleets' single serialization point: with the
+     * sub-hop on shard-local ports, only the root shard bounds the
+     * engine's fused epoch horizon.
+     */
+    bool hierarchical = false;
+    /** Sub-balancer-to-device forwarding latency (hierarchical
+     * fleets only). */
+    sim::Tick fanout_latency = sim::usec(50);
     sim::Tick warmup = sim::msec(100);
     sim::Tick duration = sim::msec(500);
     std::uint64_t seed = 1;
 
-    /** "fleet[orin-nano/resnet50/int8 b1, ...] r200 s1" style tag. */
+    /** "fleet[256x orin-nano/resnet50/int8 b1, ...] r200 s1" style
+     * tag; runs of identical boards are run-length compressed so a
+     * 1000-board fleet stays one line. */
     std::string label() const;
 };
 
@@ -95,6 +113,7 @@ struct FleetResult
     /** @name Engine diagnostics — mode-dependent, never digested.
      * @{ */
     std::uint64_t epochs = 0;
+    std::uint64_t barriers = 0;
     std::uint64_t merge_steps = 0;
     std::uint64_t messages = 0;
     /** @} */

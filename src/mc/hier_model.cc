@@ -1,0 +1,137 @@
+#include "mc/hier_model.hh"
+
+#include <array>
+
+#include "check/digest.hh"
+#include "check/reporter.hh"
+
+namespace jetsim::mc {
+
+namespace {
+
+/** Three devices over two device shards: 0 and 2 on shard 1 (the
+ * same-shard tie the sub counter must resolve deterministically),
+ * 1 alone on shard 2 (the cross-shard race merge arbitration owns). */
+constexpr int kDevices = 3;
+
+constexpr int
+shardOf(int device)
+{
+    return 1 + device % 2;
+}
+
+/** Shared observer state for one run. */
+struct World
+{
+    sim::ShardedEngine &eng;
+    int root_port;
+    std::array<int, 3> sub_port; // index = shard; 0 unused
+    sim::Tick fanout;
+    bool racy;
+
+    std::array<std::uint64_t, kDevices> arrived{};
+    /** racy only: device ids in execution order of same-tick arrivals
+     * — precisely what merge arbitration is allowed to vary. */
+    std::vector<int> order_log;
+
+    /** Root wave: one job per device through the two-hop path, in
+     * round-robin order — the production Balancer::onArrival shape. */
+    void
+    dispatchWave()
+    {
+        for (int d = 0; d < kDevices; ++d) {
+            // Sub ports are keyed by nominal shard; the destination
+            // collapses with the actual shard count so the serial
+            // (shards=1) comparison run exercises the same code.
+            const int sp = sub_port[static_cast<std::size_t>(shardOf(d))];
+            const int s = shardOf(d) % eng.shards();
+            eng.post(root_port, s, eng.shard(0).now() + 1,
+                     [this, sp, s, d] {
+                         eng.post(sp, s, eng.shard(s).now() + fanout,
+                                  [this, d] { arrive(d); });
+                     });
+        }
+    }
+
+    void
+    arrive(int d)
+    {
+        ++arrived[static_cast<std::size_t>(d)];
+        if (racy)
+            order_log.push_back(d);
+    }
+};
+
+} // namespace
+
+RunOutcome
+HierDispatchModel::run(const std::vector<int> &script)
+{
+    sim::ShardedEngine::Options opts;
+    opts.shards = 3;
+    opts.threads = 1;
+    opts.lookahead = 1; // post() minimum; chooser forces merge anyway
+    return runWith(opts, &script);
+}
+
+RunOutcome
+HierDispatchModel::runWith(const sim::ShardedEngine::Options &opts,
+                           const std::vector<int> *script)
+{
+    // Count mode: findings must come back as data, not aborts.
+    check::ScopedCapture capture;
+
+    sim::ShardedEngine eng(opts);
+    World world{eng,
+                eng.addPort(0),
+                {-1, eng.addPort(1 % eng.shards(), /*local_only=*/
+                                 eng.shards() > 1),
+                 eng.addPort(2 % eng.shards(), /*local_only=*/
+                             eng.shards() > 1)},
+                /*fanout=*/1,
+                racy_,
+                {},
+                {}};
+
+    // Wave r fires on the root at tick 1 + 3r; hop-1 arrivals land at
+    // tick 2 + 3r on both device shards, hop-2 injections at 3 + 3r —
+    // every hop tick is a cross-shard tie.
+    for (int r = 0; r < rounds_; ++r)
+        eng.shard(0).schedule(1 + 3 * r,
+                              [&world] { world.dispatchWave(); });
+
+    TraceChooser chooser(script ? *script : std::vector<int>{});
+    if (script)
+        eng.setChooser(&chooser);
+    const std::uint64_t events = eng.runAll(100000);
+
+    RunOutcome out;
+    if (script)
+        out.trace = chooser.trace();
+    out.events = events;
+    out.violations = capture.total();
+    out.max_block_ms.assign(3, 0.0);
+
+    const auto expect = static_cast<std::uint64_t>(rounds_);
+    for (int d = 0; d < kDevices; ++d)
+        if (world.arrived[static_cast<std::size_t>(d)] < expect) {
+            out.deadlock = true;
+            out.detail =
+                "stalled: device " + std::to_string(d) + " arrived " +
+                std::to_string(
+                    world.arrived[static_cast<std::size_t>(d)]) +
+                "/" + std::to_string(expect);
+            break;
+        }
+
+    check::Digest dg;
+    for (int d = 0; d < kDevices; ++d)
+        dg.add(world.arrived[static_cast<std::size_t>(d)]);
+    dg.add(out.violations);
+    for (const int d : world.order_log)
+        dg.add(static_cast<std::int64_t>(d));
+    out.digest = dg.value();
+    return out;
+}
+
+} // namespace jetsim::mc

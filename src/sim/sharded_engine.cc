@@ -17,9 +17,11 @@ ShardedEngine::ShardedEngine(Options opts)
     JETSIM_ASSERT(opts.lookahead >= 0);
     shards_.reserve(static_cast<std::size_t>(opts.shards));
     for (int s = 0; s < opts.shards; ++s)
-        shards_.push_back(std::make_unique<Shard>());
+        shards_.push_back(std::make_unique<Shard>(opts.inbox_capacity));
     threads_ = std::min(opts.threads, opts.shards);
     lookahead_ = opts.lookahead;
+    batch_windows_ = opts.batch_windows;
+    scratch_.resize(static_cast<std::size_t>(opts.shards));
 }
 
 ShardedEngine::~ShardedEngine()
@@ -27,7 +29,7 @@ ShardedEngine::~ShardedEngine()
     stopWorkers();
     // Undelivered messages (posts past the last runUntil target) are
     // dropped with their captured state; the queues destroy their own
-    // pending events.
+    // pending events and the rings their own blocks.
 }
 
 EventQueue &
@@ -38,12 +40,15 @@ ShardedEngine::shard(int s)
 }
 
 int
-ShardedEngine::addPort(int shard_idx)
+ShardedEngine::addPort(int shard_idx, bool local_only)
 {
     JETSIM_ASSERT(shard_idx >= 0 && shard_idx < shards());
     JETSIM_ASSERT(static_cast<int>(port_shard_.size()) < kMaxPorts);
     port_shard_.push_back(shard_idx);
+    port_local_.push_back(local_only);
     port_count_.push_back(0);
+    if (!local_only)
+        shards_[static_cast<std::size_t>(shard_idx)]->posts = true;
     return static_cast<int>(port_shard_.size()) - 1;
 }
 
@@ -56,12 +61,19 @@ ShardedEngine::post(int src_port, int dst_shard, Tick when,
     JETSIM_ASSERT(dst_shard >= 0 && dst_shard < shards());
     JETSIM_ASSERT(static_cast<bool>(cb));
     const int src_shard = port_shard_[static_cast<std::size_t>(src_port)];
+    const bool local_only =
+        port_local_[static_cast<std::size_t>(src_port)];
+    // A local_only port never crosses shards: that is what exempts
+    // its shard from the gmin_post horizon bound.
+    JETSIM_ASSERT(!local_only || dst_shard == src_shard);
     Shard &src = *shards_[static_cast<std::size_t>(src_shard)];
     // The conservative bound: a message must not land inside the
     // horizon the epoch that sent it was allowed to run under. With
     // lookahead 0 (merge mode) one tick of latency still keeps the
-    // dispatch-key order shard-count-invariant.
-    const Tick min_delay = lookahead_ > 0 ? lookahead_ : 1;
+    // dispatch-key order shard-count-invariant; a local_only post is
+    // a same-heap insert, so one tick suffices at any lookahead.
+    const Tick min_delay =
+        local_only ? 1 : (lookahead_ > 0 ? lookahead_ : 1);
     if (when < src.eq.now() + min_delay) {
         JETSIM_VIOLATION(check::Severity::Error,
                          check::Invariant::Causality, kComponent,
@@ -89,51 +101,107 @@ ShardedEngine::post(int src_port, int dst_shard, Tick when,
     Shard &dst = *shards_[static_cast<std::size_t>(dst_shard)];
     if (dst_shard == src_shard || threads_ == 1) {
         // Same shard — or everything runs on the caller thread (merge
-        // mode and single-threaded epochs): insert directly. when is
-        // beyond anything the destination has dispatched, so the key
-        // order is identical to the buffered path.
+        // mode and single-threaded epochs): insert directly. The
+        // cache min-update keeps next_when exact even when the
+        // destination's slice (or an idle skip) already refreshed it
+        // this round — without it a single-threaded cross-shard post
+        // into an earlier-indexed shard would go stale-late.
         dst.eq.scheduleMessage(when, std::move(cb), priority, seq);
+        if (when < dst.next_when.load(std::memory_order_relaxed))
+            dst.next_when.store(when, std::memory_order_relaxed);
         return;
     }
-    core::LockGuard lock(dst.shard_mu_);
-    dst.inbox.push_back(Msg{when, priority, seq, std::move(cb)});
+    msgs_pending_.fetch_add(1, std::memory_order_relaxed);
+    dst.inbox.push(Msg{when, priority, seq, std::move(cb)});
 }
 
 void
 ShardedEngine::deliverInboxes()
 {
+    std::uint64_t delivered = 0;
     for (auto &sp : shards_) {
         Shard &s = *sp;
-        {
-            core::LockGuard lock(s.shard_mu_);
-            std::swap(s.inbox, s.staged);
-        }
-        if (s.staged.empty())
-            continue;
-        max_inbox_ = std::max(max_inbox_,
-                              static_cast<std::uint64_t>(
-                                  s.staged.size()));
-        for (auto &m : s.staged)
+        Tick min_when = s.next_when.load(std::memory_order_relaxed);
+        const std::size_t k = s.inbox.drain([&](Msg &&m) {
+            if (m.when < min_when)
+                min_when = m.when;
             s.eq.scheduleMessage(m.when, std::move(m.cb), m.priority,
                                  m.seq);
-        s.staged.clear(); // keeps capacity: no steady-state alloc
+        });
+        if (k != 0) {
+            s.next_when.store(min_when, std::memory_order_relaxed);
+            max_inbox_ =
+                std::max(max_inbox_, static_cast<std::uint64_t>(k));
+            delivered += k;
+        }
     }
+    if (delivered != 0)
+        msgs_pending_.fetch_sub(delivered, std::memory_order_relaxed);
 }
 
-bool
-ShardedEngine::peekShard(int s, EventQueue::NextEvent &out)
+void
+ShardedEngine::refreshCache(Shard &sh)
 {
-    return shards_[static_cast<std::size_t>(s)]->eq.peekNext(out);
+    EventQueue::NextEvent e;
+    sh.next_when.store(sh.eq.peekNext(e) ? e.when : kTickMax,
+                       std::memory_order_relaxed);
+}
+
+void
+ShardedEngine::refreshAll()
+{
+    // Public entry points resync every cache: the user may have
+    // scheduled or cancelled events directly on the shard queues
+    // since the last run.
+    for (auto &sp : shards_)
+        refreshCache(*sp);
+}
+
+void
+ShardedEngine::reduceMins(Tick &gmin, Tick &gmin_post)
+{
+    // Tournament (pairwise bracket) min-reduction over the cached
+    // per-shard next-event times: two lanes, one over every shard
+    // (gmin — the earliest work anywhere) and one over the shards
+    // that own a cross-shard source port (gmin_post — the earliest
+    // tick at which anything *could* post). Reading K relaxed atomics
+    // beats K heap peeks; the bracket keeps each round's operands
+    // adjacent in the scratch vector.
+    const int k = shards();
+    for (int s = 0; s < k; ++s) {
+        const Shard &sh = *shards_[static_cast<std::size_t>(s)];
+        const Tick w = sh.next_when.load(std::memory_order_relaxed);
+        scratch_[static_cast<std::size_t>(s)] = {
+            w, sh.posts ? w : kTickMax};
+    }
+    for (int width = k; width > 1;) {
+        const int half = (width + 1) / 2;
+        for (int i = 0; i + half < width; ++i) {
+            auto &a = scratch_[static_cast<std::size_t>(i)];
+            const auto &b =
+                scratch_[static_cast<std::size_t>(i + half)];
+            a.first = std::min(a.first, b.first);
+            a.second = std::min(a.second, b.second);
+        }
+        width = half;
+    }
+    gmin = scratch_[0].first;
+    gmin_post = scratch_[0].second;
 }
 
 bool
 ShardedEngine::nextEventTime(Tick &when)
 {
-    deliverInboxes();
+    if (msgs_pending_.load(std::memory_order_relaxed) != 0)
+        deliverInboxes();
+    // Exact peek sweep (not the caches): this is a public query and
+    // must see events parked at kTickMax, which the cache sentinel
+    // cannot distinguish from empty.
     bool any = false;
     EventQueue::NextEvent e;
-    for (int s = 0; s < shards(); ++s) {
-        if (!peekShard(s, e))
+    for (auto &sp : shards_) {
+        refreshCache(*sp);
+        if (!sp->eq.peekNext(e))
             continue;
         if (!any || e.when < when)
             when = e.when;
@@ -145,13 +213,21 @@ ShardedEngine::nextEventTime(Tick &when)
 std::uint64_t
 ShardedEngine::runUntil(Tick target)
 {
-    std::uint64_t n = chooser_ != nullptr || lookahead_ == 0 ||
-                              shards() == 1
-                          ? runMerge(target)
-                          : runEpochs(target);
+    std::uint64_t n = 0;
+    if (shards() == 1) {
+        // Single shard: the engine is exactly one EventQueue; run it
+        // directly (no merge bookkeeping, no barrier, no caches).
+        // The queue handles an installed Chooser itself.
+        n = shards_[0]->eq.runUntil(target);
+        refreshCache(*shards_[0]);
+        return n;
+    }
+    refreshAll();
+    n = chooser_ != nullptr || lookahead_ == 0 ? runMerge(target)
+                                               : runEpochs(target);
     // Advance every shard clock to exactly the target (mirrors
     // EventQueue::runUntil semantics); nothing is pending at or
-    // before it.
+    // before it. Idle-skipped shards catch up here too.
     for (auto &sp : shards_)
         if (sp->eq.now() < target)
             sp->eq.runUntil(target);
@@ -163,43 +239,59 @@ ShardedEngine::runEpochs(Tick target)
 {
     std::uint64_t n = 0;
     for (;;) {
-        deliverInboxes();
-        Tick gmin = 0;
-        {
-            bool any = false;
-            EventQueue::NextEvent e;
-            for (int s = 0; s < shards(); ++s) {
-                if (!peekShard(s, e))
-                    continue;
-                if (!any || e.when < gmin)
-                    gmin = e.when;
-                any = true;
-            }
-            if (!any || gmin > target)
-                return n;
-        }
-        // Safety argument: every event executing this epoch has
-        // when >= gmin, so any message it posts lands at
-        // when >= gmin + lookahead >= horizon — outside the epoch.
+        if (msgs_pending_.load(std::memory_order_relaxed) != 0)
+            deliverInboxes();
+        Tick gmin = kTickMax;
+        Tick gmin_post = kTickMax;
+        reduceMins(gmin, gmin_post);
+        // gmin == kTickMax: nothing schedulable below the sentinel.
+        // (An event *at* kTickMax is indistinguishable from empty
+        // here; runUntil's final clock sync — or runAll's saturated
+        // tail merge — executes those.)
+        if (gmin >= kTickMax || gmin > target)
+            return n;
+        // Safety argument: every cross-shard post originates on a
+        // shard that owns a non-local port, whose events this epoch
+        // all run at when >= gmin_post — so the message lands at
+        // when >= gmin_post + L >= horizon. Shards without such a
+        // port can run arbitrarily far ahead, which is what fuses
+        // multiple lookahead windows into one barrier when
+        // gmin_post >> gmin (adaptive epoch batching).
         const Tick cap = target >= kTickMax ? kTickMax : target + 1;
-        const Tick reach = gmin > kTickMax - lookahead_
-                               ? kTickMax
-                               : gmin + lookahead_;
-        const Tick horizon = std::min(cap, reach);
+        Tick horizon =
+            std::min(cap, gmin_post > kTickMax - lookahead_
+                              ? kTickMax
+                              : gmin_post + lookahead_);
+        if (batch_windows_ != 0) {
+            // Fuse at most batch_windows lookahead windows past gmin
+            // (1 restores the classic single-window epoch exactly).
+            const Tick span =
+                lookahead_ >
+                        kTickMax / static_cast<Tick>(batch_windows_)
+                    ? kTickMax
+                    : lookahead_ * static_cast<Tick>(batch_windows_);
+            horizon = std::min(horizon, gmin > kTickMax - span
+                                            ? kTickMax
+                                            : gmin + span);
+        }
         ++epochs_;
         if (threads_ == 1) {
-            for (auto &sp : shards_)
-                n += sp->eq.runUntil(horizon - 1);
+            for (auto &sp : shards_) {
+                Shard &sh = *sp;
+                if (sh.next_when.load(std::memory_order_relaxed) >=
+                    horizon)
+                    continue; // idle shard: skip without touching it
+                n += sh.eq.runUntil(horizon - 1);
+                refreshCache(sh);
+            }
         } else {
             startWorkers();
             executed_parallel_.store(0, std::memory_order_relaxed);
-            pending_.store(threads_, std::memory_order_relaxed);
             horizon_.store(horizon, std::memory_order_relaxed);
-            epoch_.fetch_add(1, std::memory_order_release);
+            barrierArrive(start_, start_sense_);
             runShardSlice(0, horizon); // caller is worker 0
-            pending_.fetch_sub(1, std::memory_order_acq_rel);
-            while (pending_.load(std::memory_order_acquire) != 0)
-                std::this_thread::yield();
+            barrierArrive(end_, end_sense_);
+            barriers_ += 2;
             n += executed_parallel_.load(std::memory_order_relaxed);
         }
     }
@@ -209,26 +301,48 @@ void
 ShardedEngine::runShardSlice(int worker, Tick horizon)
 {
     std::uint64_t n = 0;
-    for (int s = worker; s < shards(); s += threads_)
-        n += shards_[static_cast<std::size_t>(s)]->eq.runUntil(
-            horizon - 1);
+    for (int s = worker; s < shards(); s += threads_) {
+        Shard &sh = *shards_[static_cast<std::size_t>(s)];
+        if (sh.next_when.load(std::memory_order_relaxed) >= horizon)
+            continue; // idle shard: no dispatch, no clock advance
+        n += sh.eq.runUntil(horizon - 1);
+        refreshCache(sh); // published through the end barrier
+    }
     if (n != 0)
         executed_parallel_.fetch_add(n, std::memory_order_relaxed);
 }
 
 void
+ShardedEngine::barrierArrive(Barrier &b, bool &local_sense)
+{
+    const bool s = !local_sense;
+    local_sense = s;
+    if (b.count.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        threads_)
+    {
+        // Last arriver: reset the count *before* flipping the sense,
+        // so no thread from the next crossing can observe the stale
+        // count (they only proceed past the sense flip).
+        b.count.store(0, std::memory_order_relaxed);
+        b.sense.store(s, std::memory_order_release);
+    } else {
+        while (b.sense.load(std::memory_order_acquire) != s)
+            std::this_thread::yield();
+    }
+}
+
+void
 ShardedEngine::workerLoop(int worker)
 {
-    std::uint64_t seen = 0;
+    bool start_sense = false;
+    bool end_sense = false;
     for (;;) {
-        while (epoch_.load(std::memory_order_acquire) == seen) {
-            if (stop_.load(std::memory_order_acquire))
-                return;
-            std::this_thread::yield();
-        }
-        seen = epoch_.load(std::memory_order_acquire);
-        runShardSlice(worker, horizon_.load(std::memory_order_relaxed));
-        pending_.fetch_sub(1, std::memory_order_acq_rel);
+        barrierArrive(start_, start_sense);
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        runShardSlice(worker,
+                      horizon_.load(std::memory_order_relaxed));
+        barrierArrive(end_, end_sense);
     }
 }
 
@@ -237,6 +351,14 @@ ShardedEngine::startWorkers()
 {
     if (!workers_.empty() || threads_ <= 1)
         return;
+    // No workers exist yet, so the barrier state can be reset
+    // race-free (it also recovers from a previous stopWorkers()).
+    start_.count.store(0, std::memory_order_relaxed);
+    start_.sense.store(false, std::memory_order_relaxed);
+    end_.count.store(0, std::memory_order_relaxed);
+    end_.sense.store(false, std::memory_order_relaxed);
+    start_sense_ = false;
+    end_sense_ = false;
     workers_.reserve(static_cast<std::size_t>(threads_ - 1));
     for (int w = 1; w < threads_; ++w)
         workers_.emplace_back([this, w] { workerLoop(w); });
@@ -247,7 +369,10 @@ ShardedEngine::stopWorkers()
 {
     if (workers_.empty())
         return;
+    // Workers park at the start barrier between epochs; one extra
+    // crossing with stop_ raised releases them.
     stop_.store(true, std::memory_order_release);
+    barrierArrive(start_, start_sense_);
     for (auto &t : workers_)
         t.join();
     workers_.clear();
@@ -257,61 +382,105 @@ ShardedEngine::stopWorkers()
 bool
 ShardedEngine::mergeOne(Tick target)
 {
-    // Candidate = each shard's next key; execute the globally
-    // smallest (when, priority, seq, shard). Cross-shard ties on the
-    // (when, priority) prefix are the ShardMerge arbitration sites:
-    // the default (alternative 0) is the smallest (seq, shard), which
-    // the epoch path reproduces by construction — message seqs order
-    // messages, and cross-shard *local* ties are independent events
-    // whose order is unobservable (DESIGN.md §4i).
-    int best = -1;
-    EventQueue::NextEvent best_e;
-    for (int s = 0; s < shards(); ++s) {
-        EventQueue::NextEvent e;
-        if (!peekShard(s, e))
-            continue;
-        if (best < 0 || e.when < best_e.when ||
-            (e.when == best_e.when &&
-             (e.priority < best_e.priority ||
-              (e.priority == best_e.priority &&
-               e.seq < best_e.seq)))) {
-            best = s;
-            best_e = e;
-        }
-    }
-    if (best < 0 || best_e.when > target)
-        return false;
+    // Candidate = the shards whose *cached* next-event time equals
+    // the cached minimum; peek only those, validating the cache on
+    // the way (a cancel can leave it stale-early — refresh and
+    // retry). Execute the globally smallest (when, priority, seq,
+    // shard). Cross-shard ties on the (when, priority) prefix are the
+    // ShardMerge arbitration sites: the default (alternative 0) is
+    // the smallest (seq, shard), which the epoch path reproduces by
+    // construction — message seqs order messages, and cross-shard
+    // *local* ties are independent events whose order is unobservable
+    // (DESIGN.md §4i).
+    for (;;) {
+        Tick m = kTickMax;
+        for (auto &sp : shards_)
+            m = std::min(
+                m, sp->next_when.load(std::memory_order_relaxed));
+        if (m > target)
+            return false;
 
-    int pick = best;
-    if (chooser_ != nullptr) {
-        // Collect every shard tied on the (when, priority) prefix,
-        // default first, shard index as the actor tag.
-        int cand[kMaxChoiceAlts];
-        std::int64_t actors[kMaxChoiceAlts];
-        int nc = 0;
-        cand[nc] = best;
-        actors[nc++] = best;
-        for (int s = 0; s < shards() && nc < kMaxChoiceAlts; ++s) {
-            if (s == best)
+        int best = -1;
+        EventQueue::NextEvent best_e;
+        bool stale = false;
+        for (int s = 0; s < shards(); ++s) {
+            Shard &sh = *shards_[static_cast<std::size_t>(s)];
+            // m == kTickMax: the sentinel cannot distinguish an
+            // event parked at kTickMax from an empty shard — peek
+            // everything (rare: only the saturated drain tail).
+            if (m < kTickMax &&
+                sh.next_when.load(std::memory_order_relaxed) != m)
                 continue;
             EventQueue::NextEvent e;
-            if (peekShard(s, e) && e.when == best_e.when &&
-                e.priority == best_e.priority) {
-                cand[nc] = s;
-                actors[nc++] = s;
+            if (!sh.eq.peekNext(e)) {
+                // Empty shard: only stale if the cache claimed work
+                // (a drained shard at the kTickMax sentinel is the
+                // steady state of the m == kTickMax sweep, not a
+                // cache miss — flagging it would spin forever).
+                if (sh.next_when.load(std::memory_order_relaxed) !=
+                    kTickMax)
+                {
+                    refreshCache(sh);
+                    stale = true;
+                }
+                continue;
+            }
+            if (e.when != m) {
+                refreshCache(sh); // stale-early cache: fix, rescan
+                stale = true;
+                continue;
+            }
+            if (best < 0 || e.priority < best_e.priority ||
+                (e.priority == best_e.priority && e.seq < best_e.seq))
+            {
+                best = s;
+                best_e = e;
             }
         }
-        if (nc > 1) {
-            const int c =
-                chooser_->choose(ChoiceKind::ShardMerge, actors, nc);
-            JETSIM_ASSERT(c >= 0 && c < nc);
-            pick = cand[c];
+        if (best < 0) {
+            if (stale)
+                continue; // minimum moved under us: recompute
+            return false; // genuinely nothing at or below target
         }
+
+        int pick = best;
+        if (chooser_ != nullptr) {
+            // Collect every shard tied on the (when, priority)
+            // prefix, default first, shard index as the actor tag.
+            int cand[kMaxChoiceAlts];
+            std::int64_t actors[kMaxChoiceAlts];
+            int nc = 0;
+            cand[nc] = best;
+            actors[nc++] = best;
+            for (int s = 0; s < shards() && nc < kMaxChoiceAlts;
+                 ++s) {
+                if (s == best)
+                    continue;
+                Shard &sh = *shards_[static_cast<std::size_t>(s)];
+                EventQueue::NextEvent e;
+                if (sh.eq.peekNext(e) && e.when == best_e.when &&
+                    e.priority == best_e.priority)
+                {
+                    cand[nc] = s;
+                    actors[nc++] = s;
+                }
+            }
+            if (nc > 1) {
+                const int c = chooser_->choose(ChoiceKind::ShardMerge,
+                                               actors, nc);
+                JETSIM_ASSERT(c >= 0 && c < nc);
+                pick = cand[c];
+            }
+        }
+        ++merge_steps_;
+        Shard &psh = *shards_[static_cast<std::size_t>(pick)];
+        const bool ran = psh.eq.runOne();
+        JETSIM_ASSERT(ran);
+        // The dispatched callback can only have scheduled into its
+        // own shard (direct post inserts min-update theirs).
+        refreshCache(psh);
+        return true;
     }
-    ++merge_steps_;
-    const bool ran = shards_[static_cast<std::size_t>(pick)]->eq.runOne();
-    JETSIM_ASSERT(ran);
-    return true;
 }
 
 std::uint64_t
@@ -319,8 +488,9 @@ ShardedEngine::runMerge(Tick target)
 {
     std::uint64_t n = 0;
     for (;;) {
-        deliverInboxes(); // posts buffer only when threads_ > 1, but
-                          // stay correct under any configuration
+        if (msgs_pending_.load(std::memory_order_relaxed) != 0)
+            deliverInboxes(); // posts buffer only when threads_ > 1,
+                              // but stay correct under any config
         if (!mergeOne(target))
             return n;
         ++n;
@@ -331,9 +501,17 @@ std::uint64_t
 ShardedEngine::runAll(std::uint64_t max_events)
 {
     std::uint64_t n = 0;
-    if (chooser_ != nullptr || lookahead_ == 0 || shards() == 1) {
+    if (shards() == 1) {
+        while (n < max_events && shards_[0]->eq.runOne())
+            ++n;
+        refreshCache(*shards_[0]);
+        return n;
+    }
+    refreshAll();
+    if (chooser_ != nullptr || lookahead_ == 0) {
         while (n < max_events) {
-            deliverInboxes();
+            if (msgs_pending_.load(std::memory_order_relaxed) != 0)
+                deliverInboxes();
             if (!mergeOne(kTickMax))
                 break;
             ++n;
@@ -345,7 +523,6 @@ ShardedEngine::runAll(std::uint64_t max_events)
         if (when > kTickMax - lookahead_) {
             // Saturated tail (events scheduled at or near kTickMax):
             // the epoch horizon cannot pass them, so merge serially.
-            deliverInboxes();
             if (!mergeOne(kTickMax))
                 break;
             ++n;
@@ -374,10 +551,13 @@ ShardedEngine::stats() const
     st.threads = threads_;
     st.lookahead = lookahead_;
     st.epochs = epochs_;
+    st.barriers = barriers_;
     st.merge_steps = merge_steps_;
     st.max_inbox = max_inbox_;
-    for (const auto &sp : shards_)
+    for (const auto &sp : shards_) {
         st.executed += sp->eq.executed();
+        st.ring_overflow += sp->inbox.overflowed();
+    }
     for (const std::uint32_t c : port_count_)
         st.messages += c;
     return st;

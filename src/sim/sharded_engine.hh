@@ -10,15 +10,23 @@
  * (Chandy–Misra–Bryant-style) parallel discrete-event simulation, and
  * it drives an epoch loop:
  *
- *   1. deliver every buffered cross-shard message into its
- *      destination shard's heap;
- *   2. global_min = the smallest pending (when) over all shards;
- *   3. horizon = global_min + L: no event executing this epoch (all
- *      at when >= global_min) can post a message due before horizon;
- *   4. every shard runs its events with when < horizon — in parallel,
- *      outbound posts buffered into per-shard inboxes behind a leaf
- *      core::Mutex;
- *   5. barrier; repeat.
+ *   1. deliver buffered cross-shard messages into their destination
+ *      shards' heaps (skipped outright when the pending counter is
+ *      zero);
+ *   2. a tournament min-reduction over *cached* per-shard next-event
+ *      times yields gmin (over all shards) and gmin_post (over shards
+ *      that own a cross-shard source port);
+ *   3. horizon = min(target + 1, gmin_post + L): no event executing
+ *      this epoch can post a message due before it, because every
+ *      post originates on a port-owning shard whose events all run at
+ *      when >= gmin_post. When gmin_post >> gmin this *fuses many
+ *      lookahead windows into one epoch* (adaptive epoch batching;
+ *      Options::batch_windows caps or disables the fusion);
+ *   4. every shard whose cached next event is below the horizon runs
+ *      it in parallel — idle shards are skipped without touching
+ *      their queues — with outbound posts pushed onto per-shard
+ *      lock-free MPSC rings (sim::MsgRing);
+ *   5. a sense-reversing barrier; repeat.
  *
  * Determinism is *bit-identical* to the serial engine at any
  * shard/thread count, by construction rather than by luck:
@@ -40,14 +48,15 @@
  * as ChoiceKind::ShardMerge arbitration points. Digests from the
  * merge path equal the epoch path's for the same reason as above.
  *
- * Locking contract (jetrace, DESIGN.md §4h): the per-shard inbox
- * locks are annotated core::Mutex, named `shard_mu_` so the
- * `shard-lock-not-leaf` rule can hold them to the leaf discipline —
- * no lock is ever acquired while one is held. The epoch barrier is
- * lock-free (atomics + yield), so it adds no lock-graph nodes at all.
- * The hot path is allocation-free at steady state: each shard reuses
- * its slab EventPool, and inbox vectors retain capacity across
- * epochs.
+ * Locking contract (jetrace, DESIGN.md §4h): there is none to state —
+ * the engine's hot path owns no mutex at all. The inbox is a bounded
+ * lock-free ring with arena-batched overflow blocks, the barrier is
+ * two sense-reversing atomics, and the per-shard next-event cache is
+ * a relaxed atomic published through the barrier. jetrace's
+ * `shard-lock-not-leaf` rule is vacuous here by construction. The hot
+ * path is allocation-free at steady state: each shard reuses its slab
+ * EventPool, and ring cells / overflow node blocks are recycled
+ * across epochs.
  */
 
 #ifndef JETSIM_SIM_SHARDED_ENGINE_HH
@@ -57,10 +66,11 @@
 #include <cstdint>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
-#include "core/mutex.hh"
 #include "sim/event_queue.hh"
+#include "sim/msg_ring.hh"
 
 namespace jetsim::sim {
 
@@ -87,6 +97,18 @@ class ShardedEngine
          * single-threaded and branch at merge ties.
          */
         Tick lookahead = 0;
+        /**
+         * Adaptive epoch batching cap: how many lookahead windows one
+         * epoch may fuse when the port map proves it safe (horizon =
+         * gmin_post + L instead of gmin + L). 0 = unlimited fusion
+         * (default), 1 = classic single-window epochs, N = fuse at
+         * most N windows per barrier. Any value yields bit-identical
+         * digests; the knob only trades barriers for window size.
+         */
+        std::uint64_t batch_windows = 0;
+        /** Per-shard inbox ring capacity (power of two); bursts past
+         * it take the arena-batched overflow path, never a lock. */
+        std::size_t inbox_capacity = 256;
     };
 
     /** Epoch / message / merge counters (see stats()). */
@@ -95,11 +117,14 @@ class ShardedEngine
         int shards = 0;
         int threads = 0;
         Tick lookahead = 0;
-        std::uint64_t epochs = 0;      ///< parallel-phase barriers
+        std::uint64_t epochs = 0;      ///< parallel-phase rounds
+        std::uint64_t barriers = 0;    ///< barrier crossings (2/epoch
+                                       ///< when threads > 1)
         std::uint64_t merge_steps = 0; ///< serial-merge dispatches
         std::uint64_t messages = 0;    ///< lifetime post() count
         std::uint64_t executed = 0;    ///< events over all shards
-        std::uint64_t max_inbox = 0;   ///< deepest inbox observed
+        std::uint64_t max_inbox = 0;   ///< deepest drain observed
+        std::uint64_t ring_overflow = 0; ///< posts past the ring
     };
 
     explicit ShardedEngine(Options opts);
@@ -122,18 +147,25 @@ class ShardedEngine
      * run starts (registration is not thread-safe) and their order is
      * part of the deterministic merge: lower ports win
      * message-message ties at equal (when, priority).
+     *
+     * A @p local_only port may post only to its own shard (min delay
+     * one tick instead of the lookahead) and — crucially for adaptive
+     * epoch batching — does not mark the shard as a cross-shard
+     * poster, so its events never shrink the fused horizon. Fleet
+     * sub-balancers are the canonical user: the root->sub hop crosses
+     * shards, the sub->device hop is a local_only message.
      */
-    int addPort(int shard_idx);
+    int addPort(int shard_idx, bool local_only = false);
 
     /**
      * Post a cross-shard message: run @p cb on shard @p dst_shard at
      * absolute tick @p when. Must be called from @p src_port's own
      * shard (its executing callbacks), with
      * when >= src now + max(1, lookahead) — the conservative bound
-     * that makes the epoch horizon safe. Safe to call concurrently
-     * from distinct shards during the parallel phase; delivery is
-     * deferred to the next epoch boundary (same-shard posts insert
-     * directly).
+     * that makes the epoch horizon safe (local_only ports: one tick).
+     * Safe to call concurrently from distinct shards during the
+     * parallel phase; delivery is deferred to the next epoch boundary
+     * (same-shard posts insert directly).
      */
     void post(int src_port, int dst_shard, Tick when,
               EventQueue::Callback cb,
@@ -176,27 +208,45 @@ class ShardedEngine
     };
 
     /**
-     * A shard: queue + inbox. The inbox mutex is a *leaf* lock
-     * (jetrace `shard-lock-not-leaf`): its critical sections are a
-     * vector push / swap, never another acquisition. Padded so two
-     * workers' hot shards never share a cache line.
+     * A shard: queue + lock-free inbox + cached next-event time.
+     * next_when is kTickMax when the queue looked empty; it may run
+     * *early* (a cancelled event leaves it stale-low, which costs at
+     * most one wasted peek) but never late — every insertion path
+     * min-updates it, and the owning worker refreshes it after each
+     * slice, published to the coordinator through the barrier. Padded
+     * so two workers' hot shards never share a cache line.
      */
     struct alignas(64) Shard
     {
+        explicit Shard(std::size_t inbox_capacity)
+            : inbox(inbox_capacity)
+        {
+        }
         EventQueue eq;
-        core::Mutex shard_mu_;
-        std::vector<Msg> inbox JETSIM_GUARDED_BY(shard_mu_);
-        /** Coordinator-side scratch, swapped with inbox at epoch
-         * start so delivery never holds the lock while scheduling;
-         * retains capacity (allocation-free steady state). */
-        std::vector<Msg> staged;
+        MsgRing<Msg> inbox;
+        std::atomic<Tick> next_when{kTickMax};
+        /** Owns >= 1 non-local port: only these shards can shrink
+         * the fused epoch horizon (gmin_post). */
+        bool posts = false;
+    };
+
+    /** Sense-reversing barrier half (one for epoch start, one for
+     * epoch end). No locks, no condvars: an atomic arrival count and
+     * a flip-flopping sense flag each thread tracks locally. */
+    struct alignas(64) Barrier
+    {
+        std::atomic<int> count{0};
+        std::atomic<bool> sense{false};
     };
 
     void deliverInboxes();
-    bool peekShard(int s, EventQueue::NextEvent &out);
+    void refreshCache(Shard &sh);
+    void refreshAll();
+    void reduceMins(Tick &gmin, Tick &gmin_post);
     std::uint64_t runEpochs(Tick target);
     std::uint64_t runMerge(Tick target);
     bool mergeOne(Tick target);
+    void barrierArrive(Barrier &b, bool &local_sense);
     void startWorkers();
     void stopWorkers();
     void workerLoop(int worker);
@@ -205,28 +255,43 @@ class ShardedEngine
     std::vector<std::unique_ptr<Shard>> shards_;
     int threads_ = 1;
     Tick lookahead_ = 0;
+    std::uint64_t batch_windows_ = 0;
     Chooser *chooser_ = nullptr;
 
-    /** Port registry: port id -> shard, plus the per-port message
-     * counters. Counters are written only from the port's own shard
-     * (one thread per epoch), read at quiescent points. */
+    /** Port registry: port id -> (shard, local_only), plus the
+     * per-port message counters. Counters are written only from the
+     * port's own shard (one thread per epoch), read at quiescent
+     * points. */
     std::vector<int> port_shard_;
+    std::vector<bool> port_local_;
     std::vector<std::uint32_t> port_count_;
 
+    /** Tournament scratch: (gmin lane, gmin_post lane) per slot. */
+    std::vector<std::pair<Tick, Tick>> scratch_;
+
     std::uint64_t epochs_ = 0;
+    std::uint64_t barriers_ = 0;
     std::uint64_t merge_steps_ = 0;
     std::uint64_t max_inbox_ = 0;
 
-    /** @name Epoch barrier (lock-free)
-     * The coordinator publishes horizon_ then bumps epoch_; workers
-     * acquire epoch_, run their shard slice, and retire through
-     * pending_. No condition variables, no locks: jetrace's graph
-     * over the engine is exactly the shard leaves.
+    /** Buffered (ring) messages not yet delivered; exact at the
+     * quiescent points where it is read, letting the epoch loop skip
+     * the delivery sweep entirely when nothing is in flight. */
+    std::atomic<std::uint64_t> msgs_pending_{0};
+
+    /** @name Epoch workers (lock-free coordination)
+     * The coordinator publishes horizon_, crosses the start barrier
+     * with the workers, runs its own slice, and meets them again at
+     * the end barrier. Workers check stop_ right after the start
+     * barrier, so shutdown is one extra crossing. jetrace's graph
+     * over the engine has no lock nodes at all.
      * @{ */
     std::vector<std::thread> workers_;
-    std::atomic<std::uint64_t> epoch_{0};
+    Barrier start_;
+    Barrier end_;
+    bool start_sense_ = false; ///< coordinator-local senses
+    bool end_sense_ = false;
     std::atomic<Tick> horizon_{0};
-    std::atomic<int> pending_{0};
     std::atomic<bool> stop_{false};
     std::atomic<std::uint64_t> executed_parallel_{0};
     /** @} */

@@ -38,6 +38,25 @@ ShardMap::blocked(int devices, int shards)
     return ShardMap(std::move(map), k);
 }
 
+ShardMap
+ShardMap::balancerReserved(int devices, int shards)
+{
+    JETSIM_ASSERT(devices >= 1);
+    JETSIM_ASSERT(shards >= 1);
+    if (shards < 2) {
+        // No shard to reserve: root and devices share shard 0.
+        std::vector<int> map(static_cast<std::size_t>(devices), 0);
+        return ShardMap(std::move(map), 1);
+    }
+    // K-1 device shards, shard 0 device-free; clamp so every device
+    // shard holds at least one board.
+    const int k = shards > devices + 1 ? devices + 1 : shards;
+    std::vector<int> map(static_cast<std::size_t>(devices));
+    for (int d = 0; d < devices; ++d)
+        map[static_cast<std::size_t>(d)] = 1 + d % (k - 1);
+    return ShardMap(std::move(map), k);
+}
+
 int
 ShardMap::shardOf(int device) const
 {

@@ -31,6 +31,18 @@ class ShardMap
      * of one model across boards). */
     static ShardMap blocked(int devices, int shards);
 
+    /**
+     * Shard 0 reserved for a root balancer (no devices), devices
+     * round-robin over shards 1..K-1 — the placement hierarchical
+     * fleets want: the root's arrival stream is the only cross-shard
+     * poster, so the engine's adaptive epoch batching fuses every
+     * device shard's work between consecutive dispatch decisions.
+     * Degenerates to everything-on-shard-0 when @p shards < 2 (the
+     * serial / merge topologies); K is clamped to devices + 1 so no
+     * device shard is ever empty.
+     */
+    static ShardMap balancerReserved(int devices, int shards);
+
     int devices() const { return static_cast<int>(map_.size()); }
     int shards() const { return shards_; }
     int shardOf(int device) const;

@@ -15,6 +15,7 @@
 
 #include "check/reporter.hh"
 #include "core/digest.hh"
+#include "soc/shard_map.hh"
 
 namespace jetsim::core {
 namespace {
@@ -92,6 +93,153 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return s;
     });
+
+FleetSpec
+bigFleet(int boards, bool hierarchical)
+{
+    // Homogeneous wide fleet: cheap per-board model so hundreds of
+    // boards stay test-sized; rate scaled so every board sees
+    // traffic inside the short window.
+    FleetSpec spec = cell("orin-nano", "mobilenet_v2", boards);
+    spec.balancer_rate = 25.0 * boards;
+    spec.warmup = sim::msec(4);
+    spec.duration = sim::msec(30);
+    spec.seed = 23;
+    spec.hierarchical = hierarchical;
+    return spec;
+}
+
+TEST(Fleet, SixteenShardMatrixBitIdenticalToSerial)
+{
+    // The 4-board golden cells clamp at 4 shards; the 16-shard
+    // matrix row needs a wider fleet.
+    check::ScopedCapture cap;
+    const FleetSpec spec = bigFleet(20, false);
+    const FleetResult serial = runFleet(spec, {});
+    ASSERT_GT(serial.dispatched, 0u);
+    const auto want = resultDigest(serial);
+    for (const int threads : {1, 2, 8}) {
+        FleetOptions o;
+        o.shards = 16;
+        o.threads = threads;
+        const FleetResult got = runFleet(spec, o);
+        EXPECT_EQ(resultDigest(got), want) << "threads=" << threads;
+        EXPECT_EQ(got.events, serial.events);
+    }
+    EXPECT_EQ(cap.total(), 0u);
+}
+
+TEST(Fleet, HierarchicalFleetBitIdenticalAcrossTopologies)
+{
+    // The two-hop root->sub->device dispatch must stay
+    // topology-invariant: serial, merge fallback (lookahead 0) and
+    // epoch-batched hierarchical paths all one digest, on a fleet
+    // wide enough (256 boards) that the balancerReserved map
+    // actually reserves shard 0.
+    check::ScopedCapture cap;
+    const FleetSpec spec = bigFleet(256, true);
+    const FleetResult serial = runFleet(spec, {});
+    ASSERT_TRUE(serial.all_deployed);
+    ASSERT_GT(serial.dispatched, 0u);
+    const auto want = resultDigest(serial);
+
+    FleetOptions merge;
+    merge.shards = 8;
+    merge.threads = 1;
+    merge.lookahead = 0;
+    const FleetResult m = runFleet(spec, merge);
+    EXPECT_EQ(resultDigest(m), want) << "merge fallback";
+    EXPECT_EQ(m.events, serial.events);
+
+    for (const int shards : {4, 16})
+        for (const int threads : {1, 8}) {
+            FleetOptions o;
+            o.shards = shards;
+            o.threads = threads;
+            const FleetResult got = runFleet(spec, o);
+            EXPECT_EQ(resultDigest(got), want)
+                << "shards=" << shards << " threads=" << threads;
+            EXPECT_EQ(got.events, serial.events);
+        }
+    EXPECT_EQ(cap.total(), 0u);
+}
+
+TEST(Fleet, ThousandBoardFleetCompletesBitIdentical)
+{
+    // The headline acceptance run: 1000 boards, digests bit-identical
+    // between serial, the lookahead-0 merge, and the epoch-batched
+    // hierarchical path.
+    check::ScopedCapture cap;
+    FleetSpec spec = bigFleet(1000, true);
+    spec.duration = sim::msec(12);
+    const FleetResult serial = runFleet(spec, {});
+    ASSERT_TRUE(serial.all_deployed);
+    ASSERT_GT(serial.dispatched, 0u);
+    const auto want = resultDigest(serial);
+
+    FleetOptions merge;
+    merge.shards = 16;
+    merge.threads = 1;
+    merge.lookahead = 0;
+    EXPECT_EQ(resultDigest(runFleet(spec, merge)), want)
+        << "lookahead=0 merge";
+
+    FleetOptions batched;
+    batched.shards = 16;
+    batched.threads = 2;
+    const FleetResult got = runFleet(spec, batched);
+    EXPECT_EQ(resultDigest(got), want) << "epoch-batched";
+    EXPECT_EQ(got.events, serial.events);
+    // Batching must actually have fused windows: far fewer epochs
+    // than root dispatch decisions would need one-by-one.
+    EXPECT_LT(got.epochs, got.messages);
+    EXPECT_EQ(cap.total(), 0u);
+}
+
+TEST(Fleet, HierarchicalLatencyIncludesFanoutHop)
+{
+    FleetSpec flat = cell("orin-nano", "resnet18", 2);
+    flat.balancer_rate = 100.0;
+    FleetSpec hier = flat;
+    hier.hierarchical = true;
+    hier.fanout_latency = sim::msec(3);
+    const FleetResult a = runFleet(flat, {});
+    const FleetResult b = runFleet(hier, {});
+    ASSERT_GT(a.total_throughput, 0.0);
+    EXPECT_GE(b.devices[0].p50_ms, a.devices[0].p50_ms + 2.5);
+}
+
+TEST(Fleet, BalancerReservedMapShape)
+{
+    const auto m = soc::ShardMap::balancerReserved(6, 4);
+    EXPECT_EQ(m.shards(), 4);
+    EXPECT_TRUE(m.devicesOn(0).empty()); // root-only shard
+    for (int d = 0; d < 6; ++d)
+        EXPECT_EQ(m.shardOf(d), 1 + d % 3);
+    // Clamped: never an empty device shard.
+    const auto tight = soc::ShardMap::balancerReserved(2, 16);
+    EXPECT_EQ(tight.shards(), 3);
+    // Degenerate serial topology: no shard to reserve.
+    const auto serial = soc::ShardMap::balancerReserved(5, 1);
+    EXPECT_EQ(serial.shards(), 1);
+    EXPECT_EQ(serial.devicesOn(0).size(), 5u);
+}
+
+TEST(Fleet, LabelRunLengthCompressesWideFleets)
+{
+    FleetSpec spec = cell("orin-nano", "mobilenet_v2", 256);
+    spec.hierarchical = true;
+    const std::string l = spec.label();
+    EXPECT_NE(l.find("256x orin-nano/mobilenet_v2/int8 b1"),
+              std::string::npos)
+        << l;
+    EXPECT_NE(l.find(" h"), std::string::npos) << l;
+    EXPECT_LT(l.size(), 120u) << l;
+    // Heterogeneous runs stay distinct.
+    FleetSpec het = cell("orin-nano", "resnet18", 2);
+    het.devices[1].model = "yolov8n";
+    EXPECT_NE(het.label().find(" + "), std::string::npos);
+}
 
 TEST(Fleet, RepeatRunsAreBitIdentical)
 {

@@ -43,6 +43,11 @@ randomSpec(sim::Rng &rng)
     }
     spec.balancer_rate = rng.uniform(50.0, 600.0);
     spec.dispatch_latency = sim::usec(rng.uniform(20.0, 500.0));
+    // Half the fleets dispatch through the two-hop hierarchical
+    // balancer so the fuzzer also covers root->sub->device ordering.
+    spec.hierarchical = rng.chance(0.5);
+    if (spec.hierarchical)
+        spec.fanout_latency = sim::usec(rng.uniform(10.0, 200.0));
     spec.warmup = sim::msec(10);
     spec.duration = sim::msec(40);
     spec.seed = rng.next();
@@ -147,7 +152,11 @@ TEST(ShardedDiff, TinyLookaheadStressesEpochBoundaries)
 TEST(ShardedDiff, ReplaySpecRoundTrips)
 {
     sim::Rng rng(0xabcdull);
-    const FleetSpec spec = randomSpec(rng);
+    FleetSpec spec = randomSpec(rng);
+    // Pin the hierarchical fields so the round trip exercises both
+    // new replay keys regardless of what the rng rolled.
+    spec.hierarchical = true;
+    spec.fanout_latency = sim::usec(77);
     FleetOptions o;
     o.shards = 3;
     o.threads = 2;
@@ -168,6 +177,8 @@ TEST(ShardedDiff, ReplaySpecRoundTrips)
     EXPECT_EQ(back.warmup, spec.warmup);
     EXPECT_EQ(back.duration, spec.duration);
     EXPECT_EQ(back.seed, spec.seed);
+    EXPECT_EQ(back.hierarchical, spec.hierarchical);
+    EXPECT_EQ(back.fanout_latency, spec.fanout_latency);
     EXPECT_EQ(back_o.shards, o.shards);
     EXPECT_EQ(back_o.threads, o.threads);
     EXPECT_EQ(back_o.lookahead, o.lookahead);

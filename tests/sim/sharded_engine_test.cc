@@ -331,6 +331,156 @@ TEST(ShardedEngine, NextEventTimeSpansShards)
     EXPECT_EQ(when, 30);
 }
 
+TEST(ShardedEngine, LocalOnlyPortPostsWithinShard)
+{
+    // A local_only port: one-tick minimum delay even under a large
+    // lookahead, message-band seq (beats tied local events), and no
+    // effect on the fused horizon of other shards.
+    ShardedEngine eng(opts(2, 1, 1000));
+    const int p = eng.addPort(0, /*local_only=*/true);
+    std::vector<char> order;
+    eng.shard(0).schedule(20, [&] { order.push_back('l'); });
+    eng.shard(0).schedule(10, [&] {
+        eng.post(p, 0, 20, [&] { order.push_back('m'); });
+    });
+    eng.shard(1).schedule(5000, [&] { order.push_back('x'); });
+    eng.runUntil(6000);
+    EXPECT_EQ(order, (std::vector<char>{'m', 'l', 'x'}));
+    // No non-local port anywhere: the whole run is one fused epoch.
+    EXPECT_EQ(eng.stats().epochs, 1u);
+}
+
+TEST(ShardedEngine, BatchWindowsKnobIsDigestInvariantButCheaper)
+{
+    // batch_windows=1 restores classic one-window epochs;
+    // batch_windows=0 (adaptive) must produce the same observables
+    // with no more epochs.
+    auto run = [](std::uint64_t batch, std::uint64_t &epochs) {
+        ShardedEngine::Options o = opts(3, 1, 10);
+        o.batch_windows = batch;
+        ShardedEngine eng(o);
+        const int port = eng.addPort(0);
+        std::string log;
+        struct Pump
+        {
+            ShardedEngine &eng;
+            int port;
+            std::string &log;
+            int left = 20;
+            void
+            go()
+            {
+                if (--left < 0)
+                    return;
+                const int dst = 1 + left % 2;
+                eng.post(port, dst, eng.shard(0).now() + 10,
+                         [this, dst] {
+                             log += std::to_string(dst) + "@" +
+                                    std::to_string(
+                                        eng.shard(dst).now()) +
+                                    ";";
+                         });
+                eng.shard(0).scheduleIn(40, [this] { go(); });
+            }
+        } pump{eng, port, log};
+        eng.shard(0).schedule(1, [&pump] { pump.go(); });
+        eng.runUntil(2000);
+        epochs = eng.stats().epochs;
+        return log;
+    };
+    std::uint64_t classic_epochs = 0;
+    std::uint64_t adaptive_epochs = 0;
+    const std::string classic = run(1, classic_epochs);
+    const std::string adaptive = run(0, adaptive_epochs);
+    EXPECT_EQ(adaptive, classic);
+    EXPECT_LE(adaptive_epochs, classic_epochs);
+    EXPECT_GT(classic_epochs, 0u);
+}
+
+TEST(ShardedEngine, RingOverflowDeliversEverything)
+{
+    // A burst past the inbox ring's capacity takes the arena
+    // overflow path; nothing may be lost or reordered observably.
+    ShardedEngine::Options o = opts(2, 2, 5);
+    o.inbox_capacity = 4; // force overflow quickly
+    ShardedEngine eng(o);
+    const int port = eng.addPort(0);
+    std::atomic<int> got{0};
+    eng.shard(0).schedule(1, [&] {
+        for (int i = 0; i < 200; ++i)
+            eng.post(port, 1, 10 + i, [&] {
+                got.fetch_add(1, std::memory_order_relaxed);
+            });
+    });
+    eng.runUntil(1000);
+    EXPECT_EQ(got.load(), 200);
+    const auto st = eng.stats();
+    EXPECT_EQ(st.messages, 200u);
+    EXPECT_GT(st.ring_overflow, 0u);
+}
+
+TEST(ShardedEngine, BarrierCountsTrackEpochs)
+{
+    ShardedEngine eng(opts(4, 4, 10));
+    const int port = eng.addPort(0);
+    struct Pump
+    {
+        ShardedEngine &eng;
+        int port;
+        int left = 10;
+        void
+        go()
+        {
+            if (--left < 0)
+                return;
+            eng.post(port, 1 + left % 3,
+                     eng.shard(0).now() + 10, [] {});
+            eng.shard(0).scheduleIn(10, [this] { go(); });
+        }
+    } pump{eng, port};
+    eng.shard(0).schedule(1, [&pump] { pump.go(); });
+    eng.runUntil(500);
+    const auto st = eng.stats();
+    EXPECT_GT(st.epochs, 0u);
+    EXPECT_EQ(st.barriers, 2 * st.epochs)
+        << "one start + one end crossing per parallel epoch";
+}
+
+TEST(ShardedEngine, ChooserRunAllTerminatesAfterDrain)
+{
+    // Regression: the controlled (merge) drain used to spin forever
+    // once every shard emptied — an empty peek at the kTickMax
+    // sweep was misread as a stale cache, so mergeOne retried
+    // endlessly instead of reporting quiescence (caught by the jetmc
+    // models, which runAll() to completion under a chooser).
+    struct DefaultChooser final : Chooser
+    {
+        int calls = 0;
+        int
+        choose(ChoiceKind, const std::int64_t *, int) override
+        {
+            ++calls;
+            return 0;
+        }
+    } chooser;
+    ShardedEngine eng(opts(2, 1, 1));
+    const int port = eng.addPort(0);
+    int ran = 0;
+    // Tied events on both shards force at least one merge choice.
+    eng.shard(0).schedule(5, [&] { ++ran; });
+    eng.shard(1).schedule(5, [&] { ++ran; });
+    eng.shard(0).schedule(1, [&] {
+        ++ran;
+        eng.post(port, 1, 3, [&] { ++ran; });
+    });
+    eng.setChooser(&chooser);
+    EXPECT_EQ(eng.runAll(), 4u);
+    EXPECT_EQ(ran, 4);
+    EXPECT_GT(chooser.calls, 0);
+    Tick when = 0;
+    EXPECT_FALSE(eng.nextEventTime(when));
+}
+
 TEST(ShardedEngine, RunAllDrainsEverything)
 {
     ShardedEngine eng(opts(3, 2, 10));

@@ -14,6 +14,7 @@ lock-graph blocks, exit codes). Also runs the embedded --selftest
 Run directly or via ctest (registered in tests/CMakeLists.txt).
 """
 
+import importlib.util
 import json
 import os
 import subprocess
@@ -23,6 +24,19 @@ import unittest
 
 JETRACE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                        os.pardir, os.pardir, "tools", "jetrace.py")
+
+
+def load_jetrace_module():
+    """Import tools/jetrace.py so tests can reuse its embedded
+    selftest fixtures verbatim (keeps test and --selftest in
+    lockstep)."""
+    spec = importlib.util.spec_from_file_location("jetrace", JETRACE)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+JETRACE_MOD = load_jetrace_module()
 
 # Every fixture is audited with the lexical backend so the results do
 # not depend on whether libclang bindings happen to be installed.
@@ -225,6 +239,55 @@ class JetraceLocks(unittest.TestCase):
             "void g() { LockGuard lb(b); LockGuard la(a); }\n")
         self.assertEqual(code, 1, out)
         self.assertIn("[lock-cycle]", out)
+
+
+class JetraceMpscInbox(unittest.TestCase):
+    """The sharded engine's lock-free MPSC inbox ring replaced the
+    shard_mu_ mutex inbox (DESIGN.md §4i). These tests pin the audit
+    contract for that replacement: the ring idiom introduces no
+    lock-graph capability at all, the old mutexed idiom is flagged
+    before it can come back, and the real tree no longer carries any
+    shard capability (shard-lock-not-leaf is vacuously satisfied)."""
+
+    def test_ring_fixture_is_clean_and_capability_free(self):
+        code, out = run_audit(JETRACE_MOD.SELFTEST_MPSC_RING,
+                              extra_args=["--json"],
+                              filename="mpsc_ring.cc")
+        self.assertEqual(code, 0, out)
+        doc = json.loads(out)
+        self.assertEqual(doc["findings"], [])
+        self.assertEqual(doc["lock_graph"]["nodes"], [])
+        self.assertEqual(doc["lock_graph"]["edges"], [])
+        inv = doc["inventory"]
+        self.assertEqual(inv["capabilities"], 0)
+        self.assertGreaterEqual(inv["atomic"], 3)
+        self.assertGreaterEqual(inv["confined"], 1)
+
+    def test_raw_mutex_inbox_fixture_is_flagged(self):
+        code, out = run_audit(JETRACE_MOD.SELFTEST_MPSC_RAW_MUTEX,
+                              extra_args=["--json"],
+                              filename="mpsc_raw_inbox.cc")
+        self.assertEqual(code, 1, out)
+        doc = json.loads(out)
+        rules = [f["rule"] for f in doc["findings"]]
+        # Declaration plus lock site: both raw-mutex, nothing else.
+        self.assertEqual(rules, ["raw-mutex", "raw-mutex"])
+
+    def test_repo_lock_graph_has_no_shard_capability(self):
+        # With the mutex inbox gone, no capability matching the
+        # shard pattern may remain anywhere in src/ — the leaf rule
+        # holds vacuously rather than by discipline.
+        proc = subprocess.run(
+            [sys.executable, JETRACE] + BASE_ARGS + ["--json"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        doc = json.loads(proc.stdout)
+        shard_caps = [n for n in doc["lock_graph"]["nodes"]
+                      if JETRACE_MOD.SHARD_CAP_RE.search(n)]
+        self.assertEqual(shard_caps, [])
+        self.assertNotIn(
+            "shard-lock-not-leaf",
+            [f["rule"] for f in doc["findings"]])
 
 
 class JetraceJson(unittest.TestCase):

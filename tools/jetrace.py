@@ -715,6 +715,58 @@ void drain() { LockGuard g(shard_mu_); LockGuard s(stats_mu);
                stats += inbox; }
 """
 
+# MPSC-inbox fixtures: a miniature of the lock-free shard inbox ring
+# (src/sim/msg_ring.hh) that replaced the shard_mu_ mutex inbox in
+# DESIGN.md §4i. The ring variant is pure std::atomic — it must audit
+# clean AND contribute zero lock-graph capabilities, because the point
+# of the replacement is that cross-shard posting no longer introduces
+# any lock the epoch barrier could entangle with. The mutexed variant
+# reintroduces the old raw std::mutex inbox; raw-mutex must flag both
+# the declaration and the lock site before that lock can re-enter the
+# engine invisible to the graph.
+SELFTEST_MPSC_RING = """\
+#include <atomic>
+#include <cstdint>
+
+std::atomic<std::uint64_t> ring_seq{0};
+// jetrace: confined(handoff via ring_seq release/acquire pair)
+std::uint64_t ring_payload = 0;
+std::atomic<std::uint64_t> ring_tail{0};
+std::atomic<std::uint64_t> msgs_pending{0};
+
+void push(std::uint64_t v)
+{
+    const std::uint64_t pos =
+        ring_tail.fetch_add(1, std::memory_order_acq_rel);
+    ring_payload = v;
+    ring_seq.store(pos + 1, std::memory_order_release);
+    msgs_pending.fetch_add(1, std::memory_order_release);
+}
+
+std::uint64_t drainOne(std::uint64_t head)
+{
+    if (ring_seq.load(std::memory_order_acquire) != head + 1)
+        return 0;
+    msgs_pending.fetch_sub(1, std::memory_order_relaxed);
+    return ring_payload;
+}
+"""
+
+SELFTEST_MPSC_RAW_MUTEX = """\
+#include <cstdint>
+#include <mutex>
+
+std::mutex shard_mu_;
+std::uint64_t inbox JETSIM_GUARDED_BY(shard_mu_);
+std::uint64_t inbox_n JETSIM_GUARDED_BY(shard_mu_);
+
+void push(std::uint64_t v)
+{
+    std::lock_guard<std::mutex> g(shard_mu_);
+    inbox = v + inbox_n++;
+}
+"""
+
 
 def selftest(jetmc_ce):
     import tempfile
@@ -773,11 +825,44 @@ def selftest(jetmc_ce):
                 print(f"jetrace selftest: FAILED — shard fixture "
                       f"{name} should be acyclic")
                 ok = False
+        for name, src, want_raw in [
+                ("mpsc_ring.cc", SELFTEST_MPSC_RING, 0),
+                ("mpsc_raw_inbox.cc", SELFTEST_MPSC_RAW_MUTEX, 2)]:
+            p = os.path.join(td, name)
+            with open(p, "w", encoding="utf-8") as f:
+                f.write(src)
+            findings, inv, graph = audit([p], td)
+            raw = [f for f in findings if f["rule"] == "raw-mutex"]
+            others = [f for f in findings
+                      if f["rule"] != "raw-mutex"]
+            if len(raw) != want_raw:
+                print(f"jetrace selftest: FAILED — expected "
+                      f"{want_raw} raw-mutex finding(s) on {name}, "
+                      f"got {raw}")
+                ok = False
+            if others:
+                print(f"jetrace selftest: FAILED — unexpected "
+                      f"findings on {name}: {others}")
+                ok = False
+            if name == "mpsc_ring.cc":
+                # The whole point of the ring: zero capabilities.
+                if graph["nodes"] or inv["capabilities"]:
+                    print(f"jetrace selftest: FAILED — MPSC ring "
+                          f"fixture added lock-graph capabilities: "
+                          f"nodes={graph['nodes']} "
+                          f"capabilities={inv['capabilities']}")
+                    ok = False
+                if inv["atomic"] < 3 or inv["confined"] < 1:
+                    print(f"jetrace selftest: FAILED — MPSC ring "
+                          f"inventory misclassified: {inv}")
+                    ok = False
     if ok:
         print("jetrace selftest: inverted two-lock fixture yields "
               "the lockA<->lockB cycle; ordered fixture is acyclic; "
               "shard-leaf fixtures: non-leaf acquisition under "
-              "shard_mu_ flagged, leaf-only use clean")
+              "shard_mu_ flagged, leaf-only use clean; MPSC inbox "
+              "ring audits clean with zero lock-graph capabilities, "
+              "raw-mutex inbox variant flagged")
     if jetmc_ce:
         try:
             with open(jetmc_ce, encoding="utf-8") as f:
