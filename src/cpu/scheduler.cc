@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/hot_annotations.hh"
 #include "sim/logging.hh"
 
 namespace jetsim::cpu {
@@ -16,7 +17,9 @@ Thread::exec(sim::Tick work, sim::InlineFn done)
     // queue, so EventQueue::schedule never sees its SBO state; count
     // the miss against the queue it will eventually fire on.
     if (done.onHeap())
+        JETSIM_COLD_OK("SBO miss: work-item capture spilled past 48 bytes; counted, asserted zero by micro_sim --assert-sbo")
         sched_.eq().noteSboMiss();
+    JETSIM_COLD_OK("amortized: per-thread work deque, steady-state depth bounded by queued items")
     queue_.push_back(WorkItem{work, std::move(done)});
     if (state_ == State::Idle)
         sched_.makeRunnable(this);
@@ -107,7 +110,7 @@ OsScheduler::pickCore(Thread *t)
     return any;
 }
 
-void
+JETSIM_HOT void
 OsScheduler::dispatchAll()
 {
     sim::Chooser *chooser = eq_.chooser();
@@ -146,7 +149,7 @@ OsScheduler::dispatchAll()
     }
 }
 
-void
+JETSIM_HOT void
 OsScheduler::dispatch(Core &core, Thread *t)
 {
     JETSIM_ASSERT(t->state_ == Thread::State::Runnable);
@@ -242,6 +245,7 @@ OsScheduler::sliceEnd(Core &core, Thread *t, sim::Tick work_done)
         ++preemptions_;
         t->core_ = -1;
         core.running = nullptr;
+        JETSIM_COLD_OK("amortized: run queue holds raw pointers, depth bounded by the thread count")
         q.push_back(t);
         updateBoardActivity();
         dispatchAll();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "check/check.hh"
+#include "core/hot_annotations.hh"
 #include "sim/logging.hh"
 
 namespace jetsim::gpu {
@@ -65,7 +66,9 @@ GpuEngine::submit(int channel, const KernelDesc *k, Callback done)
     // Queued completions live in the channel, outside the event
     // queue's own SBO accounting; attribute heap fallbacks here.
     if (done.onHeap())
+        JETSIM_COLD_OK("SBO miss: completion capture spilled past 48 bytes; counted, asserted zero by micro_sim --assert-sbo")
         eq_.noteSboMiss();
+    JETSIM_COLD_OK("amortized: per-channel deque, steady-state depth bounded by inflight kernels")
     ch.queue.push_back(Queued{k, std::move(done), eq_.now()});
     ch.peak_depth = std::max(ch.peak_depth, channelDepth(channel));
 
@@ -115,7 +118,7 @@ GpuEngine::publishIdleIfQuiet()
 
 // ------------------------------------------------- time-multiplexed path
 
-void
+JETSIM_HOT void
 GpuEngine::scheduleNext()
 {
     if (busy_)

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/hot_annotations.hh"
+
 #include "sim/logging.hh"
 
 namespace jetsim::graph {
@@ -117,6 +119,7 @@ Network::Network(std::string name, Shape input)
     push(std::move(l));
 }
 
+JETSIM_COLD_OK("model construction: layer topology is built once before the clock starts")
 int
 Network::push(Layer l)
 {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/hot_annotations.hh"
+
 namespace jetsim::prof {
 
 const char *
@@ -44,14 +46,16 @@ KernelSummary::detach()
     engine_.setTraceHook(nullptr);
 }
 
-void
+JETSIM_HOT void
 KernelSummary::record(const gpu::KernelRecord &rec)
 {
     const double us = sim::toUsec(rec.end - rec.start);
     NameId id = rec.desc->name_id;
     if (id == kInvalidNameId)
+        JETSIM_COLD_OK("first occurrence only: hand-built descriptors intern once, then hit the cached id")
         id = internName(rec.desc->name); // hand-built descriptor
     if (id >= by_id_.size())
+        JETSIM_COLD_OK("first occurrence only: per-name accumulator table grows to the kernel-name universe, then stops")
         by_id_.resize(id + 1);
     auto &acc = by_id_[id];
     ++acc.calls;

@@ -74,6 +74,7 @@ inline constexpr int kMaxChoiceAlts = 8;
  * in src/mc; the simulator only ever calls choose() from arbitration
  * sites with n >= 2 genuinely distinct alternatives.
  */
+// jethot: boundary(choose) controlled-scheduling hook: a Chooser is only installed under jetmc, whose harness audits its own choose() implementations; steady-state serving never reaches one
 class Chooser
 {
   public:

@@ -17,6 +17,7 @@ EventPool::~EventPool()
 #endif
 }
 
+JETSIM_COLD_OK("slab growth: geometric, O(log n) calls over a queue's life, startup-dominated")
 void
 EventPool::grow()
 {

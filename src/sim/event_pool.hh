@@ -32,6 +32,7 @@
 #include <new>
 #include <vector>
 
+#include "core/hot_annotations.hh"
 #include "sim/inline_fn.hh"
 #include "sim/types.hh"
 
@@ -227,6 +228,7 @@ class EventPool
         e.cb().~InlineFn();
         poisonCb(e);
         ++m.gen;
+        JETSIM_COLD_OK("amortized: freelist capacity tracks slab capacity, grown only by grow()")
         free_.push_back(idx);
     }
 

@@ -71,7 +71,10 @@ EventQueue::checkPlausible() const
                  static_cast<unsigned long long>(peak_pending_));
 }
 
-bool
+// Boundary, not hot: a Chooser is only installed under jetmc, whose
+// harness (and whatever its choose() does) is audited by the model
+// checker itself, never in steady-state serving.
+JETSIM_HOT_BOUNDARY bool
 EventQueue::runOneControlled()
 {
     // Collect every live event tied with the top on the (when,

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "check/check.hh"
+#include "core/hot_annotations.hh"
 #include "sim/choice.hh"
 #include "sim/event_pool.hh"
 #include "sim/inline_fn.hh"
@@ -285,6 +286,7 @@ class EventQueue
      * waiters) call this so per-shard SBO accounting stays complete —
      * schedule() already counts callbacks it stores itself.
      */
+    JETSIM_COLD_OK("SBO miss ledger: attribution counter for externally-held callbacks, asserted zero by micro_sim --assert-sbo")
     void noteSboMiss() { ++sbo_misses_; }
 
     /**
@@ -418,13 +420,15 @@ class EventQueue
 // factor per event. Cold paths (construction, stats, shrink) live in
 // event_queue.cc.
 
-inline void
+JETSIM_HOT inline void
 EventQueue::heapPush(HeapKey key, Index idx)
 {
     // Hole-based sift-up: parents slide down into the hole and the
     // new entry is written exactly once.
     std::size_t i = heap_keys_.size();
+    JETSIM_COLD_OK("amortized: geometric vector growth, reserved up front and recycled by shrink()")
     heap_keys_.push_back(key);
+    JETSIM_COLD_OK("amortized: grows in lockstep with heap_keys_")
     heap_idx_.push_back(idx);
     HeapKey *k = heap_keys_.data();
     Index *v = heap_idx_.data();
@@ -440,7 +444,7 @@ EventQueue::heapPush(HeapKey key, Index idx)
     v[i] = idx;
 }
 
-inline void
+JETSIM_HOT inline void
 EventQueue::heapPopTop()
 {
     // Bottom-up pop: the hole runs to the bottom along the min-child
@@ -480,13 +484,13 @@ EventQueue::heapPopTop()
     v[i] = idx;
 }
 
-inline EventQueue::Handle
+JETSIM_HOT inline EventQueue::Handle
 EventQueue::schedule(Tick when, Callback cb, int priority)
 {
     return scheduleKeyed(when, std::move(cb), priority, seq_++);
 }
 
-inline EventQueue::Handle
+JETSIM_HOT inline EventQueue::Handle
 EventQueue::scheduleKeyed(Tick when, Callback cb, int priority,
                           std::uint64_t seq)
 {
@@ -511,6 +515,7 @@ EventQueue::scheduleKeyed(Tick when, Callback cb, int priority,
         priority = priority < kPriPackMin ? kPriPackMin : kPriPackMax;
     }
     if (cb.onHeap())
+        JETSIM_COLD_OK("SBO miss: capture spilled past 48 bytes; counted, asserted zero by micro_sim --assert-sbo")
         ++sbo_misses_;
     const Index idx = pool_.alloc(std::move(cb));
     heapPush(makeKey(when, priority, seq), idx);
@@ -520,7 +525,7 @@ EventQueue::scheduleKeyed(Tick when, Callback cb, int priority,
     return Handle(life_, idx, pool_.gen(idx));
 }
 
-inline EventQueue::Handle
+JETSIM_HOT inline EventQueue::Handle
 EventQueue::scheduleMessage(Tick when, Callback cb, int priority,
                             std::uint64_t msg_seq)
 {
@@ -533,7 +538,7 @@ EventQueue::scheduleMessage(Tick when, Callback cb, int priority,
                          msg_seq & (kMessageSeqLimit - 1));
 }
 
-inline bool
+JETSIM_HOT inline bool
 EventQueue::peekNext(NextEvent &out)
 {
     while (!heap_keys_.empty()) {
@@ -552,7 +557,7 @@ EventQueue::peekNext(NextEvent &out)
     return false;
 }
 
-inline EventQueue::Handle
+JETSIM_HOT inline EventQueue::Handle
 EventQueue::scheduleIn(Tick delay, Callback cb, int priority)
 {
     JETSIM_CHECK(delay >= 0, check::Severity::Error,
@@ -567,7 +572,7 @@ EventQueue::scheduleIn(Tick delay, Callback cb, int priority)
     return schedule(when, std::move(cb), priority);
 }
 
-inline void
+JETSIM_HOT inline void
 EventQueue::checkDispatch(HeapKey key)
 {
     // Dispatch keys are a total order (seq is unique), so "time never
@@ -602,7 +607,7 @@ EventQueue::checkDispatch(HeapKey key)
     last_key_ = key;
 }
 
-inline void
+JETSIM_HOT inline void
 EventQueue::dispatch(HeapKey key, Index idx)
 {
     checkDispatch(key);
@@ -619,7 +624,7 @@ EventQueue::dispatch(HeapKey key, Index idx)
     pool_.recycleDispatched(idx, e);
 }
 
-inline bool
+JETSIM_HOT inline bool
 EventQueue::runOne()
 {
     if (chooser_ != nullptr)
@@ -640,7 +645,7 @@ EventQueue::runOne()
     return false;
 }
 
-inline std::uint64_t
+JETSIM_HOT inline std::uint64_t
 EventQueue::runUntil(Tick horizon)
 {
     JETSIM_CHECK(horizon >= now_, check::Severity::Error,
@@ -687,7 +692,7 @@ EventQueue::runUntil(Tick horizon)
     return n;
 }
 
-inline std::uint64_t
+JETSIM_HOT inline std::uint64_t
 EventQueue::runAll(std::uint64_t max_events)
 {
     std::uint64_t n = 0;

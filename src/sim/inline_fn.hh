@@ -30,6 +30,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "core/hot_annotations.hh"
+
 namespace jetsim::sim {
 
 namespace detail {
@@ -58,8 +60,10 @@ class InlineFn
             ::new (static_cast<void *>(buf_)) D(std::forward<F>(f));
             ops_ = &kInlineOps<D>;
         } else {
+            JETSIM_COLD_OK("SBO miss ledger: counted here, asserted zero by micro_sim --assert-sbo")
             detail::g_inline_fn_heap_fallbacks.fetch_add(
                 1, std::memory_order_relaxed);
+            JETSIM_COLD_OK("SBO fallback arm: only reached by captures past 48 bytes, which the gate above proves absent in hot runs")
             ::new (static_cast<void *>(buf_))
                 D *(new D(std::forward<F>(f)));
             ops_ = &kHeapOps<D>;

@@ -44,6 +44,7 @@
 #include <new>
 #include <utility>
 
+#include "core/hot_annotations.hh"
 #include "sim/logging.hh"
 
 namespace jetsim::sim {
@@ -91,7 +92,7 @@ class MsgRing
      * fails: messages past the ring's capacity take the overflow
      * stack (counted in overflowed()).
      */
-    void
+    JETSIM_HOT void
     push(T v)
     {
         std::size_t pos = tail_.load(std::memory_order_relaxed);
@@ -100,6 +101,7 @@ class MsgRing
             const std::size_t seq =
                 cell.seq.load(std::memory_order_acquire);
             if (seq == pos) {
+                // jethot: allow(hot-spin) Vyukov claim CAS: a retry means another producer claimed the cell — lock-free, not a wait loop
                 if (tail_.compare_exchange_weak(
                         pos, pos + 1, std::memory_order_relaxed))
                 {
@@ -129,7 +131,7 @@ class MsgRing
      * @return messages delivered.
      */
     template <typename Fn>
-    std::size_t
+    JETSIM_HOT std::size_t
     drain(Fn &&fn)
     {
         std::size_t n = 0;
@@ -214,6 +216,7 @@ class MsgRing
     popFree()
     {
         Node *n = free_head_.load(std::memory_order_acquire);
+        // jethot: allow(hot-spin) Treiber pop CAS: retries only when another producer popped first — lock-free progress, not waiting
         while (n != nullptr &&
                !free_head_.compare_exchange_weak(
                    n, n->next.load(std::memory_order_relaxed),
@@ -224,6 +227,7 @@ class MsgRing
         return n;
     }
 
+    JETSIM_COLD_OK("ring-full overflow: one malloc buys a 64-node arena block, counted by overflowed()/blocksAllocated()")
     void
     pushOverflow(T v)
     {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/hot_annotations.hh"
 #include "sim/logging.hh"
 
 namespace jetsim::sim {
@@ -52,7 +53,7 @@ ShardedEngine::addPort(int shard_idx, bool local_only)
     return static_cast<int>(port_shard_.size()) - 1;
 }
 
-void
+JETSIM_HOT void
 ShardedEngine::post(int src_port, int dst_shard, Tick when,
                     EventQueue::Callback cb, int priority)
 {
@@ -115,7 +116,7 @@ ShardedEngine::post(int src_port, int dst_shard, Tick when,
     dst.inbox.push(Msg{when, priority, seq, std::move(cb)});
 }
 
-void
+JETSIM_HOT void
 ShardedEngine::deliverInboxes()
 {
     std::uint64_t delivered = 0;
@@ -157,7 +158,7 @@ ShardedEngine::refreshAll()
         refreshCache(*sp);
 }
 
-void
+JETSIM_HOT void
 ShardedEngine::reduceMins(Tick &gmin, Tick &gmin_post)
 {
     // Tournament (pairwise bracket) min-reduction over the cached
@@ -234,7 +235,7 @@ ShardedEngine::runUntil(Tick target)
     return n;
 }
 
-std::uint64_t
+JETSIM_HOT std::uint64_t
 ShardedEngine::runEpochs(Tick target)
 {
     std::uint64_t n = 0;
@@ -297,7 +298,7 @@ ShardedEngine::runEpochs(Tick target)
     }
 }
 
-void
+JETSIM_HOT void
 ShardedEngine::runShardSlice(int worker, Tick horizon)
 {
     std::uint64_t n = 0;
@@ -312,7 +313,7 @@ ShardedEngine::runShardSlice(int worker, Tick horizon)
         executed_parallel_.fetch_add(n, std::memory_order_relaxed);
 }
 
-void
+JETSIM_HOT void
 ShardedEngine::barrierArrive(Barrier &b, bool &local_sense)
 {
     const bool s = !local_sense;
@@ -326,12 +327,13 @@ ShardedEngine::barrierArrive(Barrier &b, bool &local_sense)
         b.count.store(0, std::memory_order_relaxed);
         b.sense.store(s, std::memory_order_release);
     } else {
+        // jethot: allow(hot-spin, hot-io) sense-reversing barrier: the spin (and its yield) is the design, bounded by the slowest shard's slice
         while (b.sense.load(std::memory_order_acquire) != s)
             std::this_thread::yield();
     }
 }
 
-void
+JETSIM_HOT void
 ShardedEngine::workerLoop(int worker)
 {
     bool start_sense = false;
@@ -346,6 +348,7 @@ ShardedEngine::workerLoop(int worker)
     }
 }
 
+JETSIM_COLD_OK("once per run: worker threads spawned lazily at the first parallel epoch, reused until stopWorkers()")
 void
 ShardedEngine::startWorkers()
 {

@@ -218,6 +218,32 @@ EOF
              "skipping the -Wthread-safety build (jetrace audit" \
              "above still gates the same contracts)" >&2
     fi
+
+    banner "pass 1g: hot-path discipline (jethot)"
+    # The analyzer must first find its own seeded violations
+    # (hot-path alloc, lock, throw — each minimised to a 2-hop
+    # chain) before its verdict on src/ means anything.
+    python3 "$repo/tools/jethot.py" --selftest
+    # Zero findings over src/: nothing reachable from a hot root
+    # allocates, locks, throws, blocks, or reads the environment
+    # outside an explicit JETSIM_COLD_OK / boundary escape — and
+    # every runtime heap-fallback counter site (what micro_sim
+    # --assert-sbo counts) is covered by a ledgered escape, so the
+    # static escape set and the runtime SBO accounting name the
+    # same sites.
+    python3 "$repo/tools/jethot.py" --json > \
+        "$repo/build-ci/plain/jethot.json"
+    python3 - "$repo/build-ci/plain/jethot.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["findings"] == [], doc["findings"]
+sites = doc["sbo_sites"]
+assert len(sites) >= 3 and all(s["covered"] for s in sites), sites
+print(f"jethot: src clean; {len(doc['roots'])} hot roots, "
+      f"{doc['reachable']} reachable, "
+      f"{len(doc['cold_ok'])} sanctioned cold escapes, "
+      f"{len(sites)}/{len(sites)} heap-fallback sites covered")
+EOF
 fi
 
 if [ "$run_san" = 1 ]; then

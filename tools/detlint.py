@@ -25,7 +25,7 @@ that *cause* it from ever entering src/:
 Suppression: append `// detlint: allow(<rule>)` to the offending line
 (or the line above) with a justification nearby.
 
-Usage: tools/detlint.py [--root DIR] [--json] [paths...]
+Usage: tools/detlint.py [--root DIR] [--json] [--sarif] [paths...]
 Exit: 0 clean, 1 findings, 2 usage error.
 
 --json emits {"schema_version": 1, "tool": "detlint", "findings":
@@ -40,8 +40,11 @@ import os
 import re
 import sys
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import cpplex  # noqa: E402  (shared lexer/emitter scaffolding)
+
 # Keep in lockstep with lint::kJsonSchemaVersion (src/lint/finding.hh).
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = cpplex.SCHEMA_VERSION
 
 RULES = [
     ("wall-clock",
@@ -66,50 +69,16 @@ RULES = [
      "model waits as scheduled events)"),
 ]
 
-ALLOW_RE = re.compile(r"detlint:\s*allow\(([a-z-]+(?:\s*,\s*"
-                      r"[a-z-]+)*)\)")
+allowed = cpplex.allow_matcher("detlint")
+ALLOW_RE = allowed.regexp
 UNORDERED_DECL_RE = re.compile(
     r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+"
     r"(\w+)\s*[;{=(]")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*(?:const\s+)?auto\s*[&\s]"
                           r"[&\s]*\w+\s*:\s*(?:\w+\.)*(\w+)\s*\)")
 
-# Comment/string stripper: good enough for lint, not a C++ parser.
-STRING_RE = re.compile(r'"(?:\\.|[^"\\])*"|' r"'(?:\\.|[^'\\])*'")
-
-
-def allowed(lines, idx, rule):
-    """True when line idx or the one above carries an allow(rule)."""
-    for li in (idx, idx - 1):
-        if 0 <= li < len(lines):
-            m = ALLOW_RE.search(lines[li])
-            if m and rule in [r.strip() for r in m.group(1).split(",")]:
-                return True
-    return False
-
-
-def strip_noise(line, in_block):
-    """Remove strings and comments; returns (code, still_in_block)."""
-    if in_block:
-        end = line.find("*/")
-        if end < 0:
-            return "", True
-        line = line[end + 2:]
-    line = STRING_RE.sub('""', line)
-    out = []
-    i = 0
-    while i < len(line):
-        if line.startswith("//", i):
-            break
-        if line.startswith("/*", i):
-            end = line.find("*/", i + 2)
-            if end < 0:
-                return "".join(out), True
-            i = end + 2
-            continue
-        out.append(line[i])
-        i += 1
-    return "".join(out), False
+# Shared comment/string stripper (tools/cpplex.py).
+strip_noise = cpplex.strip_noise
 
 
 def lint_file(path):
@@ -157,6 +126,8 @@ def main():
                     help="repo root (default: parent of this script)")
     ap.add_argument("--json", action="store_true",
                     help="emit findings as JSON on stdout")
+    ap.add_argument("--sarif", action="store_true",
+                    help="emit findings as a SARIF 2.1.0 log")
     ap.add_argument("paths", nargs="*",
                     help="files/dirs to lint (default: <root>/src)")
     args = ap.parse_args()
@@ -165,15 +136,7 @@ def main():
         os.path.dirname(os.path.abspath(__file__)))
     targets = args.paths or [os.path.join(root, "src")]
 
-    files = []
-    for t in targets:
-        if os.path.isfile(t):
-            files.append(t)
-        else:
-            for dirpath, _, names in os.walk(t):
-                for n in sorted(names):
-                    if n.endswith((".cc", ".hh", ".cpp", ".hpp")):
-                        files.append(os.path.join(dirpath, n))
+    files = cpplex.collect_files(targets)
     if not files:
         print("detlint: no input files", file=sys.stderr)
         return 2
@@ -181,6 +144,15 @@ def main():
     findings = []
     for f in sorted(files):
         findings.extend(lint_file(f))
+
+    if args.sarif:
+        sarif_rules = [(r, m) for r, _, m in RULES] + [
+            ("unordered-iteration",
+             "range-for over a std::unordered container: iteration "
+             "order is implementation-defined"),
+            ("io-error", "input file could not be read")]
+        cpplex.print_sarif("detlint", sarif_rules, findings, root)
+        return 1 if findings else 0
 
     if args.json:
         print(json.dumps({"schema_version": SCHEMA_VERSION,

@@ -1,0 +1,818 @@
+#!/usr/bin/env python3
+"""jethot: static hot-path discipline analyzer for jetsim.
+
+The event core's performance contract (DESIGN.md §4j) says the
+steady-state dispatch path allocates nothing, locks nothing, throws
+nothing, and never enters the kernel. PR 4 / PR 9 made that true and
+probe it at runtime (`micro_sim --assert-sbo`, the operator-new
+counting test, TSan); jethot proves it *statically*, the way jetrace
+proves lock-order discipline: a call-graph reachability pass from
+annotated hot roots, where any reachable forbidden operation is a
+finding reported with its full call chain.
+
+Annotations (src/core/hot_annotations.hh; all expand to nothing):
+
+  JETSIM_HOT               on a definition: hot-path root
+  JETSIM_COLD_OK("why")    sanctioned cold escape — on a definition
+                           the whole body is exempt and traversal
+                           stops; on/above a statement that statement
+                           is exempt (and its call edges are cut)
+  JETSIM_HOT_BOUNDARY      traversal stops; body audited elsewhere
+                           (dispatch indirections, diagnostics paths)
+
+Comment forms for spots macros cannot reach:
+  // jethot: boundary(NAME) why     declare callee NAME a boundary
+  // jethot: cold-ok(why)           statement-level escape
+  // jethot: allow(rule) why        suppress one rule on one line
+
+Statements that *begin with* a JETSIM_* macro invocation (JETSIM_CHECK
+/ JETSIM_VIOLATION / JETSIM_ASSERT ...) are treated as boundaries
+automatically: they expand to diagnostics behind an
+invariant-already-broken branch and are the sanctioned error arm of a
+hot function.
+
+Cross-validation against the runtime probes: every heap-fallback
+counter site (`noteSboMiss()` callers and the InlineFn
+heap-fallback counter) must sit on a line covered by JETSIM_COLD_OK —
+the static escape set and the runtime counter set must name exactly
+the same sites (`unguarded-sbo-fallback` otherwise). `--selftest`
+seeds hot-path alloc / lock / throw violations (plus spin, boundary,
+cold-ok and sbo fixtures) and checks each is found with a *minimised*
+chain, mirroring the jetrace/jetmc cross-check pattern.
+
+Backends: the lexical engine (tools/cpplex.py, shared with
+jetrace/detlint) is the tested, always-available path. With the
+libclang Python bindings importable (`--backend libclang`/`auto`),
+AST-walked call edges augment the lexical graph (catching calls the
+regex misses); rule matching stays lexical either way. This container
+ships no bindings, so `auto` is lexical here.
+
+Usage: tools/jethot.py [--root DIR] [--json] [--sarif] [--dot]
+                       [--selftest] [--backend auto|lex|libclang]
+                       [--list-rules] [paths...]
+Exit: 0 clean, 1 findings (or failed self-test), 2 usage error.
+
+--json emits {"schema_version": 1, "tool": "jethot", "findings":
+[...], "files": N, "roots": [...], "reachable": N, "cold_ok": [...],
+"boundaries": [...], "sbo_sites": [...]} — the same schema_version
+jetlint/jetrace/detlint stamp. Findings carry "chain": the minimised
+root -> ... -> offender call path.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+from collections import deque
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import cpplex  # noqa: E402
+
+SCHEMA_VERSION = cpplex.SCHEMA_VERSION
+
+RULES = [
+    ("hot-alloc",
+     "heap allocation reachable from a hot root (new/malloc/"
+     "allocating std container growth/std::string/std::function)"),
+    ("hot-lock",
+     "core::Mutex/LockGuard acquisition (or raw std lock) reachable "
+     "from a hot root"),
+    ("hot-spin",
+     "unbounded atomic retry/spin loop (CAS loop or while-on-load) "
+     "reachable from a hot root, outside the allow() whitelist"),
+    ("hot-throw",
+     "throw reachable from a hot root"),
+    ("hot-io",
+     "blocking syscall / IO / logging / sleep reachable from a hot "
+     "root"),
+    ("hot-env",
+     "core::env()/getenv reachable from a hot root (env reads are "
+     "startup-only by contract)"),
+    ("unguarded-sbo-fallback",
+     "runtime heap-fallback counter site (noteSboMiss / InlineFn "
+     "fallback) not covered by a JETSIM_COLD_OK escape"),
+]
+
+allowed = cpplex.allow_matcher("jethot")
+
+HOT_RE = re.compile(r"\bJETSIM_HOT\b")
+BOUNDARY_RE = re.compile(r"\bJETSIM_HOT_BOUNDARY\b")
+COLD_OK_RAW_RE = re.compile(r'\bJETSIM_COLD_OK\s*\(\s*"([^"]*)"')
+COLD_OK_CMT_RE = re.compile(r"jethot:\s*cold-ok\(([^)]*)\)")
+BOUNDARY_DECL_RE = re.compile(r"jethot:\s*boundary\((\w+)\)\s*(.*)")
+
+CALL_RE = re.compile(r"([\w~:]+)\s*\(")
+
+# Member names that are std::atomic's API: a dotted call to one of
+# these is synchronisation on a data member, not a call into repo
+# code, and must not alias a repo function that shares the base name
+# (ResultCache::store vs. `sense_.store(...)`). Rule matching still
+# sees the text — only the call *edge* is dropped.
+ATOMIC_MEMBERS = frozenset((
+    "load", "store", "exchange", "compare_exchange_weak",
+    "compare_exchange_strong", "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or", "fetch_xor", "test_and_set", "notify_one",
+    "notify_all", "wait"))
+MACRO_NAME_RE = re.compile(r"^JETSIM_[A-Z_]+$")
+MACRO_STMT_RE = re.compile(r"\s*JETSIM_[A-Z_]+\s*\(")
+LOOP_SIG_RE = re.compile(r"\s*(?:for|while|do)\b")
+
+SBO_SITE_RE = re.compile(r"(?:\.|->)\s*noteSboMiss\s*\(|"
+                         r"\+\+\s*sbo_misses_|"
+                         r"\bg_inline_fn_heap_fallbacks\s*\.\s*"
+                         r"fetch_add\b")
+
+# (rule, compiled regex, what-it-is) — matched against noise-stripped
+# statement text. Placement new (`new (buf) T`) is construction into
+# existing storage and is deliberately not matched.
+STMT_PATTERNS = [
+    ("hot-alloc", re.compile(r"\bnew\b(?!\s*\()"),
+     "operator new"),
+    ("hot-alloc", re.compile(r"\b(?:malloc|calloc|realloc|strdup|"
+                             r"aligned_alloc)\s*\("),
+     "C heap allocation"),
+    ("hot-alloc", re.compile(r"\bmake_(?:unique|shared)\s*<"),
+     "make_unique/make_shared"),
+    ("hot-alloc", re.compile(r"\bto_string\s*\("),
+     "std::to_string (allocates)"),
+    ("hot-alloc", re.compile(r"\bstd::string\s*[({]"),
+     "std::string construction"),
+    ("hot-alloc", re.compile(r"\bstd::function\s*<"),
+     "std::function construction (may allocate)"),
+    ("hot-alloc", re.compile(r"\bstd::[io]?stringstream\b"),
+     "stringstream construction"),
+    ("hot-alloc", re.compile(r"(?:\.|->)\s*(?:push_back|emplace_back|"
+                             r"emplace|emplace_front|push_front|"
+                             r"insert|resize|reserve|append|assign)"
+                             r"\s*\("),
+     "container growth call"),
+    ("hot-lock", re.compile(r"\b(?:core::)?LockGuard\b"),
+     "LockGuard acquisition"),
+    ("hot-lock", re.compile(r"(?:\.|->)\s*lock\s*\("),
+     ".lock() call"),
+    ("hot-lock", re.compile(r"\bstd::(?:mutex|lock_guard|unique_lock|"
+                            r"scoped_lock|shared_lock|"
+                            r"condition_variable)\b"),
+     "raw std lock primitive"),
+    ("hot-throw", re.compile(r"\bthrow\b"),
+     "throw"),
+    ("hot-io", re.compile(r"\b(?:printf|fprintf|vfprintf|snprintf|"
+                          r"vsnprintf|sprintf|puts|fputs|fputc|"
+                          r"putchar|fwrite|fread|fopen|fclose|"
+                          r"fflush|fgets|getchar|system|popen)"
+                          r"\s*\("),
+     "stdio/syscall"),
+    ("hot-io", re.compile(r"\bstd::c(?:out|err|log)\b"),
+     "iostream write"),
+    ("hot-io", re.compile(r"\bstd::[io]?fstream\b"),
+     "file stream"),
+    ("hot-io", re.compile(r"\b(?:usleep|nanosleep|sleep)\s*\("),
+     "sleep"),
+    ("hot-io", re.compile(r"\bstd::this_thread::\w+"),
+     "thread yield/sleep"),
+    ("hot-io", re.compile(r"\b(?:inform|warn|fatal|panic|assertFail|"
+                          r"vformat)\s*\("),
+     "logging/format call"),
+    ("hot-env", re.compile(r"\bcore::env\s*\(|(?<![\w:])getenv"
+                           r"\s*\("),
+     "environment read"),
+    # while-on-load / CAS-in-condition spins (incl. `} while (cas)`)
+    ("hot-spin", re.compile(r"\bwhile\s*\([^;{]*(?:"
+                            r"compare_exchange_\w+|"
+                            r"(?:\.|->)\s*exchange\s*\(|"
+                            r"(?:\.|->)\s*load\s*\()"),
+     "atomic spin-wait loop"),
+]
+
+# CAS inside a loop body (retry loop) — needs loop-scope context.
+SPIN_BODY_RE = re.compile(r"\bcompare_exchange_\w+|"
+                          r"(?:\.|->)\s*exchange\s*\(")
+# Only this subset is meaningful on control-flow condition text.
+SIG_RULES = {"hot-spin"}
+
+
+def cold_ok_reason(raw_lines, lines_0):
+    """JETSIM_COLD_OK / `// jethot: cold-ok(...)` on any of the
+    0-based lines; returns the reason string or None."""
+    for li in lines_0:
+        if 0 <= li < len(raw_lines):
+            m = COLD_OK_RAW_RE.search(raw_lines[li])
+            if m:
+                return m.group(1) or "(no reason)"
+            m = COLD_OK_CMT_RE.search(raw_lines[li])
+            if m:
+                return m.group(1).strip() or "(no reason)"
+    return None
+
+
+class Analysis:
+    """Whole-audit state: the merged function table plus the global
+    annotation / escape / sbo ledgers."""
+
+    def __init__(self):
+        # key -> {display, defs[(path,line)], hot, boundary,
+        #         cold_ok, hits[(rule,path,line,msg)], calls[(callee,
+        #         path,line)], is_lambda}
+        self.functions = {}
+        self.boundary_decls = []   # {name, path, line, why}
+        self.boundary_names = set()
+        self.cold_escapes = []     # {path, line, scope, fn, why}
+        self.sbo_sites = []        # {path, line, covered}
+        self.findings = []         # non-reachability findings (sbo)
+
+    def rec(self, key, display):
+        return self.functions.setdefault(key, {
+            "display": display, "defs": [], "hot": False,
+            "boundary": False, "cold_ok": None, "hits": [],
+            "calls": [], "is_lambda": key.startswith("<lambda@")})
+
+
+def blank_preprocessor(code_lines):
+    """Blank out #directives incl. backslash continuations, so macro
+    *definitions* (JETSIM_CHECK's braces and report() calls) never
+    reach the scope walker — expansion sites are what gets audited."""
+    out = []
+    cont = False
+    for code in code_lines:
+        s = code.strip()
+        if cont or s.startswith("#"):
+            cont = s.endswith("\\")
+            out.append("")
+        else:
+            cont = False
+            out.append(code)
+    return out
+
+
+def scan_file(path, rel, an):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw_lines = f.read().splitlines()
+    code_lines = blank_preprocessor(cpplex.strip_file(raw_lines))
+
+    for idx, raw in enumerate(raw_lines):
+        m = BOUNDARY_DECL_RE.search(raw)
+        if m:
+            an.boundary_names.add(m.group(1))
+            an.boundary_decls.append({
+                "name": m.group(1), "path": rel, "line": idx + 1,
+                "why": m.group(2).strip()})
+
+    for idx, code in enumerate(code_lines):
+        if SBO_SITE_RE.search(code):
+            why = cold_ok_reason(raw_lines, [idx, idx - 1])
+            an.sbo_sites.append({"path": rel, "line": idx + 1,
+                                 "covered": why is not None,
+                                 "why": why})
+            if why is None and not allowed(raw_lines, idx,
+                                           "unguarded-sbo-fallback"):
+                an.findings.append({
+                    "path": rel, "line": idx + 1,
+                    "rule": "unguarded-sbo-fallback",
+                    "message": "runtime heap-fallback counter site "
+                               "without a JETSIM_COLD_OK escape — "
+                               "the static escape set must name "
+                               "every site micro_sim --assert-sbo "
+                               "counts", "chain": []})
+
+    w = cpplex.Walker()
+    fn_stack = []      # keys of enclosing function records
+    loop_stack = []    # parallel to w.scopes: is-loop flags
+
+    def span_lines0(start_1, end_1):
+        """0-based raw indices of a pending span + the line above."""
+        return list(range(max(0, start_1 - 2), end_1))
+
+    def suppressed(rule, start_1, end_1):
+        return any(allowed(raw_lines, li, rule)
+                   for li in span_lines0(start_1, end_1))
+
+    def scan_text(text, start_1, end_1, is_sig):
+        key = fn_stack[-1]
+        rec = an.functions[key]
+        why = None
+        if "JETSIM_COLD_OK" in text:
+            why = cold_ok_reason(raw_lines, span_lines0(start_1,
+                                                        end_1))
+        else:
+            for li in span_lines0(start_1, end_1):
+                if 0 <= li < len(raw_lines) and \
+                        COLD_OK_CMT_RE.search(raw_lines[li]):
+                    why = cold_ok_reason(raw_lines, [li])
+                    break
+        if why is not None:
+            an.cold_escapes.append({"path": rel, "line": start_1,
+                                    "scope": "statement",
+                                    "fn": rec["display"],
+                                    "why": why})
+            return
+        if MACRO_STMT_RE.match(text):
+            return  # check/violation/assert error arm: boundary
+        for m in CALL_RE.finditer(text):
+            parts = [p for p in m.group(1).split("::") if p]
+            base = parts[-1]
+            if base in cpplex.CONTROL_KEYWORDS or \
+                    MACRO_NAME_RE.match(base):
+                continue
+            pre = text[:m.start(1)].rstrip()
+            if base in ATOMIC_MEMBERS and \
+                    (pre.endswith(".") or pre.endswith("->")):
+                continue
+            # Keep one level of qualification: `Class::fn` resolves
+            # exactly; deeper namespace prefixes add nothing.
+            rec["calls"].append(("::".join(parts[-2:]), rel, end_1))
+        in_loop = any(loop_stack)
+        for rule, rx, what in STMT_PATTERNS:
+            if is_sig and rule not in SIG_RULES:
+                continue
+            mm = rx.search(text)
+            if mm and not suppressed(rule, start_1, end_1):
+                rec["hits"].append((rule, rel, start_1, what))
+        if not is_sig and in_loop and SPIN_BODY_RE.search(text) and \
+                not re.search(r"\bwhile\s*\(", text) and \
+                not suppressed("hot-spin", start_1, end_1):
+            rec["hits"].append(("hot-spin", rel, start_1,
+                                "atomic RMW retry inside a loop"))
+
+    def enter_function(sc, sig, lineno):
+        start = w.pending_start
+        if sc.name == "<lambda>":
+            key = f"<lambda@{rel}:{lineno}>"
+        else:
+            # Class-qualified keys: an out-of-line `C::f` definition
+            # and an in-class definition of the same method share the
+            # key `C::f`; unrelated functions that merely share a base
+            # name (mc-harness `post` vs. ShardedEngine::post) stay
+            # distinct records.
+            parts = [p for p in sc.name.split("::") if p]
+            if len(parts) >= 2:
+                key = "::".join(parts[-2:])
+            else:
+                cls = next((s.name for s in reversed(w.scopes[:-1])
+                            if s.kind == "class" and s.name), None)
+                key = f"{cls}::{parts[-1]}" if cls else parts[-1]
+        display = key
+        # A lambda is reachable from the function that captures it.
+        if fn_stack:
+            an.functions[fn_stack[-1]]["calls"].append(
+                (key, rel, lineno))
+            # Calls in the capture statement text (`eq_.schedule(t,
+            # [this] {`) belong to the enclosing function.
+            scan_text(sig, start, lineno, True)
+        rec = an.rec(key, display)
+        rec["defs"].append((rel, lineno))
+        span = span_lines0(start, lineno)
+        if HOT_RE.search(sig) or \
+                any(0 <= li < len(raw_lines) and
+                    re.search(r"jethot:\s*hot\b", raw_lines[li])
+                    for li in span):
+            rec["hot"] = True
+        if BOUNDARY_RE.search(sig) or \
+                any(0 <= li < len(raw_lines) and
+                    re.search(r"jethot:\s*boundary\b(?!\()",
+                              raw_lines[li]) for li in span):
+            rec["boundary"] = True
+            an.boundary_decls.append({
+                "name": display, "path": rel, "line": lineno,
+                "why": "JETSIM_HOT_BOUNDARY definition"})
+        if "JETSIM_COLD_OK" in sig:
+            why = cold_ok_reason(raw_lines, span) or "(no reason)"
+            rec["cold_ok"] = why
+            an.cold_escapes.append({"path": rel, "line": lineno,
+                                    "scope": "function",
+                                    "fn": display, "why": why})
+        fn_stack.append(key)
+
+    def on_open(sc, sig, lineno):
+        if sc.kind == "function":
+            loop_stack.append(False)
+            enter_function(sc, sig, lineno)
+        elif sc.kind == "block":
+            loop_stack.append(bool(LOOP_SIG_RE.match(sig)))
+            if fn_stack:
+                scan_text(sig, w.pending_start, lineno, True)
+        else:
+            loop_stack.append(False)
+
+    def on_close(sc):
+        if loop_stack:
+            loop_stack.pop()
+        if sc.kind == "function" and fn_stack:
+            fn_stack.pop()
+
+    def on_statement(stmt, lineno):
+        if fn_stack and stmt.strip():
+            scan_text(stmt, w.pending_start, lineno, False)
+
+    w.on_open = on_open
+    w.on_close = on_close
+    w.on_statement = on_statement
+    w.run(code_lines)
+
+
+def try_libclang():
+    try:
+        import clang.cindex as ci  # noqa: F401
+        return ci
+    except Exception:
+        return None
+
+
+def libclang_edges(ci, path, rel, include_dir, an):
+    """AST refinement: add call edges the lexical pass may have
+    missed (overload sets, operator calls). Rule matching stays
+    lexical — the AST only widens reachability, so it can only make
+    the audit stricter, never hide a finding."""
+    tu = ci.Index.create().parse(
+        path, args=["-std=c++20", "-x", "c++", "-I" + include_dir])
+
+    def walk(cur, fn_key):
+        for c in cur.get_children():
+            if c.location.file and str(c.location.file) != path:
+                continue
+            k = fn_key
+            if c.kind in (ci.CursorKind.FUNCTION_DECL,
+                          ci.CursorKind.CXX_METHOD,
+                          ci.CursorKind.CONSTRUCTOR,
+                          ci.CursorKind.DESTRUCTOR) and \
+                    c.is_definition():
+                k = c.spelling
+                sp = c.semantic_parent
+                if sp is not None and sp.kind in (
+                        ci.CursorKind.CLASS_DECL,
+                        ci.CursorKind.STRUCT_DECL,
+                        ci.CursorKind.CLASS_TEMPLATE):
+                    k = f"{sp.spelling}::{k}"
+                an.rec(k, k)["defs"].append(
+                    (rel, c.location.line))
+            elif c.kind == ci.CursorKind.CALL_EXPR and k:
+                an.rec(k, k)["calls"].append(
+                    (c.spelling, rel, c.location.line))
+            walk(c, k)
+
+    walk(tu.cursor, None)
+
+
+def build_resolver(an):
+    """Map a callee name as written to candidate record keys: exact
+    key first, then the caller's own class (mirroring C++ member
+    lookup), then every record sharing the base name — a sound
+    over-approximation for virtual dispatch and free calls."""
+    base_index = {}
+    for k in an.functions:
+        base_index.setdefault(k.split("::")[-1], []).append(k)
+
+    def resolve(caller, callee):
+        if callee in an.functions:
+            return (callee,)
+        if "::" not in callee and "::" in caller:
+            own = caller.split("::")[0] + "::" + callee
+            if own in an.functions:
+                return (own,)
+        return tuple(k for k in base_index.get(
+            callee.split("::")[-1], ()) if k != caller)
+    return resolve
+
+
+def propagate(an):
+    """BFS reachability from hot roots; parents give the *minimised*
+    (fewest-call) chain for every finding."""
+    resolve = build_resolver(an)
+    roots = sorted(k for k, r in an.functions.items() if r["hot"])
+    parent = {}
+    visited = set(roots)
+    scannable = []
+    used_escapes = []
+    dq = deque(roots)
+    while dq:
+        k = dq.popleft()
+        rec = an.functions[k]
+        if not rec["hot"]:
+            if rec["cold_ok"] is not None:
+                used_escapes.append(k)
+                continue
+            if rec["boundary"] or rec["display"] in \
+                    an.boundary_names or \
+                    rec["display"].split("::")[-1] in \
+                    an.boundary_names:
+                continue
+        scannable.append(k)
+        for callee, _, _ in rec["calls"]:
+            for ck in resolve(k, callee):
+                if ck not in visited:
+                    visited.add(ck)
+                    parent[ck] = k
+                    dq.append(ck)
+
+    def chain(k):
+        out = [k]
+        while out[-1] in parent:
+            out.append(parent[out[-1]])
+        return [an.functions[x]["display"] for x in reversed(out)]
+
+    findings = list(an.findings)
+    for k in scannable:
+        rec = an.functions[k]
+        for rule, path, line, what in rec["hits"]:
+            ch = chain(k)
+            via = " -> ".join(ch)
+            findings.append({
+                "path": path, "line": line, "rule": rule,
+                "message": f"{what} in '{rec['display']}', reachable "
+                           f"from hot root '{ch[0]}' (chain: {via})",
+                "chain": ch})
+    findings.sort(key=lambda f: (f["path"], f["line"], f["rule"]))
+    return findings, roots, visited, scannable, used_escapes
+
+
+def audit(files, root, backend="lex"):
+    an = Analysis()
+    for path in files:
+        rel = os.path.relpath(path, root) if root else path
+        scan_file(path, rel, an)
+    if backend != "lex":
+        ci = try_libclang()
+        if ci is not None:
+            src_dir = os.path.join(root, "src") if root else "."
+            for path in files:
+                rel = os.path.relpath(path, root) if root else path
+                try:
+                    libclang_edges(ci, path, rel, src_dir, an)
+                except Exception:
+                    pass  # AST refinement is best-effort
+    findings, roots, visited, scannable, used = propagate(an)
+    summary = {
+        "roots": sorted(an.functions[k]["display"] for k in roots),
+        "reachable": len(visited),
+        "scanned": len(scannable),
+        "cold_ok": an.cold_escapes,
+        "boundaries": an.boundary_decls,
+        "sbo_sites": an.sbo_sites,
+    }
+    return findings, summary, an
+
+
+# --- self-test ---------------------------------------------------------
+
+# Seeded hot-path alloc with a decoy longer path: the finding must be
+# reported through the *short* chain (root -> leakyHelper), proving
+# chains are minimised, mirroring jetmc's minimised counterexamples.
+SELFTEST_HOT_ALLOC = """\
+#include "core/hot_annotations.hh"
+void sink(int *p);
+int *leakyHelper() { int *p = new int[16]; return p; }
+void middle() { sink(leakyHelper()); }
+JETSIM_HOT void dispatchRoot() { middle(); sink(leakyHelper()); }
+"""
+
+SELFTEST_HOT_LOCK = """\
+#include "core/hot_annotations.hh"
+#include "core/mutex.hh"
+jetsim::core::Mutex stats_mu_;
+void bumpStat() { jetsim::core::LockGuard g(stats_mu_); }
+JETSIM_HOT void recordRoot() { bumpStat(); }
+"""
+
+SELFTEST_HOT_THROW = """\
+#include "core/hot_annotations.hh"
+int parseTag(int v) { if (v < 0) throw v; return v; }
+JETSIM_HOT int popRoot(int v) { return parseTag(v); }
+"""
+
+# The same alloc shape with the sanctioned escape: the helper is a
+# deliberate slow path, so the tree must audit clean and the escape
+# must be recorded with its reason.
+SELFTEST_COLD_OK_QUIET = """\
+#include "core/hot_annotations.hh"
+JETSIM_COLD_OK("slab growth: amortized, startup-dominated")
+int *growSlab() { return new int[64]; }
+JETSIM_HOT void allocRoot(bool need) { if (need) growSlab(); }
+"""
+
+SELFTEST_BOUNDARY_QUIET = """\
+#include "core/hot_annotations.hh"
+JETSIM_HOT_BOUNDARY void reportViolation(int v) { throw v; }
+JETSIM_HOT void checkRoot(int v) { if (v < 0) reportViolation(v); }
+"""
+
+SELFTEST_SPIN = """\
+#include "core/hot_annotations.hh"
+#include <atomic>
+JETSIM_HOT void casRoot(std::atomic<int> &t)
+{
+    int v = t.load(std::memory_order_relaxed);
+    while (!t.compare_exchange_weak(v, v + 1)) {
+    }
+}
+"""
+
+SELFTEST_SPIN_ALLOWED = """\
+#include "core/hot_annotations.hh"
+#include <atomic>
+JETSIM_HOT void casRoot(std::atomic<int> &t)
+{
+    int v = t.load(std::memory_order_relaxed);
+    // jethot: allow(hot-spin) bounded: one lap, producers never park
+    while (!t.compare_exchange_weak(v, v + 1)) {
+    }
+}
+"""
+
+SELFTEST_SBO = """\
+#include "core/hot_annotations.hh"
+struct Q { void noteSboMiss(); };
+void submitCovered(Q &q, bool heap)
+{
+    if (heap)
+        JETSIM_COLD_OK("SBO miss: counted, asserted zero in bench")
+        q.noteSboMiss();
+}
+void submitUncovered(Q &q, bool heap)
+{
+    if (heap)
+        q.noteSboMiss();
+}
+"""
+
+
+def selftest():
+    import tempfile
+    ok = True
+
+    def run(name, src):
+        p = os.path.join(td, name)
+        with open(p, "w", encoding="utf-8") as f:
+            f.write(src)
+        return audit([p], td)
+
+    def fail(msg):
+        nonlocal ok
+        print(f"jethot selftest: FAILED — {msg}")
+        ok = False
+
+    with tempfile.TemporaryDirectory() as td:
+        for name, src, rule, offender in [
+                ("hot_alloc.cc", SELFTEST_HOT_ALLOC, "hot-alloc",
+                 "leakyHelper"),
+                ("hot_lock.cc", SELFTEST_HOT_LOCK, "hot-lock",
+                 "bumpStat"),
+                ("hot_throw.cc", SELFTEST_HOT_THROW, "hot-throw",
+                 "parseTag")]:
+            findings, _, _ = run(name, src)
+            hits = [f for f in findings if f["rule"] == rule]
+            if not hits:
+                fail(f"seeded {rule} in {name} not found")
+                continue
+            ch = hits[0]["chain"]
+            if len(ch) != 2 or ch[-1] != offender:
+                fail(f"{name}: chain not minimised: {ch} "
+                     f"(want [<root>, {offender}])")
+        findings, summ, _ = run("cold_ok.cc", SELFTEST_COLD_OK_QUIET)
+        if findings:
+            fail(f"COLD_OK escape still flagged: {findings}")
+        if not any(e["scope"] == "function" and "slab" in e["why"]
+                   for e in summ["cold_ok"]):
+            fail(f"COLD_OK escape not recorded: {summ['cold_ok']}")
+        findings, summ, _ = run("boundary.cc",
+                                SELFTEST_BOUNDARY_QUIET)
+        if findings:
+            fail(f"HOT_BOUNDARY body still scanned: {findings}")
+        findings, _, _ = run("spin.cc", SELFTEST_SPIN)
+        if not any(f["rule"] == "hot-spin" for f in findings):
+            fail("seeded CAS spin loop not found")
+        findings, _, _ = run("spin_ok.cc", SELFTEST_SPIN_ALLOWED)
+        if any(f["rule"] == "hot-spin" for f in findings):
+            fail(f"allow(hot-spin) not honored: {findings}")
+        findings, summ, _ = run("sbo.cc", SELFTEST_SBO)
+        sbo = [f for f in findings
+               if f["rule"] == "unguarded-sbo-fallback"]
+        if len(sbo) != 1:
+            fail(f"want exactly 1 unguarded-sbo-fallback, "
+                 f"got {sbo}")
+        if len(summ["sbo_sites"]) != 2 or \
+                sum(s["covered"] for s in summ["sbo_sites"]) != 1:
+            fail(f"sbo site ledger wrong: {summ['sbo_sites']}")
+    if ok:
+        print("jethot selftest: seeded hot-path alloc/lock/throw "
+              "each found with a minimised 2-hop chain; CAS spin "
+              "flagged and allow()-whitelistable; JETSIM_COLD_OK "
+              "and JETSIM_HOT_BOUNDARY stop traversal with the "
+              "escape recorded; uncovered noteSboMiss site flagged, "
+              "covered site ledgered")
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="hot-path discipline audit for jetsim src/")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit findings + reachability summary as "
+                         "JSON on stdout")
+    ap.add_argument("--sarif", action="store_true",
+                    help="emit findings as a SARIF 2.1.0 log")
+    ap.add_argument("--dot", action="store_true",
+                    help="emit the hot-reachability call graph in "
+                         "DOT form")
+    ap.add_argument("--selftest", action="store_true",
+                    help="audit the embedded seeded-violation "
+                         "fixtures")
+    ap.add_argument("--backend", default="auto",
+                    choices=["auto", "lex", "libclang"],
+                    help="call-edge backend (libclang augments the "
+                         "lexical graph when the bindings import)")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule table and exit")
+    ap.add_argument("paths", nargs="*",
+                    help="files/dirs to audit (default: <root>/src)")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for rule, desc in RULES:
+            print(f"{rule:22} {desc}")
+        return 0
+
+    if args.selftest:
+        return 0 if selftest() else 1
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    targets = args.paths or [os.path.join(root, "src")]
+    files = cpplex.collect_files(targets)
+    if not files:
+        print("jethot: no input files", file=sys.stderr)
+        return 2
+
+    if args.backend == "libclang" and try_libclang() is None:
+        print("jethot: libclang Python bindings not importable; "
+              "install them or use --backend=lex", file=sys.stderr)
+        return 2
+
+    findings, summ, an = audit(files, root, backend=args.backend)
+
+    if args.dot:
+        print("digraph hot_reach {")
+        print("  rankdir=LR;")
+        flagged = {f["chain"][-1] for f in findings if f["chain"]}
+        reach = {k for k, r in an.functions.items()
+                 if r["hot"]}
+        # recompute reachable set for rendering
+        _, roots, visited, scannable, _ = propagate(an)
+        for k in sorted(visited):
+            r = an.functions[k]
+            attr = ""
+            if r["hot"]:
+                attr = " [shape=doubleoctagon]"
+            if r["cold_ok"] is not None:
+                attr = ' [style=dashed, color=green, label="%s\\n' \
+                       'COLD_OK"]' % r["display"]
+            elif r["boundary"]:
+                attr = " [style=dashed, color=gray]"
+            elif r["display"] in flagged:
+                attr = " [color=red]"
+            print(f'  "{r["display"]}"{attr};')
+        seen = set()
+        resolve = build_resolver(an)
+        for k in sorted(visited):
+            for callee, _, _ in an.functions[k]["calls"]:
+                for ck in resolve(k, callee):
+                    if ck in visited and (k, ck) not in seen:
+                        seen.add((k, ck))
+                        print(f'  "{an.functions[k]["display"]}" -> '
+                              f'"{an.functions[ck]["display"]}";')
+        print("}")
+        return 0
+
+    if args.sarif:
+        cpplex.print_sarif("jethot", RULES, findings, root)
+        return 1 if findings else 0
+
+    if args.json:
+        print(json.dumps({"schema_version": SCHEMA_VERSION,
+                          "tool": "jethot",
+                          "findings": findings,
+                          "files": len(files),
+                          **summ}, indent=2))
+        return 1 if findings else 0
+
+    for f in findings:
+        print(f"{f['path']}:{f['line']}: [{f['rule']}] "
+              f"{f['message']}")
+    covered = sum(s["covered"] for s in summ["sbo_sites"])
+    if findings:
+        print(f"jethot: {len(findings)} finding(s) in {len(files)} "
+              f"files ({len(summ['roots'])} roots, "
+              f"{summ['reachable']} reachable)")
+        return 1
+    print(f"jethot: {len(files)} files clean — "
+          f"{len(summ['roots'])} hot roots, {summ['reachable']} "
+          f"reachable functions, {len(summ['cold_ok'])} sanctioned "
+          f"cold escapes, {len(summ['boundaries'])} boundaries, "
+          f"{covered}/{len(summ['sbo_sites'])} heap-fallback sites "
+          f"covered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

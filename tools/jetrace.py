@@ -54,14 +54,19 @@ discipline makes exact. Without bindings (this container ships none)
 `auto` falls back to the lexical inventory, which is tested
 fixture-by-fixture in tests/tools/jetrace_test.py.
 
-Usage: tools/jetrace.py [--root DIR] [--json] [--dot] [--selftest]
-                        [--jetmc-ce FILE] [--backend auto|lex|libclang]
+The lexical engine itself (noise stripping, scope walking, Tarjan,
+SARIF) is shared with jethot/detlint via tools/cpplex.py.
+
+Usage: tools/jetrace.py [--root DIR] [--json] [--sarif] [--dot]
+                        [--selftest] [--jetmc-ce FILE]
+                        [--backend auto|lex|libclang]
                         [--list-rules] [paths...]
 Exit: 0 clean, 1 findings (or failed self-test), 2 usage error.
 
 --json emits {"schema_version": 1, "tool": "jetrace", "findings":
 [...], "files": N, "inventory": {...}, "lock_graph": {...}} — the
-same schema_version jetlint/jetbound/detlint stamp.
+same schema_version jetlint/jetbound/detlint stamp. --sarif emits the
+same findings as a SARIF 2.1.0 log for editor/CI annotation.
 """
 
 import argparse
@@ -70,8 +75,11 @@ import os
 import re
 import sys
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import cpplex  # noqa: E402
+
 # Keep in lockstep with lint::kJsonSchemaVersion (src/lint/finding.hh).
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = cpplex.SCHEMA_VERSION
 
 RULES = [
     ("unannotated-global",
@@ -96,8 +104,8 @@ RULES = [
 # per-shard inbox locks (shard_mu_, shard_mutex, ...).
 SHARD_CAP_RE = re.compile(r"shard\w*mu", re.IGNORECASE)
 
-ALLOW_RE = re.compile(r"jetrace:\s*allow\(([a-z-]+(?:\s*,\s*"
-                      r"[a-z-]+)*)\)")
+allowed = cpplex.allow_matcher("jetrace")
+ALLOW_RE = allowed.regexp
 CONFINED_RE = re.compile(r"jetrace:\s*confined\(([^)]+)\)")
 GUARDED_CMT_RE = re.compile(r"jetrace:\s*guarded\(([^)]+)\)")
 
@@ -132,49 +140,15 @@ LOCAL_STATIC_RE = re.compile(
     r"\bstatic\s+(?P<decl>[^;=({]*?)(?P<name>[A-Za-z_]\w*)\s*"
     r"(?:=|\{|;)")
 
-STRING_RE = re.compile(r'"(?:\\.|[^"\\])*"|' r"'(?:\\.|[^'\\])*'")
-CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "do",
-                    "else", "try", "return", "sizeof", "alignof",
-                    "decltype", "new", "delete", "case", "default"}
+CONTROL_KEYWORDS = cpplex.CONTROL_KEYWORDS
 NONVAR_WORDS = re.compile(
     r"\b(const|constexpr|using|typedef|namespace|class|struct|enum|"
     r"union|template|operator|return|friend|throw|goto|public|"
     r"private|protected)\b")
 
-
-def strip_noise(line, in_block):
-    """Remove strings/comments; returns (code, still_in_block)."""
-    if in_block:
-        end = line.find("*/")
-        if end < 0:
-            return "", True
-        line = line[end + 2:]
-    line = STRING_RE.sub('""', line)
-    out = []
-    i = 0
-    while i < len(line):
-        if line.startswith("//", i):
-            break
-        if line.startswith("/*", i):
-            end = line.find("*/", i + 2)
-            if end < 0:
-                return "".join(out), True
-            i = end + 2
-            continue
-        out.append(line[i])
-        i += 1
-    return "".join(out), False
-
-
-def allowed(raw_lines, idx, rule):
-    """True when line idx or the one above carries allow(rule)."""
-    for li in (idx, idx - 1):
-        if 0 <= li < len(raw_lines):
-            m = ALLOW_RE.search(raw_lines[li])
-            if m and rule in [r.strip() for r in
-                              m.group(1).split(",")]:
-                return True
-    return False
+strip_noise = cpplex.strip_noise
+collect_files = cpplex.collect_files
+find_cycles = cpplex.find_cycles
 
 
 def annotation_comment(raw_lines, idx):
@@ -202,15 +176,6 @@ def cap_name(expr):
     return expr.strip()
 
 
-class Scope:
-    __slots__ = ("kind", "name", "held_before")
-
-    def __init__(self, kind, name, held_before=0):
-        self.kind = kind    # namespace | class | function | block
-        self.name = name
-        self.held_before = held_before  # len(held) at scope entry
-
-
 class FileAnalysis:
     """Per-file lexical analysis: inventory candidates, lock events,
     call edges, annotation counts."""
@@ -233,55 +198,16 @@ def analyze_file(path, relpath):
         raw_lines = f.read().splitlines()
 
     fa = FileAnalysis(relpath)
-    code_lines = []
-    in_block = False
-    for line in raw_lines:
-        code, in_block = strip_noise(line, in_block)
-        code_lines.append(code)
+    code_lines = cpplex.strip_file(raw_lines)
+    for code in code_lines:
         for m in MUTEX_DECL_RE.finditer(code):
             fa.mutex_decls.add(m.group(1))
             fa.capability_count += 1
 
-    scopes = []
-    pending = ""        # decl text since last ; { }
     cur_fn = None       # innermost function record
     held = []           # [(cap, scope_depth)]
     is_mutex_hh = relpath.replace("\\", "/").endswith("core/mutex.hh")
-
-    def fn_stack_depth():
-        return sum(1 for s in scopes if s.kind == "function")
-
-    def classify_open(text, lineno):
-        text = text.strip()
-        if not text:
-            return Scope("block", "")
-        m = re.match(r"^(?:inline\s+)?namespace\b\s*([\w:]*)", text)
-        if m:
-            return Scope("namespace", m.group(1) or "<anon>")
-        m = re.search(r"\b(class|struct|union)\s+(?:JETSIM_\w+"
-                      r"\s*\([^)]*\)\s*)?(\w+)?", text)
-        if m and "(" not in text.split(m.group(1))[0]:
-            return Scope("class", m.group(2) or "<anon>")
-        if re.search(r"\benum\b", text):
-            return Scope("class", "<enum>")
-        if "(" in text and ")" in text:
-            fm = None
-            for fm in re.finditer(r"([\w:~]+)\s*\(", text):
-                pass  # keep the last: handles `TYPE\nCls::fn(args)`
-            first = re.search(r"([\w:~]+)\s*\(", text)
-            name = first.group(1) if first else ""
-            base = name.split("::")[-1] if name else ""
-            if base in CONTROL_KEYWORDS:
-                return Scope("block", "")
-            if "=" in text.split("(")[0] and "]" not in text:
-                return Scope("block", "")  # brace initializer
-            fname = name if name else "<lambda>"
-            return Scope("function", fname)
-        if "]" in text:           # lambda introducer without parens
-            return Scope("function", "<lambda>")
-        if re.match(r"^(do|else|try)\b", text):
-            return Scope("block", "")
-        return Scope("block", "")
+    w = cpplex.Walker()
 
     def enter_function(scope, sigtext, lineno):
         nonlocal cur_fn
@@ -293,7 +219,7 @@ def analyze_file(path, relpath):
             for cap in m.group(1).split(","):
                 c = cap_name(cap.strip().lstrip("!"))
                 if not cap.strip().startswith("!"):
-                    held.append((c, len(scopes)))
+                    held.append((c, len(w.scopes)))
 
     def record_calls(stmt, lineno):
         """Calls made under held locks (cross-function edges)."""
@@ -328,12 +254,61 @@ def analyze_file(path, relpath):
             else:
                 fa.globals.append((line_no, name, "unannotated", ""))
 
-    def handle_statement(stmt, lineno):
+    def on_line(code, idx):
+        # Findings that don't need scope context.
+        if not is_mutex_hh:
+            m = RAW_MUTEX_RE.search(code)
+            if m and not allowed(raw_lines, idx, "raw-mutex"):
+                fa.raw_mutex.append((idx + 1, m.group(0)))
+        for m in GUARDED_BY_RE.finditer(code):
+            fa.guarded_by.append((idx + 1, cap_name(m.group(1))))
+
+        # Inventory: namespace-scope declarations (line-based; static
+        # locals and class statics are handled statement-wise below,
+        # where the scope stack is current). Attribute macros are
+        # stripped before matching so JETSIM_GUARDED_BY's parentheses
+        # don't make the declaration look like a function.
+        if not any(s.kind in ("class", "function") for s in w.scopes):
+            bare = re.sub(r"\bJETSIM_\w+\s*\([^)]*\)", "", code)
+            m = NSVAR_RE.match(bare)
+            if (m and "(" not in bare and
+                    not NONVAR_WORDS.search(bare) and
+                    "extern" not in m.group("quals")):
+                classify_candidate(m.group("name"),
+                                   m.group("type") + m.group("quals"),
+                                   code, idx)
+
+    def on_open(sc, pending, lineno):
+        if sc.kind == "function":
+            sc.held_before = len(held)
+            enter_function(sc, pending, lineno)
+        else:
+            # Calls in a control condition (`if (f()) {`)
+            # still happen under the held set.
+            if cur_fn is not None and held:
+                record_calls(pending, lineno)
+
+    def on_close(sc):
+        nonlocal cur_fn
+        # Locks acquired inside this scope die with it.
+        while held and held[-1][1] > len(w.scopes):
+            held.pop()
+        if sc.kind == "function":
+            while held and len(held) > sc.held_before:
+                held.pop()
+            cur_fn = None
+            for s in reversed(w.scopes):
+                if s.kind == "function":
+                    base = s.name.split("::")[-1]
+                    cur_fn = fa.functions.get(base)
+                    break
+
+    def on_statement(stmt, lineno):
         """Statement text as it completes at a `;`, with the scope
         and held-set state *at that point* (a line-level pass would
         miss locks inside single-line function bodies)."""
-        in_class = any(s.kind == "class" for s in scopes)
-        in_fn = fn_stack_depth() > 0
+        in_class = w.in_class()
+        in_fn = w.fn_depth() > 0
         if in_class or in_fn:
             m = LOCAL_STATIC_RE.search(stmt + ";")
             if m and not re.search(r"\b(const|constexpr|constinit|"
@@ -348,72 +323,16 @@ def analyze_file(path, relpath):
             cap = cap_name(lg.group(1))
             cur_fn["acquires"].append(
                 (cap, lineno, [c for c, _ in held]))
-            held.append((cap, len(scopes)))
+            held.append((cap, len(w.scopes)))
             return
         if held:
             record_calls(stmt, lineno)
 
-    for idx, code in enumerate(code_lines):
-        # Findings that don't need scope context.
-        if not is_mutex_hh:
-            m = RAW_MUTEX_RE.search(code)
-            if m and not allowed(raw_lines, idx, "raw-mutex"):
-                fa.raw_mutex.append((idx + 1, m.group(0)))
-        for m in GUARDED_BY_RE.finditer(code):
-            fa.guarded_by.append((idx + 1, cap_name(m.group(1))))
-
-        # Inventory: namespace-scope declarations (line-based; static
-        # locals and class statics are handled statement-wise above,
-        # where the scope stack is current). Attribute macros are
-        # stripped before matching so JETSIM_GUARDED_BY's parentheses
-        # don't make the declaration look like a function.
-        if not any(s.kind in ("class", "function") for s in scopes):
-            bare = re.sub(r"\bJETSIM_\w+\s*\([^)]*\)", "", code)
-            m = NSVAR_RE.match(bare)
-            if (m and "(" not in bare and
-                    not NONVAR_WORDS.search(bare) and
-                    "extern" not in m.group("quals")):
-                classify_candidate(m.group("name"),
-                                   m.group("type") + m.group("quals"),
-                                   code, idx)
-
-        # Scope bookkeeping + statement assembly, char by char.
-        for ch in code:
-            if ch == "{":
-                sc = classify_open(pending, idx + 1)
-                if sc.kind == "function":
-                    sc.held_before = len(held)
-                    scopes.append(sc)
-                    enter_function(sc, pending, idx + 1)
-                else:
-                    # Calls in a control condition (`if (f()) {`)
-                    # still happen under the held set.
-                    if cur_fn is not None and held:
-                        record_calls(pending, idx + 1)
-                    scopes.append(sc)
-                pending = ""
-            elif ch == "}":
-                if scopes:
-                    sc = scopes.pop()
-                    # Locks acquired inside this scope die with it.
-                    while held and held[-1][1] > len(scopes):
-                        held.pop()
-                    if sc.kind == "function":
-                        while held and len(held) > sc.held_before:
-                            held.pop()
-                        cur_fn = None
-                        for s in reversed(scopes):
-                            if s.kind == "function":
-                                base = s.name.split("::")[-1]
-                                cur_fn = fa.functions.get(base)
-                                break
-                pending = ""
-            elif ch == ";":
-                handle_statement(pending, idx + 1)
-                pending = ""
-            else:
-                pending += ch
-        pending += " "
+    w.on_line = on_line
+    w.on_open = on_open
+    w.on_close = on_close
+    w.on_statement = on_statement
+    w.run(code_lines)
 
     return fa, raw_lines
 
@@ -461,60 +380,6 @@ def build_lock_graph(analyses):
     return nodes, edges
 
 
-def find_cycles(nodes, edges):
-    """Strongly connected components with >1 node (or a self-edge):
-    each is a potential-deadlock cycle. Tarjan, iterative."""
-    adj = {n: [] for n in nodes}
-    for (a, b) in edges:
-        adj[a].append(b)
-    index = {}
-    low = {}
-    on_stack = set()
-    stack = []
-    sccs = []
-    counter = [0]
-
-    for root in nodes:
-        if root in index:
-            continue
-        work = [(root, iter(adj[root]))]
-        index[root] = low[root] = counter[0]
-        counter[0] += 1
-        stack.append(root)
-        on_stack.add(root)
-        while work:
-            node, it = work[-1]
-            advanced = False
-            for nxt in it:
-                if nxt not in index:
-                    index[nxt] = low[nxt] = counter[0]
-                    counter[0] += 1
-                    stack.append(nxt)
-                    on_stack.add(nxt)
-                    work.append((nxt, iter(adj[nxt])))
-                    advanced = True
-                    break
-                if nxt in on_stack:
-                    low[node] = min(low[node], index[nxt])
-            if advanced:
-                continue
-            work.pop()
-            if work:
-                parent = work[-1][0]
-                low[parent] = min(low[parent], low[node])
-            if low[node] == index[node]:
-                scc = []
-                while True:
-                    w = stack.pop()
-                    on_stack.discard(w)
-                    scc.append(w)
-                    if w == node:
-                        break
-                if len(scc) > 1 or (node, node) in edges:
-                    sccs.append(sorted(scc))
-    return sccs
-
-
 def try_libclang():
     try:
         import clang.cindex as ci  # noqa: F401
@@ -547,19 +412,6 @@ def libclang_inventory(ci, path, include_dir):
             walk(c)
     walk(tu.cursor)
     return out
-
-
-def collect_files(targets):
-    files = []
-    for t in targets:
-        if os.path.isfile(t):
-            files.append(t)
-        else:
-            for dirpath, _, names in os.walk(t):
-                for n in sorted(names):
-                    if n.endswith((".cc", ".hh", ".cpp", ".hpp")):
-                        files.append(os.path.join(dirpath, n))
-    return sorted(files)
 
 
 def audit(files, root):
@@ -892,6 +744,8 @@ def main():
     ap.add_argument("--json", action="store_true",
                     help="emit findings + inventory + lock graph as "
                          "JSON on stdout")
+    ap.add_argument("--sarif", action="store_true",
+                    help="emit findings as a SARIF 2.1.0 log")
     ap.add_argument("--dot", action="store_true",
                     help="emit the lock-order graph in DOT form")
     ap.add_argument("--selftest", action="store_true",
@@ -933,7 +787,7 @@ def main():
             print("jetrace: libclang Python bindings not importable; "
                   "install them or use --backend=lex", file=sys.stderr)
             return 2
-        if ci is None and not args.json:
+        if ci is None and not (args.json or args.sarif):
             print("jetrace: note: libclang bindings unavailable; "
                   "using the lexical backend", file=sys.stderr)
 
@@ -977,6 +831,10 @@ def main():
                   f'[label="{e["path"]}:{e["line"]}"];')
         print("}")
         return 0
+
+    if args.sarif:
+        cpplex.print_sarif("jetrace", RULES, findings, root)
+        return 1 if findings else 0
 
     if args.json:
         print(json.dumps({"schema_version": SCHEMA_VERSION,
